@@ -1,0 +1,169 @@
+// Package repro is a from-scratch Go reproduction of "An efficient
+// MPI/OpenMP parallelization of the Hartree-Fock method for the second
+// generation of Intel Xeon Phi processor" (Mironov et al., SC17).
+//
+// It contains a complete restricted Hartree-Fock program (Gaussian basis
+// sets, McMurchie-Davidson integrals, Schwarz screening, SCF with DIIS),
+// the paper's three Fock-build parallelizations (MPI-only, private-Fock
+// hybrid, shared-Fock hybrid) running on in-process MPI/OpenMP runtimes,
+// and a calibrated discrete-event simulator that reproduces the paper's
+// Xeon Phi / Theta benchmark tables and figures at full scale.
+//
+// This root package is the high-level facade used by the examples and
+// command-line tools; the implementation lives under internal/ (see
+// DESIGN.md for the system inventory).
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/basis"
+	"repro/internal/ddi"
+	"repro/internal/fock"
+	"repro/internal/integrals"
+	"repro/internal/molecule"
+	"repro/internal/mpi"
+	"repro/internal/scf"
+)
+
+// Molecule is a molecular geometry (see NewMolecule, BuiltinMolecule,
+// molecule.ParseXYZ).
+type Molecule = molecule.Molecule
+
+// Result is a converged SCF calculation.
+type Result = scf.Result
+
+// Algorithm selects one of the paper's three Fock-build parallelizations.
+type Algorithm = scf.Algorithm
+
+// The three SCF implementations benchmarked by the paper.
+const (
+	MPIOnly     = scf.AlgMPIOnly
+	PrivateFock = scf.AlgPrivateFock
+	SharedFock  = scf.AlgSharedFock
+)
+
+// BuiltinMolecule returns a named test system: "h2", "heh+", "water",
+// "methane", "ammonia", "benzene", a graphene flake "flake:N" is
+// available through GrapheneFlake, and the paper's bilayer systems
+// through PaperSystem.
+func BuiltinMolecule(name string) (*Molecule, error) {
+	switch name {
+	case "h2":
+		return molecule.H2(), nil
+	case "heh+":
+		return molecule.HeHPlus(), nil
+	case "water", "h2o":
+		return molecule.Water(), nil
+	case "methane", "ch4":
+		return molecule.Methane(), nil
+	case "ammonia", "nh3":
+		return molecule.Ammonia(), nil
+	case "benzene", "c6h6":
+		return molecule.Benzene(), nil
+	default:
+		return nil, fmt.Errorf("repro: unknown builtin molecule %q", name)
+	}
+}
+
+// GrapheneFlake returns a single-layer flake with n carbon atoms.
+func GrapheneFlake(n int) *Molecule { return molecule.GrapheneFlake(n) }
+
+// PaperSystem returns one of the paper's Table 4 graphene bilayers
+// ("0.5nm", "1.0nm", "1.5nm", "2.0nm", "5.0nm").
+func PaperSystem(name string) (*Molecule, error) { return molecule.PaperSystem(name) }
+
+// ParseXYZ parses a molecule in XYZ format (angstrom).
+func ParseXYZ(text string) (*Molecule, error) { return molecule.ParseXYZ(text) }
+
+// SCFOptions configures an SCF run; the zero value uses defaults
+// (DIIS on, RMS-density convergence 1e-8, at most 100 iterations).
+type SCFOptions = scf.Options
+
+// RunRHF runs a serial restricted Hartree-Fock calculation on mol with
+// the named basis set ("sto-3g", "6-31g", or the paper's "6-31g(d)").
+func RunRHF(mol *Molecule, basisName string, opt SCFOptions) (*Result, error) {
+	b, err := basis.Build(mol, basisName)
+	if err != nil {
+		return nil, err
+	}
+	eng := integrals.NewEngine(b)
+	sch := integrals.ComputeSchwarz(eng)
+	return scf.RunRHF(eng, scf.SerialBuilder(eng, sch, 0), opt)
+}
+
+// ParallelConfig shapes a parallel RHF run on the in-process runtimes.
+type ParallelConfig struct {
+	Algorithm Algorithm // defaults to SharedFock
+	Ranks     int       // MPI ranks (goroutines); defaults to 2
+	Threads   int       // OpenMP threads per rank; defaults to 2
+}
+
+// RunParallelRHF runs a restricted Hartree-Fock calculation with one of
+// the paper's three parallel Fock builders on the in-process MPI/OpenMP
+// runtimes. All ranks compute the identical result; the returned Result
+// is rank 0's.
+func RunParallelRHF(mol *Molecule, basisName string, cfg ParallelConfig, opt SCFOptions) (*Result, error) {
+	if cfg.Algorithm == "" {
+		cfg.Algorithm = SharedFock
+	}
+	if cfg.Ranks <= 0 {
+		cfg.Ranks = 2
+	}
+	if cfg.Threads <= 0 {
+		cfg.Threads = 2
+	}
+	b, err := basis.Build(mol, basisName)
+	if err != nil {
+		return nil, err
+	}
+	eng := integrals.NewEngine(b)
+	sch := integrals.ComputeSchwarz(eng)
+	// Shell-pair precomputation speeds every quartet evaluation (~2x).
+	cache := integrals.NewPairCache(eng, 0)
+
+	results := make([]*Result, cfg.Ranks)
+	errs := make([]error, cfg.Ranks)
+	runErr := mpi.Run(cfg.Ranks, func(c *mpi.Comm) {
+		dx := ddi.New(c)
+		builder := scf.ParallelBuilder(cfg.Algorithm, dx, eng, sch,
+			fock.Config{Threads: cfg.Threads, Quartets: cache})
+		res, err := scf.RunRHF(eng, builder, opt)
+		results[c.Rank()] = res
+		errs[c.Rank()] = err
+	})
+	if runErr != nil {
+		return nil, runErr
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results[0], nil
+}
+
+// BasisInfo summarizes a basis over a molecule: shell and basis function
+// counts (the quantities in the paper's Table 4).
+type BasisInfo struct {
+	Name      string
+	NumShells int
+	NumBF     int
+	MaxL      int
+}
+
+// DescribeBasis builds the named basis on mol and reports its dimensions.
+func DescribeBasis(mol *Molecule, basisName string) (BasisInfo, error) {
+	b, err := basis.Build(mol, basisName)
+	if err != nil {
+		return BasisInfo{}, err
+	}
+	return BasisInfo{Name: basisName, NumShells: b.NumShells(), NumBF: b.NumBF, MaxL: b.MaxL()}, nil
+}
+
+// RegisterBasis installs a custom basis set in Gaussian94 (.gbs) format —
+// the format served by the EMSL Basis Set Exchange — under the given
+// name, usable with every Run* function. Built-in names are protected.
+func RegisterBasis(name, gbsText string) error {
+	return basis.RegisterGBS(name, gbsText)
+}

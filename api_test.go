@@ -1,0 +1,214 @@
+package repro
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBuiltinMolecules(t *testing.T) {
+	for _, name := range []string{"h2", "heh+", "water", "methane", "ammonia", "benzene"} {
+		m, err := BuiltinMolecule(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.NumAtoms() == 0 {
+			t.Fatalf("%s has no atoms", name)
+		}
+	}
+	if _, err := BuiltinMolecule("unobtainium"); err == nil {
+		t.Fatal("expected error for unknown molecule")
+	}
+}
+
+func TestRunRHFWater(t *testing.T) {
+	mol, _ := BuiltinMolecule("water")
+	res, err := RunRHF(mol, "sto-3g", SCFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge")
+	}
+	if res.Energy < -75.15 || res.Energy > -74.75 {
+		t.Fatalf("energy = %v", res.Energy)
+	}
+}
+
+func TestRunParallelRHFAllAlgorithms(t *testing.T) {
+	mol, _ := BuiltinMolecule("water")
+	serial, err := RunRHF(mol, "sto-3g", SCFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, alg := range []Algorithm{MPIOnly, PrivateFock, SharedFock} {
+		res, err := RunParallelRHF(mol, "sto-3g",
+			ParallelConfig{Algorithm: alg, Ranks: 2, Threads: 2}, SCFOptions{})
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		if math.Abs(res.Energy-serial.Energy) > 1e-9 {
+			t.Fatalf("%s: energy %v vs serial %v", alg, res.Energy, serial.Energy)
+		}
+	}
+}
+
+func TestRunParallelRHFDefaults(t *testing.T) {
+	mol, _ := BuiltinMolecule("h2")
+	res, err := RunParallelRHF(mol, "sto-3g", ParallelConfig{}, SCFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("did not converge with default parallel config")
+	}
+}
+
+func TestDescribeBasisTable4(t *testing.T) {
+	mol, err := PaperSystem("0.5nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	info, err := DescribeBasis(mol, "6-31g(d)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.NumShells != 176 || info.NumBF != 660 || info.MaxL != 2 {
+		t.Fatalf("Table 4 mismatch: %+v", info)
+	}
+}
+
+func TestParseXYZFacade(t *testing.T) {
+	m, err := ParseXYZ("1\nhydrogen atom\nH 0 0 0\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.NumAtoms() != 1 {
+		t.Fatal("parse failed")
+	}
+}
+
+func TestRunRHFBadBasis(t *testing.T) {
+	mol, _ := BuiltinMolecule("h2")
+	if _, err := RunRHF(mol, "nope", SCFOptions{}); err == nil {
+		t.Fatal("expected unknown-basis error")
+	}
+}
+
+func TestGrapheneFlakeFacade(t *testing.T) {
+	if GrapheneFlake(10).NumAtoms() != 10 {
+		t.Fatal("flake size wrong")
+	}
+}
+
+func TestFacadeUHFAndProperties(t *testing.T) {
+	water, _ := BuiltinMolecule("water")
+	res, err := RunRHF(water, "sto-3g", SCFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	props, err := AnalyzeRHF(water, "sto-3g", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(props.MullikenCharges) != 3 || props.DipoleDebye <= 0 {
+		t.Fatalf("properties wrong: %+v", props)
+	}
+	uhf, err := RunUHF(water, "sto-3g", 1, SCFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(uhf.Energy-res.Energy) > 1e-7 {
+		t.Fatalf("UHF singlet %v vs RHF %v", uhf.Energy, res.Energy)
+	}
+}
+
+func TestFacadeMP2(t *testing.T) {
+	water, _ := BuiltinMolecule("water")
+	res, err := RunRHF(water, "sto-3g", SCFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp2, err := RunMP2(water, "sto-3g", res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp2.CorrelationEnergy >= 0 || mp2.TotalEnergy >= res.Energy {
+		t.Fatalf("MP2 = %+v", mp2)
+	}
+}
+
+func TestFacadeRegisterBasis(t *testing.T) {
+	gbs := "****\nH 0\nS 3 1.00\n 3.42525091 0.15432897\n 0.62391373 0.53532814\n 0.16885540 0.44463454\n****\n"
+	if err := RegisterBasis("h-only", gbs); err != nil {
+		t.Fatal(err)
+	}
+	mol, _ := BuiltinMolecule("h2")
+	res, err := RunRHF(mol, "h-only", SCFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, _ := RunRHF(mol, "sto-3g", SCFOptions{})
+	if math.Abs(res.Energy-ref.Energy) > 1e-10 {
+		t.Fatalf("custom basis energy %v vs builtin %v", res.Energy, ref.Energy)
+	}
+}
+
+func TestFacadeParallelUHF(t *testing.T) {
+	o2, err := ParseXYZ("2\nO2\nO 0 0 0\nO 0 0 1.2075\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := RunUHF(o2, "sto-3g", 3, SCFOptions{MaxIter: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := RunParallelUHF(o2, "sto-3g", 3,
+		ParallelConfig{Algorithm: SharedFock, Ranks: 2, Threads: 2}, SCFOptions{MaxIter: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(par.Energy-serial.Energy) > 1e-8 {
+		t.Fatalf("parallel UHF %v vs serial %v", par.Energy, serial.Energy)
+	}
+}
+
+func TestFacadeOptimize(t *testing.T) {
+	m, _ := ParseXYZ("2\nstretched H2\nH 0 0 0\nH 0 0 0.9\n")
+	res, err := OptimizeGeometry(m, "sto-3g", SCFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatal("optimization did not converge")
+	}
+	if math.Abs(res.Energy-(-1.1175)) > 2e-3 {
+		t.Fatalf("optimized H2 energy = %v", res.Energy)
+	}
+}
+
+func TestFacadeSimSession(t *testing.T) {
+	sess := NewSimSession()
+	pt, err := sess.Simulate("0.5nm", MachineTheta, SharedFock, 4, 4, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pt.Feasible || pt.Seconds <= 0 {
+		t.Fatalf("sim point: %+v", pt)
+	}
+	// MPI-only threads forced to 1 and memory-capped where applicable.
+	mp, err := sess.Simulate("1.0nm", MachineJLSE, MPIOnly, 1, 256, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mp.Threads != 1 || mp.RanksPerNode != 128 {
+		t.Fatalf("MPI-only config not normalized: %+v", mp)
+	}
+	// Modes sweep entry point.
+	md, err := sess.SimulateModes("0.5nm", PrivateFock, "quadrant", "cache")
+	if err != nil || !md.Feasible {
+		t.Fatalf("modes: %+v %v", md, err)
+	}
+	if _, err := sess.Simulate("9.9nm", MachineTheta, SharedFock, 4, 4, 64); err == nil {
+		t.Fatal("unknown system should error")
+	}
+}

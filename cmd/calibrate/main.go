@@ -1,0 +1,84 @@
+// Command calibrate measures this machine's shell-quartet ERI costs for
+// the carbon 6-31G(d) shell classes (S: 6 primitives, L: 3, D: 1) and
+// prints the symmetrized bra/ket pair-class matrix that feeds the
+// simulator's cost model (internal/simulate.DefaultCostModel).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"repro/internal/basis"
+	"repro/internal/integrals"
+	"repro/internal/molecule"
+	"repro/internal/simulate"
+)
+
+func main() {
+	reps := flag.Int("reps", 100, "repetitions per quartet measurement")
+	flag.Parse()
+
+	// Two carbons at the graphene bond length; shells 0..3 on atom 0
+	// (S, L, L', D) and 4..7 on atom 1.
+	m := &molecule.Molecule{Name: "C2"}
+	m.AddAtomAngstrom("C", 0, 0, 0)
+	m.AddAtomAngstrom("C", 0, 0, molecule.CCBond)
+	b, err := basis.Build(m, "6-31g(d)")
+	if err != nil {
+		panic(err)
+	}
+	eng := integrals.NewEngine(b)
+
+	classRep := map[simulate.ShellClass]int{
+		simulate.ClassS: 0, // 6-primitive core S
+		simulate.ClassL: 1, // 3-primitive valence L
+		simulate.ClassD: 3, // D polarization
+	}
+	classes := []simulate.ShellClass{simulate.ClassS, simulate.ClassL, simulate.ClassD}
+	names := map[simulate.ShellClass]string{
+		simulate.ClassS: "S", simulate.ClassL: "L", simulate.ClassD: "D",
+	}
+
+	// Accumulate measurements per (bra pair class, ket pair class).
+	var sum [simulate.NumPairClasses][simulate.NumPairClasses]float64
+	var cnt [simulate.NumPairClasses][simulate.NumPairClasses]int
+	var buf []float64
+	for _, c1 := range classes {
+		for _, c2 := range classes {
+			for _, c3 := range classes {
+				for _, c4 := range classes {
+					i, j := classRep[c1], classRep[c2]+4
+					k, l := classRep[c3], classRep[c4]+4
+					t0 := time.Now()
+					for r := 0; r < *reps; r++ {
+						buf = eng.ShellQuartet(i, j, k, l, buf)
+					}
+					dt := time.Since(t0).Seconds() / float64(*reps)
+					bra := simulate.PairClassOf(c1, c2)
+					ket := simulate.PairClassOf(c3, c4)
+					sum[bra][ket] += dt
+					cnt[bra][ket]++
+					fmt.Printf("(%s%s|%s%s)  %9.2f us\n", names[c1], names[c2], names[c3], names[c4], dt*1e6)
+				}
+			}
+		}
+	}
+	fmt.Println("\nSymmetrized pair-class matrix (us, rows/cols SS LS LL DS DL DD):")
+	for i := 0; i < simulate.NumPairClasses; i++ {
+		for j := 0; j < simulate.NumPairClasses; j++ {
+			a := sum[i][j] / float64(max(cnt[i][j], 1))
+			bb := sum[j][i] / float64(max(cnt[j][i], 1))
+			fmt.Printf(" %8.1f", (a+bb)/2*1e6)
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nDivide by the KNL scaling factor (5) before placing in DefaultCostModel.")
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,150 @@
+// Command hfrun runs a restricted Hartree-Fock calculation on a builtin
+// molecule, a graphene flake, or an XYZ file, serially or with one of the
+// paper's three parallel Fock-build algorithms on the in-process
+// MPI/OpenMP runtimes.
+//
+// Examples:
+//
+//	hfrun -mol water -basis sto-3g
+//	hfrun -mol methane -basis "6-31g(d)" -alg shared-fock -ranks 4 -threads 4
+//	hfrun -flake 6 -basis sto-3g -alg private-fock
+//	hfrun -xyz geometry.xyz -basis 6-31g
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		molName = flag.String("mol", "water", "builtin molecule (h2, heh+, water, methane, ammonia, benzene)")
+		flakeN  = flag.Int("flake", 0, "run a graphene flake with N carbon atoms instead of -mol")
+		xyzPath = flag.String("xyz", "", "read geometry from an XYZ file instead of -mol")
+		basis   = flag.String("basis", "sto-3g", "basis set: sto-3g, 6-31g, 6-31g(d)")
+		alg     = flag.String("alg", "", "parallel algorithm: mpi-only, private-fock, shared-fock (empty = serial)")
+		ranks   = flag.Int("ranks", 2, "MPI ranks for parallel runs")
+		threads = flag.Int("threads", 2, "OpenMP threads per rank for parallel runs")
+		maxIter = flag.Int("maxiter", 100, "maximum SCF iterations")
+		verbose = flag.Bool("v", false, "print per-iteration convergence history")
+		mult    = flag.Int("uhf", 0, "run UHF with this spin multiplicity (2S+1) instead of RHF")
+		mp2     = flag.Bool("mp2", false, "add the MP2 correlation energy after a serial RHF")
+		guess   = flag.String("guess", "core", "initial guess: core or gwh")
+		doOpt   = flag.Bool("opt", false, "optimize the geometry before reporting (serial RHF)")
+	)
+	flag.Parse()
+
+	mol, err := loadMolecule(*molName, *flakeN, *xyzPath)
+	if err != nil {
+		fatal(err)
+	}
+	info, err := repro.DescribeBasis(mol, *basis)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("molecule: %s (%d atoms, %d electrons)\n", mol.Name, mol.NumAtoms(), mol.NumElectrons())
+	fmt.Printf("basis:    %s (%d shells, %d basis functions)\n", info.Name, info.NumShells, info.NumBF)
+
+	opt := repro.SCFOptions{MaxIter: *maxIter, Guess: *guess}
+	start := time.Now()
+	if *doOpt {
+		fmt.Println("mode:     geometry optimization (serial RHF)")
+		ores, err := repro.OptimizeGeometry(mol, *basis, opt)
+		if err != nil {
+			fatal(err)
+		}
+		status := "CONVERGED"
+		if !ores.Converged {
+			status = "NOT CONVERGED"
+		}
+		fmt.Printf("status:            %s in %d steps (max grad %.2e)\n",
+			status, ores.Steps, ores.MaxGradient)
+		fmt.Printf("final energy:      %16.10f hartree\n", ores.Energy)
+		fmt.Printf("optimized geometry (angstrom):\n%s", ores.Molecule.XYZ())
+		fmt.Printf("wall time:         %v\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	if *mult > 0 {
+		fmt.Printf("mode:     UHF, multiplicity %d (serial)\n", *mult)
+		ures, err := repro.RunUHF(mol, *basis, *mult, opt)
+		if err != nil {
+			fatal(err)
+		}
+		status := "CONVERGED"
+		if !ures.Converged {
+			status = "NOT CONVERGED"
+		}
+		fmt.Printf("status:            %s in %d iterations\n", status, ures.Iterations)
+		fmt.Printf("total energy:      %16.10f hartree\n", ures.Energy)
+		fmt.Printf("<S^2>:             %10.4f (exact %.2f)\n", ures.SSquared,
+			float64(ures.NumAlpha-ures.NumBeta)/2*(float64(ures.NumAlpha-ures.NumBeta)/2+1))
+		fmt.Printf("occupations:       %d alpha, %d beta\n", ures.NumAlpha, ures.NumBeta)
+		fmt.Printf("wall time:         %v\n", time.Since(start).Round(time.Millisecond))
+		return
+	}
+	var res *repro.Result
+	if *alg == "" {
+		fmt.Println("mode:     serial")
+		res, err = repro.RunRHF(mol, *basis, opt)
+	} else {
+		fmt.Printf("mode:     %s, %d ranks x %d threads\n", *alg, *ranks, *threads)
+		res, err = repro.RunParallelRHF(mol, *basis, repro.ParallelConfig{
+			Algorithm: repro.Algorithm(*alg), Ranks: *ranks, Threads: *threads,
+		}, opt)
+	}
+	if err != nil {
+		fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	if *verbose {
+		fmt.Println("\niter          energy            dE       rms(D)")
+		for i, it := range res.History {
+			fmt.Printf("%4d  %16.10f  %12.3e  %11.3e\n", i+1, it.Energy, it.DeltaE, it.RMSDens)
+		}
+		fmt.Println()
+	}
+	status := "CONVERGED"
+	if !res.Converged {
+		status = "NOT CONVERGED"
+	}
+	fmt.Printf("status:            %s in %d iterations\n", status, res.Iterations)
+	fmt.Printf("total energy:      %16.10f hartree\n", res.Energy)
+	fmt.Printf("electronic energy: %16.10f hartree\n", res.Electronic)
+	fmt.Printf("nuclear repulsion: %16.10f hartree\n", res.NuclearRepulsion)
+	fmt.Printf("ERI quartets:      %d computed, %d screened\n",
+		res.TotalFockStats.QuartetsComputed, res.TotalFockStats.QuartetsScreened)
+	fmt.Printf("wall time:         %v\n", elapsed.Round(time.Millisecond))
+	if *mp2 {
+		corr, err := repro.RunMP2(mol, *basis, res)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("MP2 correlation:   %16.10f hartree\n", corr.CorrelationEnergy)
+		fmt.Printf("MP2 total energy:  %16.10f hartree\n", corr.TotalEnergy)
+	}
+}
+
+func loadMolecule(name string, flakeN int, xyzPath string) (*repro.Molecule, error) {
+	switch {
+	case xyzPath != "":
+		data, err := os.ReadFile(xyzPath)
+		if err != nil {
+			return nil, err
+		}
+		return repro.ParseXYZ(string(data))
+	case flakeN > 0:
+		return repro.GrapheneFlake(flakeN), nil
+	default:
+		return repro.BuiltinMolecule(name)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "hfrun:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,40 @@
+// Command memfoot prints the memory-footprint model for the paper's
+// benchmark systems (Table 2) and, optionally, for a custom basis size.
+//
+//	memfoot
+//	memfoot -nbf 10000 -ranks 64 -threads 16
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/internal/fock"
+	"repro/internal/simulate"
+)
+
+func main() {
+	var (
+		nbf     = flag.Int("nbf", 0, "custom basis-function count (0 = print the paper's Table 2)")
+		ranks   = flag.Int("ranks", 256, "MPI-only ranks per node for the custom row")
+		threads = flag.Int("threads", 64, "threads per rank for the hybrid rows")
+	)
+	flag.Parse()
+
+	if *nbf == 0 {
+		fmt.Println("Memory footprints of the three SCF codes (eqs. 3a-3c; see EXPERIMENTS.md)")
+		fmt.Println()
+		fmt.Print(simulate.FormatTable2(simulate.RunTable2()))
+		return
+	}
+	const gb = float64(1 << 30)
+	mpi := fock.MPIOnlyFootprint(*nbf, *ranks, 0)
+	pr := fock.PrivateFockFootprint(*nbf, *threads, 4, 0)
+	sh := fock.SharedFockFootprint(*nbf, 4, 0)
+	fmt.Printf("N = %d basis functions\n", *nbf)
+	fmt.Printf("  mpi-only     (%3d ranks/node):          %10.2f GB/node\n", *ranks, float64(mpi.PerNodeBytes())/gb)
+	fmt.Printf("  private-fock (4 ranks x %2d threads):    %10.2f GB/node\n", *threads, float64(pr.PerNodeBytes())/gb)
+	fmt.Printf("  shared-fock  (4 ranks):                 %10.2f GB/node\n", float64(sh.PerNodeBytes())/gb)
+	fmt.Printf("  shared-fock FI/FJ buffers:              %10.2f GB/node\n",
+		4*float64(fock.BufferBytes(*nbf, 6, *threads))/gb)
+}

@@ -1,0 +1,126 @@
+// Command scaling regenerates the paper's simulated benchmark artifacts
+// by experiment id:
+//
+//	scaling -exp table2   # memory footprints (Table 2)
+//	scaling -exp table3   # 2.0 nm multi-node scaling (Table 3 / Figure 6)
+//	scaling -exp fig3     # thread affinity sweep (Figure 3)
+//	scaling -exp fig4     # single-node hardware-thread scaling (Figure 4)
+//	scaling -exp fig5     # cluster x memory mode sweep (Figure 5)
+//	scaling -exp fig7     # 5.0 nm on up to 3,000 Theta nodes (Figure 7)
+//	scaling -exp ablation # DLB contention and task-granularity ablations
+//	scaling -exp all
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/simulate"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: table2, table3, fig3, fig4, fig5, fig7, sweep, breakdown, ablation, all")
+	csvDir := flag.String("csv", "", "also write <experiment>.csv files into this directory")
+	flag.Parse()
+
+	pc := simulate.NewProfileCache()
+	writeCSV := func(id, content string) {
+		if *csvDir == "" {
+			return
+		}
+		if err := os.MkdirAll(*csvDir, 0o755); err != nil {
+			check(err)
+		}
+		path := filepath.Join(*csvDir, id+".csv")
+		check(os.WriteFile(path, []byte(content), 0o644))
+		fmt.Printf("wrote %s\n", path)
+	}
+	run := func(id string) {
+		start := time.Now()
+		switch id {
+		case "table2":
+			fmt.Println("== Table 2: per-node memory footprints (model, eqs. 3a-3c) ==")
+			rows := simulate.RunTable2()
+			fmt.Println(simulate.FormatTable2(rows))
+			writeCSV(id, simulate.CSVTable2(rows))
+		case "table3", "fig6":
+			fmt.Println("== Table 3 / Figure 6: 2.0 nm on Theta, 4-512 nodes ==")
+			rows, err := simulate.RunTable3(pc)
+			check(err)
+			fmt.Println(simulate.FormatScaling(rows))
+			writeCSV(id, simulate.CSVScaling(rows))
+		case "fig3":
+			fmt.Println("== Figure 3: thread affinity, shared-Fock, 1.0 nm, 1 node ==")
+			rows, err := simulate.RunFig3(pc)
+			check(err)
+			fmt.Println(simulate.FormatFig3(rows))
+			writeCSV(id, simulate.CSVFig3(rows))
+		case "fig4":
+			fmt.Println("== Figure 4: single-node hardware-thread scaling, 1.0 nm ==")
+			rows, err := simulate.RunFig4(pc)
+			check(err)
+			fmt.Println(simulate.FormatFig4(rows))
+			writeCSV(id, simulate.CSVFig4(rows))
+		case "fig5":
+			fmt.Println("== Figure 5: cluster x memory modes, 0.5 nm and 2.0 nm ==")
+			rows, err := simulate.RunFig5(pc)
+			check(err)
+			fmt.Println(simulate.FormatFig5(rows))
+			writeCSV(id, simulate.CSVFig5(rows))
+		case "fig7":
+			fmt.Println("== Figure 7: shared-Fock, 5.0 nm, 512-3,000 Theta nodes ==")
+			rows, err := simulate.RunFig7(pc)
+			check(err)
+			fmt.Println(simulate.FormatFig7(rows))
+			writeCSV(id, simulate.CSVFig7(rows))
+		case "breakdown":
+			fmt.Println("== Extension: component breakdown, 2.0 nm at 64 and 512 nodes ==")
+			for _, nodes := range []int{64, 512} {
+				rows, err := simulate.RunBreakdown(pc, "2.0nm", nodes)
+				check(err)
+				fmt.Println(simulate.FormatBreakdown(rows))
+			}
+		case "sweep":
+			fmt.Println("== Extension: system sweep at 64 nodes (screening-driven scaling) ==")
+			rows, err := simulate.RunSystemSweep(pc, 64)
+			check(err)
+			fmt.Println(simulate.FormatSweep(rows))
+		case "ablation":
+			fmt.Println("== Ablation: DLB contention coefficient (MPI-only, 512 nodes) ==")
+			rows, err := simulate.RunDLBContentionAblation(pc)
+			check(err)
+			for _, r := range rows {
+				fmt.Printf("  %-20s %8.1f s\n", r.Name, r.TimeSec)
+			}
+			fmt.Println("\n== Ablation: task granularity at 512 nodes (2.0 nm) ==")
+			rows, err = simulate.RunGranularityAblation(pc)
+			check(err)
+			for _, r := range rows {
+				fmt.Printf("  %-45s %8.1f s\n", r.Name, r.TimeSec)
+			}
+			fmt.Println()
+		default:
+			fmt.Fprintf(os.Stderr, "scaling: unknown experiment %q\n", id)
+			os.Exit(2)
+		}
+		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
+	}
+
+	if *exp == "all" {
+		for _, id := range []string{"table2", "table3", "fig3", "fig4", "fig5", "fig7", "sweep", "breakdown", "ablation"} {
+			run(id)
+		}
+		return
+	}
+	run(*exp)
+}
+
+func check(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scaling:", err)
+		os.Exit(1)
+	}
+}

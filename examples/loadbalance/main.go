@@ -1,0 +1,51 @@
+// Loadbalance: compare the work-distribution strategies from the paper
+// and its related work on a synthetic heavy-tailed task distribution —
+// static round-robin (classical), the DDI shared counter (what all three
+// of the paper's algorithms use), and randomized work stealing (Liu,
+// Patel & Chow, IPDPS'14). The task costs mimic a screened Fock build:
+// most tasks cheap, a few very expensive.
+package main
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/loadbalance"
+	"repro/internal/stats"
+)
+
+func main() {
+	const tasks, workers = 5000, 32
+	rng := rand.New(rand.NewSource(7))
+	costs := make([]float64, tasks)
+	total := 0.0
+	for i := range costs {
+		// Lognormal heavy tail: most quartet tasks are cheap, a few are
+		// hundreds of times the median — the shape Schwarz screening
+		// leaves behind.
+		costs[i] = math.Exp(rng.NormFloat64() * 1.6)
+		total += costs[i]
+	}
+	ideal := total / workers
+
+	fmt.Printf("%d tasks, %d workers, ideal makespan %.0f units\n\n", tasks, workers, ideal)
+	fmt.Printf("%-22s %12s %12s %10s\n", "strategy", "makespan", "vs ideal", "imbalance")
+
+	report := func(name string, b loadbalance.Balancer) {
+		finish, busy := loadbalance.Makespan(b, costs, workers)
+		fmt.Printf("%-22s %12.0f %11.2fx %10.3f\n",
+			name, finish, finish/ideal, stats.ImbalanceRatio(busy))
+	}
+	report("static round-robin", loadbalance.NewStatic(tasks, workers))
+	report("dynamic counter", loadbalance.NewCounter(tasks, 1))
+	report("dynamic counter x8", loadbalance.NewCounter(tasks, 8))
+	st, err := loadbalance.NewStealing(tasks, workers, 42)
+	if err != nil {
+		panic(err)
+	}
+	report("work stealing", st)
+	fmt.Printf("\nwork stealing performed %d steals\n", st.Steals())
+	fmt.Println("\nThe DDI counter (used by the paper's Algorithms 1-3) and work")
+	fmt.Println("stealing both flatten the heavy tail that defeats static partitioning.")
+}

@@ -1,0 +1,231 @@
+package basis
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/molecule"
+)
+
+func TestNumCart(t *testing.T) {
+	want := []int{1, 3, 6, 10, 15}
+	for l, w := range want {
+		if NumCart(l) != w {
+			t.Fatalf("NumCart(%d) = %d want %d", l, NumCart(l), w)
+		}
+	}
+}
+
+func TestCartComponentsCountAndSum(t *testing.T) {
+	for l := 0; l <= 5; l++ {
+		comps := CartComponents(l)
+		if len(comps) != NumCart(l) {
+			t.Fatalf("l=%d: %d components", l, len(comps))
+		}
+		seen := map[[3]int]bool{}
+		for _, c := range comps {
+			if c[0]+c[1]+c[2] != l {
+				t.Fatalf("l=%d: component %v sums to %d", l, c, c[0]+c[1]+c[2])
+			}
+			if seen[c] {
+				t.Fatalf("l=%d: duplicate component %v", l, c)
+			}
+			seen[c] = true
+		}
+	}
+}
+
+func TestCartComponentsGAMESSOrder(t *testing.T) {
+	d := CartComponents(2)
+	want := [][3]int{{2, 0, 0}, {0, 2, 0}, {0, 0, 2}, {1, 1, 0}, {1, 0, 1}, {0, 1, 1}}
+	for i := range want {
+		if d[i] != want[i] {
+			t.Fatalf("d ordering: got %v want %v", d, want)
+		}
+	}
+}
+
+func TestDoubleFactorial(t *testing.T) {
+	cases := map[int]float64{0: 1, 1: 1, 2: 3, 3: 15, 4: 105}
+	for n, w := range cases {
+		if DoubleFactorial(n) != w {
+			t.Fatalf("(2*%d-1)!! = %v want %v", n, DoubleFactorial(n), w)
+		}
+	}
+}
+
+func TestCartNormFactor(t *testing.T) {
+	if CartNormFactor(2, 0, 0) != 1 {
+		t.Fatal("axial d factor should be 1")
+	}
+	if math.Abs(CartNormFactor(1, 1, 0)-math.Sqrt(3)) > 1e-15 {
+		t.Fatalf("dxy factor = %v", CartNormFactor(1, 1, 0))
+	}
+	if math.Abs(CartNormFactor(1, 1, 1)-math.Sqrt(15)) > 1e-14 {
+		t.Fatalf("fxyz factor = %v", CartNormFactor(1, 1, 1))
+	}
+}
+
+func TestBuildWaterSTO3G(t *testing.T) {
+	b, err := Build(molecule.Water(), "STO-3G")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// O: 1s + L(2s2p) = 2 shells, 1+4 = 5 BFs; H: 1 shell, 1 BF each.
+	if b.NumShells() != 4 {
+		t.Fatalf("shells = %d", b.NumShells())
+	}
+	if b.NumBF != 7 {
+		t.Fatalf("NumBF = %d", b.NumBF)
+	}
+	if b.MaxL() != 1 {
+		t.Fatalf("MaxL = %d", b.MaxL())
+	}
+}
+
+func TestBuildCarbon631Gd(t *testing.T) {
+	m := &molecule.Molecule{Name: "C"}
+	m.AddAtomAngstrom("C", 0, 0, 0)
+	b, err := Build(m, "6-31G(d)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Paper Table 4: 4 shells and 15 BFs per carbon.
+	if b.NumShells() != 4 {
+		t.Fatalf("C 6-31G(d) shells = %d want 4", b.NumShells())
+	}
+	if b.NumBF != 15 {
+		t.Fatalf("C 6-31G(d) BFs = %d want 15", b.NumBF)
+	}
+	if b.MaxL() != 2 {
+		t.Fatalf("MaxL = %d", b.MaxL())
+	}
+	if b.ShellSizeMax() != 6 {
+		t.Fatalf("ShellSizeMax = %d want 6 (cartesian d)", b.ShellSizeMax())
+	}
+}
+
+func TestBuildOffsetsContiguous(t *testing.T) {
+	b, err := Build(molecule.Methane(), "6-31g")
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := 0
+	for i := range b.Shells {
+		if b.Shells[i].BFOffset != off {
+			t.Fatalf("shell %d offset = %d want %d", i, b.Shells[i].BFOffset, off)
+		}
+		off += b.Shells[i].NumFuncs()
+	}
+	if off != b.NumBF {
+		t.Fatalf("total offsets %d != NumBF %d", off, b.NumBF)
+	}
+}
+
+func TestBuildErrors(t *testing.T) {
+	if _, err := Build(molecule.Water(), "cc-pVDZ"); err == nil {
+		t.Fatal("expected unknown basis error")
+	}
+	m := &molecule.Molecule{}
+	m.AddAtomAngstrom("Cl", 0, 0, 0)
+	if _, err := Build(m, "sto-3g"); err == nil {
+		t.Fatal("expected missing-element error")
+	}
+}
+
+func TestLShellStructure(t *testing.T) {
+	m := &molecule.Molecule{Name: "C"}
+	m.AddAtomAngstrom("C", 0, 0, 0)
+	b, _ := Build(m, "sto-3g")
+	l := b.Shells[1]
+	if len(l.Moments) != 2 || l.Moments[0] != S || l.Moments[1] != P {
+		t.Fatalf("second carbon shell should be L (SP): %v", l.Moments)
+	}
+	if l.NumFuncs() != 4 {
+		t.Fatalf("L shell BFs = %d want 4", l.NumFuncs())
+	}
+	if len(l.Coefs) != 2 || len(l.Coefs[0]) != len(l.Exps) {
+		t.Fatal("L shell coefficient layout wrong")
+	}
+}
+
+// TestNormalizationSelfOverlap verifies through the normalization math
+// itself: after normalize(), the contracted axial self-overlap must be 1.
+func TestNormalizationSelfOverlap(t *testing.T) {
+	b, _ := Build(molecule.Water(), "6-31g")
+	for si, sh := range b.Shells {
+		for mi, l := range sh.Moments {
+			self := 0.0
+			for p, ap := range sh.Exps {
+				for q, aq := range sh.Exps {
+					g := ap + aq
+					ov := DoubleFactorial(l) / math.Pow(2*g, float64(l)) *
+						math.Pow(math.Pi/g, 1.5)
+					self += sh.Coefs[mi][p] * sh.Coefs[mi][q] * ov
+				}
+			}
+			if math.Abs(self-1) > 1e-12 {
+				t.Fatalf("shell %d moment %d self-overlap = %v", si, l, self)
+			}
+		}
+	}
+}
+
+func TestBuildIsolatedCopies(t *testing.T) {
+	// Build twice and mutate one; the library tables must not be shared.
+	m := &molecule.Molecule{Name: "C"}
+	m.AddAtomAngstrom("C", 0, 0, 0)
+	b1, _ := Build(m, "sto-3g")
+	orig := b1.Shells[0].Coefs[0][0]
+	b1.Shells[0].Coefs[0][0] = 999
+	b2, _ := Build(m, "sto-3g")
+	if b2.Shells[0].Coefs[0][0] == 999 {
+		t.Fatal("Build shares coefficient storage across calls")
+	}
+	if math.Abs(b2.Shells[0].Coefs[0][0]-orig) > 1e-15 {
+		t.Fatal("coefficients differ between identical builds")
+	}
+}
+
+func TestBFLabels(t *testing.T) {
+	b, _ := Build(molecule.Water(), "sto-3g")
+	labels := b.BFLabels()
+	if len(labels) != b.NumBF {
+		t.Fatalf("%d labels for %d BFs", len(labels), b.NumBF)
+	}
+	if labels[0] != "O1 s" {
+		t.Fatalf("first label = %q", labels[0])
+	}
+	if labels[2] != "O1 px" {
+		t.Fatalf("third label = %q", labels[2])
+	}
+}
+
+func TestCartNormFactorQuickPositive(t *testing.T) {
+	f := func(a, b, c uint8) bool {
+		lx, ly, lz := int(a%4), int(b%4), int(c%4)
+		return CartNormFactor(lx, ly, lz) >= 1.0-1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGrapheneBasisMatchesTable4(t *testing.T) {
+	// EXP-T4 at the basis level: shells and BFs for the 0.5 nm system.
+	mol, err := molecule.PaperSystem("0.5nm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build(mol, "6-31g(d)")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.NumShells() != 176 {
+		t.Fatalf("0.5nm shells = %d want 176", b.NumShells())
+	}
+	if b.NumBF != 660 {
+		t.Fatalf("0.5nm BFs = %d want 660", b.NumBF)
+	}
+}

@@ -1,0 +1,127 @@
+package basis
+
+import "strings"
+
+// shellSpec is one shell of a tabulated basis set: which angular momenta it
+// carries, the shared primitive exponents, and the raw (unnormalized)
+// contraction coefficients per moment.
+type shellSpec struct {
+	moments []int
+	exps    []float64
+	coefs   [][]float64
+}
+
+func normalizeName(name string) string {
+	return strings.ToLower(strings.TrimSpace(name))
+}
+
+// libraries holds the built-in basis set data. Coefficients are the
+// standard published values (EMSL basis set exchange); tiny transcription
+// deviations would only shift total energies marginally and are covered by
+// the windowed energy tests rather than exact literature comparisons.
+var libraries = map[string]map[string][]shellSpec{
+	"sto-3g":   sto3g,
+	"6-31g":    pople631g(false),
+	"6-31g(d)": pople631g(true),
+}
+
+// --- STO-3G ---
+
+// STO-3G shares the same contraction coefficients for every element; only
+// the exponents are scaled.
+var (
+	sto3gS1Coef = []float64{0.15432897, 0.53532814, 0.44463454}
+	sto3gS2Coef = []float64{-0.09996723, 0.39951283, 0.70011547}
+	sto3gP2Coef = []float64{0.15591627, 0.60768372, 0.39195739}
+)
+
+var sto3g = map[string][]shellSpec{
+	"H": {
+		{moments: []int{S}, exps: []float64{3.42525091, 0.62391373, 0.16885540},
+			coefs: [][]float64{sto3gS1Coef}},
+	},
+	"He": {
+		{moments: []int{S}, exps: []float64{6.36242139, 1.15892300, 0.31364979},
+			coefs: [][]float64{sto3gS1Coef}},
+	},
+	"C": {
+		{moments: []int{S}, exps: []float64{71.61683735, 13.04509632, 3.53051216},
+			coefs: [][]float64{sto3gS1Coef}},
+		{moments: []int{S, P}, exps: []float64{2.94124940, 0.68348310, 0.22228990},
+			coefs: [][]float64{sto3gS2Coef, sto3gP2Coef}},
+	},
+	"N": {
+		{moments: []int{S}, exps: []float64{99.10616896, 18.05231239, 4.88566024},
+			coefs: [][]float64{sto3gS1Coef}},
+		{moments: []int{S, P}, exps: []float64{3.78045590, 0.87849664, 0.28571437},
+			coefs: [][]float64{sto3gS2Coef, sto3gP2Coef}},
+	},
+	"O": {
+		{moments: []int{S}, exps: []float64{130.70932140, 23.80886605, 6.44360831},
+			coefs: [][]float64{sto3gS1Coef}},
+		{moments: []int{S, P}, exps: []float64{5.03315132, 1.16959612, 0.38038896},
+			coefs: [][]float64{sto3gS2Coef, sto3gP2Coef}},
+	},
+}
+
+// --- 6-31G and 6-31G(d) ---
+
+// pople631g assembles the 6-31G family. With polarization=true a single
+// cartesian d shell (exponent 0.8) is added on C, N, O — that is 6-31G(d),
+// the basis of every benchmark in the paper. Hydrogens stay unpolarized
+// (6-31G(d,p) would add p on H; the paper uses 6-31G(d)).
+func pople631g(polarization bool) map[string][]shellSpec {
+	lib := map[string][]shellSpec{
+		"H": {
+			{moments: []int{S}, exps: []float64{18.73113700, 2.82539370, 0.64012170},
+				coefs: [][]float64{{0.03349460, 0.23472695, 0.81375733}}},
+			{moments: []int{S}, exps: []float64{0.16127780},
+				coefs: [][]float64{{1.0}}},
+		},
+		"C": {
+			{moments: []int{S},
+				exps:  []float64{3047.52490, 457.36951, 103.94869, 29.21015500, 9.28666300, 3.16392700},
+				coefs: [][]float64{{0.00183470, 0.01403730, 0.06884260, 0.23218440, 0.46794130, 0.36231200}}},
+			{moments: []int{S, P},
+				exps: []float64{7.86827240, 1.88128850, 0.54424930},
+				coefs: [][]float64{
+					{-0.11933240, -0.16085420, 1.14345640},
+					{0.06899910, 0.31642400, 0.74430830}}},
+			{moments: []int{S, P}, exps: []float64{0.16871440},
+				coefs: [][]float64{{1.0}, {1.0}}},
+		},
+		"N": {
+			{moments: []int{S},
+				exps:  []float64{4173.51100, 627.45790, 142.90210, 40.23433000, 12.82021000, 3.93586600},
+				coefs: [][]float64{{0.00183480, 0.01399500, 0.06858700, 0.23224100, 0.46907000, 0.36045500}}},
+			{moments: []int{S, P},
+				exps: []float64{11.62635800, 2.71628000, 0.77221800},
+				coefs: [][]float64{
+					{-0.11496100, -0.16911800, 1.14585200},
+					{0.06758000, 0.32390700, 0.74089500}}},
+			{moments: []int{S, P}, exps: []float64{0.21203130},
+				coefs: [][]float64{{1.0}, {1.0}}},
+		},
+		"O": {
+			{moments: []int{S},
+				exps:  []float64{5484.67170, 825.23495, 188.04696, 52.96450000, 16.89757000, 5.79963530},
+				coefs: [][]float64{{0.00183110, 0.01395010, 0.06844510, 0.23271430, 0.47019300, 0.35852090}}},
+			{moments: []int{S, P},
+				exps: []float64{15.53961600, 3.59993360, 1.01376180},
+				coefs: [][]float64{
+					{-0.11077750, -0.14802630, 1.13076700},
+					{0.07087430, 0.33975280, 0.72715860}}},
+			{moments: []int{S, P}, exps: []float64{0.27000580},
+				coefs: [][]float64{{1.0}, {1.0}}},
+		},
+	}
+	if polarization {
+		dExp := map[string]float64{"C": 0.8, "N": 0.8, "O": 0.8}
+		for el, e := range dExp {
+			lib[el] = append(lib[el], shellSpec{
+				moments: []int{D}, exps: []float64{e}, coefs: [][]float64{{1.0}},
+			})
+		}
+	}
+	return lib
+}

@@ -1,0 +1,58 @@
+package basis
+
+// First-row elements beyond H/C/N/O, completing STO-3G coverage of
+// Li through Ne (and fluorine for the 6-31G family). Values are the
+// standard published exponents; the shared STO-3G contraction
+// coefficients live in data.go.
+
+func init() {
+	sto3g["Li"] = []shellSpec{
+		{moments: []int{S}, exps: []float64{16.11957475, 2.936200663, 0.794650487},
+			coefs: [][]float64{sto3gS1Coef}},
+		{moments: []int{S, P}, exps: []float64{0.6362897469, 0.1478600533, 0.0480886784},
+			coefs: [][]float64{sto3gS2Coef, sto3gP2Coef}},
+	}
+	sto3g["Be"] = []shellSpec{
+		{moments: []int{S}, exps: []float64{30.16787069, 5.495115306, 1.487192653},
+			coefs: [][]float64{sto3gS1Coef}},
+		{moments: []int{S, P}, exps: []float64{1.314833110, 0.3055389383, 0.0993707456},
+			coefs: [][]float64{sto3gS2Coef, sto3gP2Coef}},
+	}
+	sto3g["B"] = []shellSpec{
+		{moments: []int{S}, exps: []float64{48.79111318, 8.887362172, 2.405267040},
+			coefs: [][]float64{sto3gS1Coef}},
+		{moments: []int{S, P}, exps: []float64{2.236956142, 0.5198204999, 0.1690617600},
+			coefs: [][]float64{sto3gS2Coef, sto3gP2Coef}},
+	}
+	sto3g["F"] = []shellSpec{
+		{moments: []int{S}, exps: []float64{166.6791340, 30.36081233, 8.216820672},
+			coefs: [][]float64{sto3gS1Coef}},
+		{moments: []int{S, P}, exps: []float64{6.464803249, 1.502281245, 0.4885884864},
+			coefs: [][]float64{sto3gS2Coef, sto3gP2Coef}},
+	}
+	sto3g["Ne"] = []shellSpec{
+		{moments: []int{S}, exps: []float64{207.0156100, 37.70815124, 10.20529731},
+			coefs: [][]float64{sto3gS1Coef}},
+		{moments: []int{S, P}, exps: []float64{8.246315120, 1.916266291, 0.6232292721},
+			coefs: [][]float64{sto3gS2Coef, sto3gP2Coef}},
+	}
+	// Fluorine for the 6-31G family (the polarization d is attached by
+	// pople631g's caller at registration time below).
+	fluorine := []shellSpec{
+		{moments: []int{S},
+			exps:  []float64{7001.713090, 1051.366090, 239.2856900, 67.39744530, 21.51995730, 7.403101300},
+			coefs: [][]float64{{0.00181962, 0.01391608, 0.06840532, 0.23318576, 0.47126744, 0.35661855}}},
+		{moments: []int{S, P},
+			exps: []float64{20.84795280, 4.808308340, 1.344069860},
+			coefs: [][]float64{
+				{-0.10850698, -0.14645166, 1.12868860},
+				{0.07162872, 0.34591210, 0.72246996}}},
+		{moments: []int{S, P}, exps: []float64{0.3581513930},
+			coefs: [][]float64{{1.0}, {1.0}}},
+	}
+	libraries["6-31g"]["F"] = fluorine
+	withD := append(append([]shellSpec(nil), fluorine...), shellSpec{
+		moments: []int{D}, exps: []float64{0.8}, coefs: [][]float64{{1.0}},
+	})
+	libraries["6-31g(d)"]["F"] = withD
+}

@@ -1,0 +1,246 @@
+// Package fock implements the paper's core contribution: construction of
+// the two-electron Fock matrix from ERIs under Cauchy-Schwarz screening,
+// in four variants sharing one quartet-distribution kernel:
+//
+//   - Serial reference
+//   - Algorithm 1: MPI-only (stock GAMESS) — everything replicated per rank
+//   - Algorithm 2: hybrid, shared density / thread-private Fock
+//   - Algorithm 3: hybrid, shared density / shared Fock with per-thread
+//     FI/FJ column buffers and chunked flush reductions
+//
+// All variants accumulate contributions into the LOWER triangle only
+// (each symmetry-unique contribution is written exactly once at its
+// canonical (max, min) location, mirroring GAMESS's triangular storage);
+// Finalize unfolds the triangle into the symmetric dense matrix.
+package fock
+
+import (
+	"math"
+
+	"repro/internal/basis"
+	"repro/internal/integrals"
+	"repro/internal/linalg"
+	"repro/internal/omp"
+)
+
+// DefaultTau is the Schwarz screening threshold used by the paper-scale
+// workloads (GAMESS's default integral cutoff is 1e-9; a tighter value
+// keeps the small-molecule validation exact).
+const DefaultTau = 1e-10
+
+// Config controls a parallel Fock build.
+type Config struct {
+	// Tau is the Schwarz screening threshold; 0 means DefaultTau.
+	Tau float64
+	// Threads is the OpenMP team width per MPI rank (hybrid builds);
+	// 0 means 1.
+	Threads int
+	// Schedule is the inner OpenMP loop schedule; the zero value means the
+	// paper's schedule(dynamic,1).
+	Schedule omp.Schedule
+	// Quartets optionally overrides the ERI source (e.g. an
+	// integrals.PairCache with precomputed shell-pair data); nil means
+	// direct evaluation through the engine.
+	Quartets integrals.QuartetSource
+}
+
+func (c Config) tau() float64 {
+	if c.Tau == 0 {
+		return DefaultTau
+	}
+	return c.Tau
+}
+
+func (c Config) threads() int {
+	if c.Threads <= 0 {
+		return 1
+	}
+	return c.Threads
+}
+
+func (c Config) source(eng *integrals.Engine) integrals.QuartetSource {
+	if c.Quartets != nil {
+		return c.Quartets
+	}
+	return eng
+}
+
+func (c Config) schedule() omp.Schedule {
+	if c.Schedule == (omp.Schedule{}) {
+		return omp.Schedule{Kind: omp.Dynamic, Chunk: 1}
+	}
+	return c.Schedule
+}
+
+// Stats counts what a build did; the discrete-event simulator is
+// calibrated against these counters.
+type Stats struct {
+	QuartetsComputed int64 // shell quartets whose ERIs were evaluated
+	QuartetsScreened int64 // shell quartets skipped by Schwarz screening
+	PairsSkipped     int64 // whole ij iterations skipped by prescreening
+	DLBGrabs         int64 // dynamic load balancer fetches
+	Flushes          int64 // FI/FJ buffer flushes (shared-Fock only)
+}
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.QuartetsComputed += other.QuartetsComputed
+	s.QuartetsScreened += other.QuartetsScreened
+	s.PairsSkipped += other.PairsSkipped
+	s.DLBGrabs += other.DLBGrabs
+	s.Flushes += other.Flushes
+}
+
+// PairIndex maps i >= j to the canonical combined pair index, the "ij"
+// of Algorithms 1 and 3.
+func PairIndex(i, j int) int { return i*(i+1)/2 + j }
+
+// PairDecode inverts PairIndex.
+func PairDecode(ij int) (i, j int) {
+	i = int((math.Sqrt(float64(8*ij+1)) - 1) / 2)
+	// Guard against floating point at block boundaries.
+	for PairIndex(i+1, 0) <= ij {
+		i++
+	}
+	for PairIndex(i, 0) > ij {
+		i--
+	}
+	return i, ij - PairIndex(i, 0)
+}
+
+// NumPairs returns the number of canonical shell pairs for n shells.
+func NumPairs(n int) int { return n * (n + 1) / 2 }
+
+// Update roles: which of the paper's six Fock updates (eqs. 2a-2f) a
+// contribution implements. The shared-Fock algorithm routes by role.
+const (
+	roleAB = iota // F_ij += (ij|kl) D_kl
+	roleCD        // F_kl += (ij|kl) D_ij
+	roleAC        // F_ik -= (ij|kl) D_jl / 2 (exchange)
+	roleBD        // F_jl -= ...
+	roleAD        // F_il -= ...
+	roleBC        // F_jk -= ...
+)
+
+// applyQuartet distributes one symmetry-unique shell quartet's ERI block
+// into Fock contributions, ignoring roles; used by the replicated-Fock
+// variants. update must add v at the unordered index pair {x, y}.
+func applyQuartet(d *linalg.Matrix, blk []float64, shells []basis.Shell,
+	i, j, k, l int, update func(x, y int, v float64)) {
+	applyQuartet6(d, blk, shells, i, j, k, l,
+		func(_ int, x, y int, v float64) { update(x, y, v) })
+}
+
+// applyQuartet6 distributes one symmetry-unique shell quartet's ERI block
+// into Fock contributions. blk is the (i j | k l) block from
+// Engine.ShellQuartet. For every canonical basis-function quartet it emits
+// the paper's six updates (eqs. 2a-2f) through update(role, x, y, v),
+// where v already includes the density factor and symmetry weight.
+// For roles AB/AC/AD, x is the basis function in shell i; for roles
+// BD/BC, x is the basis function in shell j; for role CD, x is in shell k
+// and x >= y always holds. For the other roles y may exceed x when shells
+// coincide across the bra/ket boundary; sinks must canonicalize.
+func applyQuartet6(d *linalg.Matrix, blk []float64, shells []basis.Shell,
+	i, j, k, l int, update func(role, x, y int, v float64)) {
+	si, sj, sk, sl := &shells[i], &shells[j], &shells[k], &shells[l]
+	ni, nj := si.NumFuncs(), sj.NumFuncs()
+	nk, nl := sk.NumFuncs(), sl.NumFuncs()
+	oi, oj, ok, ol := si.BFOffset, sj.BFOffset, sk.BFOffset, sl.BFOffset
+	idx := 0
+	for fa := 0; fa < ni; fa++ {
+		a := oi + fa
+		for fb := 0; fb < nj; fb++ {
+			b := oj + fb
+			for fc := 0; fc < nk; fc++ {
+				c := ok + fc
+				for fd := 0; fd < nl; fd++ {
+					dd := ol + fd
+					val := blk[idx]
+					idx++
+					// Deduplicate only the symmetry images that fall INSIDE
+					// this block, i.e. when shells coincide. (A global
+					// canonical-BF filter would drop quartets whose BF pair
+					// ordering disagrees with the shell pair ordering, e.g.
+					// (aa|ca) blocks with c > a on shared centers.)
+					if i == j && b > a {
+						continue
+					}
+					if k == l && dd > c {
+						continue
+					}
+					pab, pcd := PairIndex(a, b), PairIndex(c, dd)
+					if i == k && j == l && pcd > pab {
+						continue
+					}
+					if val == 0 {
+						continue
+					}
+					s := 1.0
+					if a == b {
+						s *= 0.5
+					}
+					if c == dd {
+						s *= 0.5
+					}
+					if pab == pcd {
+						s *= 0.5
+					}
+					// With s = 1/|stabilizer|, summing the true
+					// contributions of all eight symmetry images of the
+					// quartet gives, per target SLOT: Coulomb 2 s I D and
+					// exchange -s I D / 2 for off-diagonal slots; a
+					// diagonal slot (x == y) absorbs both mirror images
+					// and receives twice that.
+					v := s * val
+					diag := func(x, y int, w float64) float64 {
+						if x == y {
+							return 2 * w
+						}
+						return w
+					}
+					// Coulomb (eqs. 2a, 2b)
+					update(roleAB, a, b, diag(a, b, 2*v*d.At(c, dd)))
+					update(roleCD, c, dd, diag(c, dd, 2*v*d.At(a, b)))
+					// Exchange (eqs. 2c-2f)
+					update(roleAC, a, c, diag(a, c, -0.5*v*d.At(b, dd)))
+					update(roleBD, b, dd, diag(b, dd, -0.5*v*d.At(a, c)))
+					update(roleAD, a, dd, diag(a, dd, -0.5*v*d.At(b, c)))
+					update(roleBC, b, c, diag(b, c, -0.5*v*d.At(a, dd)))
+				}
+			}
+		}
+	}
+}
+
+// addLower writes v at the canonical lower-triangle location of {x, y}.
+func addLower(m *linalg.Matrix, x, y int, v float64) {
+	if x < y {
+		x, y = y, x
+	}
+	m.Add(x, y, v)
+}
+
+// Finalize unfolds a lower-triangle accumulator into a full symmetric
+// matrix, in place.
+func Finalize(acc *linalg.Matrix) {
+	for r := 0; r < acc.Rows; r++ {
+		for c := 0; c < r; c++ {
+			acc.Set(c, r, acc.At(r, c))
+		}
+	}
+}
+
+// quartetLoopBounds reports lmax for the canonical quartet enumeration at
+// (i, j, k): l runs over [0, lmax]. (Algorithm 1 line 5; the Algorithm 2
+// listing transposes the two branches — a typo in the paper — the
+// canonical bound is j when k == i, else k.)
+func quartetLoopBounds(i, j, k int) int {
+	if k == i {
+		return j
+	}
+	return k
+}
+
+// FullUpdateCount returns how many basis-function update operations a
+// build performs, for documentation and simulator calibration.
+func FullUpdateCount(s Stats) int64 { return s.QuartetsComputed * 6 }

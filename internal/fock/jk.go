@@ -1,0 +1,77 @@
+package fock
+
+import (
+	"repro/internal/basis"
+	"repro/internal/integrals"
+	"repro/internal/linalg"
+)
+
+// SerialBuildJK constructs the Coulomb matrix J contracted with dj and
+// the (full, un-halved) exchange matrix K contracted with dk in a single
+// pass over the symmetry-unique screened quartets:
+//
+//	J_ab = sum_cd dj_cd (ab|cd)        K_ab = sum_cd dk_cd (ac|bd)
+//
+// The restricted builders fold these as G = J(D) - K(D)/2; unrestricted
+// Hartree-Fock needs them separately (F_sigma = H + J(D_total) -
+// K(D_sigma)), which is why the paper's conclusion lists UHF among the
+// methods that inherit this work's parallel structure directly.
+func SerialBuildJK(eng *integrals.Engine, sch *integrals.Schwarz,
+	dj, dk *linalg.Matrix, tau float64) (j, k *linalg.Matrix, stats Stats) {
+	n := eng.Basis.NumBF
+	shells := eng.Basis.Shells
+	ns := len(shells)
+	jAcc := linalg.NewSquare(n)
+	kAcc := linalg.NewSquare(n)
+	var buf []float64
+	for i := 0; i < ns; i++ {
+		for jj := 0; jj <= i; jj++ {
+			for kk := 0; kk <= i; kk++ {
+				lmax := quartetLoopBounds(i, jj, kk)
+				for l := 0; l <= lmax; l++ {
+					if sch.Screened(i, jj, kk, l, tau) {
+						stats.QuartetsScreened++
+						continue
+					}
+					stats.QuartetsComputed++
+					buf = eng.ShellQuartet(i, jj, kk, l, buf)
+					applyQuartetJK(dj, dk, buf, shells, i, jj, kk, l, jAcc, kAcc)
+				}
+			}
+		}
+	}
+	Finalize(jAcc)
+	Finalize(kAcc)
+	return jAcc, kAcc, stats
+}
+
+// applyQuartetJK routes the six per-quartet updates into separate J and K
+// accumulators. The combined kernel applies G-updates with Coulomb weight
+// 2sI*D and exchange weight -sI*D/2; here the Coulomb roles carry the
+// same 2sI*dj and the exchange roles carry +sI*dk (full K, positive — the
+// caller subtracts).
+func applyQuartetJK(dj, dk *linalg.Matrix, blk []float64, shells []basis.Shell,
+	i, j, k, l int, jAcc, kAcc *linalg.Matrix) {
+	// Coulomb pass with dj: keep only the AB/CD roles (the kernel's
+	// exchange values would carry dj, the wrong density for K).
+	applyQuartet6(dj, blk, shells, i, j, k, l, func(role, x, y int, v float64) {
+		if role == roleAB || role == roleCD {
+			addLower(jAcc, x, y, v) // already 2 s I dj (diag-doubled)
+		}
+	})
+	kExchange(dk, blk, shells, i, j, k, l, kAcc)
+}
+
+// kExchange applies only the exchange updates with density dk and weight
+// +s I dk (full K).
+func kExchange(dk *linalg.Matrix, blk []float64, shells []basis.Shell,
+	i, j, k, l int, kAcc *linalg.Matrix) {
+	applyQuartet6(dk, blk, shells, i, j, k, l, func(role, x, y int, v float64) {
+		switch role {
+		case roleAC, roleBD, roleAD, roleBC:
+			// v carries the combined kernel's -s I dk / 2; scale to +2 for
+			// the full (un-halved) exchange matrix.
+			addLower(kAcc, x, y, -2*v)
+		}
+	})
+}

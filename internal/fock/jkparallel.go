@@ -1,0 +1,392 @@
+package fock
+
+import (
+	"repro/internal/basis"
+	"repro/internal/ddi"
+	"repro/internal/integrals"
+	"repro/internal/linalg"
+	"repro/internal/omp"
+)
+
+// Parallel J/K-split builders: the unrestricted analogues of the paper's
+// Algorithms 1-3. One sweep over the symmetry-unique screened quartets
+// produces the Coulomb matrix J(dj) and TWO exchange matrices K(dka),
+// K(dkb) — exactly what one UHF iteration needs (dj = total density,
+// dka/dkb = spin densities). The paper's conclusion claims its
+// parallelization carries over to UHF unchanged; these builders make the
+// claim concrete: the task spaces, DLB, buffers, and flush protocol are
+// identical, only the per-quartet update list grows.
+
+// jkUpdate routes one quartet's updates into J and K sinks. Weights
+// follow applyQuartet6 semantics: Coulomb slots receive 2 s I dj
+// (diag-doubled) and exchange slots +s I dk (diag-doubled, full K).
+func jkUpdate(dj, dka, dkb *linalg.Matrix, blk []float64, shells []basis.Shell,
+	i, j, k, l int,
+	coulomb func(x, y int, v float64),
+	exchangeA func(x, y int, v float64),
+	exchangeB func(x, y int, v float64)) {
+	applyQuartet6(dj, blk, shells, i, j, k, l, func(role, x, y int, v float64) {
+		if role == roleAB || role == roleCD {
+			coulomb(x, y, v)
+		}
+	})
+	applyQuartet6(dka, blk, shells, i, j, k, l, func(role, x, y int, v float64) {
+		if role != roleAB && role != roleCD {
+			exchangeA(x, y, -2*v)
+		}
+	})
+	if dkb != nil {
+		applyQuartet6(dkb, blk, shells, i, j, k, l, func(role, x, y int, v float64) {
+			if role != roleAB && role != roleCD {
+				exchangeB(x, y, -2*v)
+			}
+		})
+	}
+}
+
+// JKResult bundles one build's outputs. KB is nil when dkb was nil.
+type JKResult struct {
+	J, KA, KB *linalg.Matrix
+	Stats     Stats
+}
+
+// MPIOnlyBuildJK is Algorithm 1 generalized to the J/K split.
+func MPIOnlyBuildJK(dx *ddi.Context, eng *integrals.Engine, sch *integrals.Schwarz,
+	dj, dka, dkb *linalg.Matrix, cfg Config) JKResult {
+	n := eng.Basis.NumBF
+	shells := eng.Basis.Shells
+	ns := len(shells)
+	tau := cfg.tau()
+	src := cfg.source(eng)
+	jAcc := linalg.NewSquare(n)
+	kaAcc := linalg.NewSquare(n)
+	var kbAcc *linalg.Matrix
+	if dkb != nil {
+		kbAcc = linalg.NewSquare(n)
+	}
+	var stats Stats
+
+	dx.DLBReset()
+	next := dx.DLBNext()
+	stats.DLBGrabs++
+	var buf []float64
+	ij := int64(0)
+	for i := 0; i < ns; i++ {
+		for j := 0; j <= i; j++ {
+			if ij != next {
+				ij++
+				continue
+			}
+			ij++
+			next = dx.DLBNext()
+			stats.DLBGrabs++
+			for k := 0; k <= i; k++ {
+				lmax := quartetLoopBounds(i, j, k)
+				for l := 0; l <= lmax; l++ {
+					if sch.Screened(i, j, k, l, tau) {
+						stats.QuartetsScreened++
+						continue
+					}
+					stats.QuartetsComputed++
+					buf = src.ShellQuartet(i, j, k, l, buf)
+					jkUpdate(dj, dka, dkb, buf, shells, i, j, k, l,
+						func(x, y int, v float64) { addLower(jAcc, x, y, v) },
+						func(x, y int, v float64) { addLower(kaAcc, x, y, v) },
+						func(x, y int, v float64) { addLower(kbAcc, x, y, v) })
+				}
+			}
+		}
+	}
+	dx.GSumF(jAcc.Data)
+	dx.GSumF(kaAcc.Data)
+	Finalize(jAcc)
+	Finalize(kaAcc)
+	if kbAcc != nil {
+		dx.GSumF(kbAcc.Data)
+		Finalize(kbAcc)
+	}
+	return JKResult{J: jAcc, KA: kaAcc, KB: kbAcc, Stats: stats}
+}
+
+// PrivateFockBuildJK is Algorithm 2 generalized to the J/K split: each
+// thread keeps private J/K accumulators, reduced over threads then ranks.
+func PrivateFockBuildJK(dx *ddi.Context, eng *integrals.Engine, sch *integrals.Schwarz,
+	dj, dka, dkb *linalg.Matrix, cfg Config) JKResult {
+	n := eng.Basis.NumBF
+	shells := eng.Basis.Shells
+	ns := len(shells)
+	tau := cfg.tau()
+	nthreads := cfg.threads()
+	sched := cfg.schedule()
+
+	src := cfg.source(eng)
+	nmats := 2
+	if dkb != nil {
+		nmats = 3
+	}
+	priv := make([][]*linalg.Matrix, nthreads) // [thread][J,KA,KB]
+	for t := range priv {
+		priv[t] = make([]*linalg.Matrix, nmats)
+		for m := range priv[t] {
+			priv[t][m] = linalg.NewSquare(n)
+		}
+	}
+	threadStats := make([]Stats, nthreads)
+
+	dx.DLBReset()
+	team := omp.NewTeam(nthreads)
+	var iShared int64
+	team.Parallel(func(tc *omp.Context) {
+		me := tc.ThreadID()
+		st := &threadStats[me]
+		jAcc, kaAcc := priv[me][0], priv[me][1]
+		var kbAcc *linalg.Matrix
+		if nmats == 3 {
+			kbAcc = priv[me][2]
+		}
+		var buf []float64
+		for {
+			tc.Master(func() {
+				iShared = dx.DLBNext()
+				st.DLBGrabs++
+			})
+			tc.Barrier()
+			i := int(iShared)
+			tc.Barrier()
+			if i >= ns {
+				break
+			}
+			tc.Collapse2(i+1, i+1, sched, func(j, k int) {
+				lmax := quartetLoopBounds(i, j, k)
+				for l := 0; l <= lmax; l++ {
+					if sch.Screened(i, j, k, l, tau) {
+						st.QuartetsScreened++
+						continue
+					}
+					st.QuartetsComputed++
+					buf = src.ShellQuartet(i, j, k, l, buf)
+					jkUpdate(dj, dka, dkb, buf, shells, i, j, k, l,
+						func(x, y int, v float64) { addLower(jAcc, x, y, v) },
+						func(x, y int, v float64) { addLower(kaAcc, x, y, v) },
+						func(x, y int, v float64) { addLower(kbAcc, x, y, v) })
+				}
+			})
+		}
+		// Reduce thread replicas into thread 0's copies.
+		if nthreads > 1 {
+			for m := 0; m < nmats; m++ {
+				others := make([][]float64, 0, nthreads-1)
+				for t := 1; t < nthreads; t++ {
+					others = append(others, priv[t][m].Data)
+				}
+				tc.ReduceChunked(priv[0][m].Data, others)
+				tc.Barrier()
+			}
+		}
+	})
+	var stats Stats
+	for t := range threadStats {
+		stats.Add(threadStats[t])
+	}
+	res := JKResult{J: priv[0][0], KA: priv[0][1], Stats: stats}
+	dx.GSumF(res.J.Data)
+	dx.GSumF(res.KA.Data)
+	Finalize(res.J)
+	Finalize(res.KA)
+	if nmats == 3 {
+		res.KB = priv[0][2]
+		dx.GSumF(res.KB.Data)
+		Finalize(res.KB)
+	}
+	return res
+}
+
+// SharedFockBuildJK is Algorithm 3 generalized to the J/K split. The J
+// matrix keeps the original routing (AB -> per-thread FI buffer,
+// CD -> direct shared write); each exchange matrix gets its own FI/FJ
+// buffer pair (exchange touches only the i- and j-keyed slots), flushed
+// on the same schedule as the combined algorithm.
+func SharedFockBuildJK(dx *ddi.Context, eng *integrals.Engine, sch *integrals.Schwarz,
+	dj, dka, dkb *linalg.Matrix, cfg Config) JKResult {
+	n := eng.Basis.NumBF
+	shells := eng.Basis.Shells
+	ns := len(shells)
+	npairs := NumPairs(ns)
+	tau := cfg.tau()
+	nthreads := cfg.threads()
+	sched := cfg.schedule()
+	maxQ := sch.MaxQ()
+	maxSz := eng.Basis.ShellSizeMax()
+	src := cfg.source(eng)
+
+	jAcc := linalg.NewSquare(n)
+	kaAcc := linalg.NewSquare(n)
+	var kbAcc *linalg.Matrix
+	nK := 1
+	if dkb != nil {
+		kbAcc = linalg.NewSquare(n)
+		nK = 2
+	}
+	// Buffer sets: index 0 = J's FI; 1..nK = K FI sets; then K FJ sets.
+	newBufs := func() [][]float64 {
+		b := make([][]float64, nthreads)
+		for t := range b {
+			b[t] = make([]float64, maxSz*n)
+		}
+		return b
+	}
+	jFI := newBufs()
+	kFI := make([][][]float64, nK)
+	kFJ := make([][][]float64, nK)
+	for m := 0; m < nK; m++ {
+		kFI[m] = newBufs()
+		kFJ[m] = newBufs()
+	}
+	threadStats := make([]Stats, nthreads)
+
+	flush := func(tc *omp.Context, bufs [][]float64, sh int, acc *linalg.Matrix) {
+		s := &shells[sh]
+		off, cnt := s.BFOffset, s.NumFuncs()
+		lo, hi := tc.StaticRange(n)
+		for local := 0; local < cnt; local++ {
+			row := off + local
+			for y := lo; y < hi; y++ {
+				sum := 0.0
+				for t := 0; t < nthreads; t++ {
+					sum += bufs[t][local*n+y]
+					bufs[t][local*n+y] = 0
+				}
+				if sum == 0 {
+					continue
+				}
+				if row >= y {
+					acc.Add(row, y, sum)
+				} else {
+					acc.Add(y, row, sum)
+				}
+			}
+		}
+	}
+
+	dx.DLBReset()
+	team := omp.NewTeam(nthreads)
+	var ijShared int64
+	team.Parallel(func(tc *omp.Context) {
+		me := tc.ThreadID()
+		st := &threadStats[me]
+		var buf []float64
+		iold := -1
+		kAccs := []*linalg.Matrix{kaAcc, kbAcc}
+		for {
+			tc.Master(func() {
+				ijShared = dx.DLBNext()
+				st.DLBGrabs++
+			})
+			tc.Barrier()
+			ij := int(ijShared)
+			tc.Barrier()
+			if ij >= npairs {
+				break
+			}
+			i, j := PairDecode(ij)
+			if sch.PairQ(i, j)*maxQ < tau {
+				if me == 0 {
+					st.PairsSkipped++
+				}
+				continue
+			}
+			if i != iold && iold >= 0 {
+				tc.Barrier()
+				flush(tc, jFI, iold, jAcc)
+				for m := 0; m < nK; m++ {
+					flush(tc, kFI[m], iold, kAccs[m])
+				}
+				st.Flushes++
+				tc.Barrier()
+			}
+			oi, oj := shells[i].BFOffset, shells[j].BFOffset
+			nj := shells[j].NumFuncs()
+			niF := shells[i].NumFuncs()
+			toBuf := func(bufs [][]float64, off, cnt int) func(x, y int, v float64) {
+				my := bufs[me]
+				return func(x, y int, v float64) {
+					if y >= off && y-off < cnt && y > x {
+						x, y = y, x
+					}
+					my[(x-off)*n+y] += v
+				}
+			}
+			jFIme := toBuf(jFI, oi, niF)
+			kFIme := make([]func(x, y int, v float64), nK)
+			kFJme := make([]func(x, y int, v float64), nK)
+			for m := 0; m < nK; m++ {
+				kFIme[m] = toBuf(kFI[m], oi, niF)
+				kFJme[m] = toBuf(kFJ[m], oj, nj)
+			}
+			tc.For(ij+1, sched, func(kl int) {
+				k, l := PairDecode(kl)
+				if sch.Screened(i, j, k, l, tau) {
+					st.QuartetsScreened++
+					return
+				}
+				st.QuartetsComputed++
+				buf = src.ShellQuartet(i, j, k, l, buf)
+				// J: AB -> FI, CD -> shared direct (race-free per kl).
+				applyQuartet6(dj, buf, shells, i, j, k, l, func(role, x, y int, v float64) {
+					switch role {
+					case roleAB:
+						jFIme(x, y, v)
+					case roleCD:
+						jAcc.Add(x, y, v)
+					}
+				})
+				// K matrices: AC/AD -> FI, BD/BC -> FJ.
+				for m := 0; m < nK; m++ {
+					dk := dka
+					if m == 1 {
+						dk = dkb
+					}
+					fiU, fjU := kFIme[m], kFJme[m]
+					applyQuartet6(dk, buf, shells, i, j, k, l, func(role, x, y int, v float64) {
+						switch role {
+						case roleAC, roleAD:
+							fiU(x, y, -2*v)
+						case roleBD, roleBC:
+							fjU(x, y, -2*v)
+						}
+					})
+				}
+			})
+			flush(tc, kFJ[0], j, kaAcc)
+			if nK == 2 {
+				flush(tc, kFJ[1], j, kbAcc)
+			}
+			st.Flushes++
+			tc.Barrier()
+			iold = i
+		}
+		if iold >= 0 {
+			tc.Barrier()
+			flush(tc, jFI, iold, jAcc)
+			flush(tc, kFI[0], iold, kaAcc)
+			if nK == 2 {
+				flush(tc, kFI[1], iold, kbAcc)
+			}
+			tc.Barrier()
+		}
+	})
+
+	var stats Stats
+	for t := range threadStats {
+		stats.Add(threadStats[t])
+	}
+	dx.GSumF(jAcc.Data)
+	dx.GSumF(kaAcc.Data)
+	Finalize(jAcc)
+	Finalize(kaAcc)
+	if kbAcc != nil {
+		dx.GSumF(kbAcc.Data)
+		Finalize(kbAcc)
+	}
+	return JKResult{J: jAcc, KA: kaAcc, KB: kbAcc, Stats: stats}
+}

@@ -1,0 +1,75 @@
+package fock
+
+// Memory accounting for the three SCF implementations, following the
+// paper's asymptotic equations (3a)-(3c) plus the explicit buffer terms.
+// All quantities are bytes of float64 storage for the large N x N objects
+// (density, Fock, overlap, one-electron Fock, MO coefficients) and the
+// FI/FJ buffers; small O(N) structures are excluded, as in the paper.
+
+const bytesPerFloat = 8
+
+// Footprint describes the per-node memory demand of one algorithm at one
+// job configuration.
+type Footprint struct {
+	Algorithm    string
+	PerRankBytes int64
+	RanksPerNode int
+	// FixedPerRankBytes models the replicated runtime overhead per MPI
+	// process (MPI library, DDI bookkeeping, KMP stacks, small replicated
+	// arrays); see DESIGN.md calibration notes.
+	FixedPerRankBytes int64
+}
+
+// PerNodeBytes is the node-level footprint.
+func (f Footprint) PerNodeBytes() int64 {
+	return int64(f.RanksPerNode) * (f.PerRankBytes + f.FixedPerRankBytes)
+}
+
+// MPIOnlyFootprint returns eq. (3a): M = 5/2 N^2 per rank — the density,
+// the 2e-Fock accumulator, the AO overlap, the one-electron Hamiltonian,
+// and the MO coefficient matrix, each N^2, stored with GAMESS's packed
+// triangular layout where symmetric (5 N^2 / 2 in total).
+func MPIOnlyFootprint(nbf, ranksPerNode int, fixedPerRank int64) Footprint {
+	n2 := int64(nbf) * int64(nbf) * bytesPerFloat
+	return Footprint{
+		Algorithm:         "mpi-only",
+		PerRankBytes:      n2 * 5 / 2,
+		RanksPerNode:      ranksPerNode,
+		FixedPerRankBytes: fixedPerRank,
+	}
+}
+
+// PrivateFockFootprint returns eq. (3b): M = (2 + Nthreads) N^2 per rank —
+// the shared (per-rank) read-only matrices cost 2 N^2 and every thread
+// adds a private N^2 Fock replica.
+func PrivateFockFootprint(nbf, threads, ranksPerNode int, fixedPerRank int64) Footprint {
+	n2 := int64(nbf) * int64(nbf) * bytesPerFloat
+	return Footprint{
+		Algorithm:         "private-fock",
+		PerRankBytes:      n2 * int64(2+threads),
+		RanksPerNode:      ranksPerNode,
+		FixedPerRankBytes: fixedPerRank,
+	}
+}
+
+// SharedFockFootprint returns eq. (3c): M = 7/2 N^2 per rank — all large
+// matrices shared; the extra N^2 relative to the MPI code's 5/2 is the
+// full (unpacked) shared Fock plus the FI/FJ buffer block, following the
+// paper's accounting. bufBytes adds the explicit per-thread FI/FJ buffers
+// (2 * shellSize * N * threads doubles), which the footprint equations
+// fold into the 7/2 constant asymptotically.
+func SharedFockFootprint(nbf, ranksPerNode int, fixedPerRank int64) Footprint {
+	n2 := int64(nbf) * int64(nbf) * bytesPerFloat
+	return Footprint{
+		Algorithm:         "shared-fock",
+		PerRankBytes:      n2 * 7 / 2,
+		RanksPerNode:      ranksPerNode,
+		FixedPerRankBytes: fixedPerRank,
+	}
+}
+
+// BufferBytes returns the exact FI+FJ buffer storage of a shared-Fock rank
+// (Algorithm 3 line 3): 2 buffers x threads x shellSize x N doubles.
+func BufferBytes(nbf, shellSize, threads int) int64 {
+	return 2 * int64(threads) * int64(shellSize) * int64(nbf) * bytesPerFloat
+}

@@ -1,0 +1,62 @@
+package fock
+
+import (
+	"repro/internal/ddi"
+	"repro/internal/integrals"
+	"repro/internal/linalg"
+)
+
+// MPIOnlyBuild is the paper's Algorithm 1, the stock GAMESS SCF
+// parallelization: every rank holds private copies of the density and the
+// Fock accumulator; the dynamic load balancer hands out combined (i, j)
+// shell-pair indices; each rank runs the full (k, l) loops for its pairs;
+// a global sum reduces the Fock matrix at the end.
+//
+// Call from inside mpi.Run on every rank. d is the (replicated) density;
+// the returned matrix is the complete two-electron Fock, identical on all
+// ranks.
+func MPIOnlyBuild(dx *ddi.Context, eng *integrals.Engine,
+	sch *integrals.Schwarz, d *linalg.Matrix, cfg Config) (*linalg.Matrix, Stats) {
+	n := eng.Basis.NumBF
+	shells := eng.Basis.Shells
+	ns := len(shells)
+	tau := cfg.tau()
+	src := cfg.source(eng)
+	acc := linalg.NewSquare(n)
+	var stats Stats
+
+	dx.DLBReset()
+	next := dx.DLBNext() // first pair index this rank owns
+	stats.DLBGrabs++
+	var buf []float64
+	ij := int64(0)
+	for i := 0; i < ns; i++ {
+		for j := 0; j <= i; j++ {
+			// MPI DLB over the combined ij index (Algorithm 1 line 3).
+			if ij != next {
+				ij++
+				continue
+			}
+			ij++
+			next = dx.DLBNext()
+			stats.DLBGrabs++
+			for k := 0; k <= i; k++ {
+				lmax := quartetLoopBounds(i, j, k)
+				for l := 0; l <= lmax; l++ {
+					if sch.Screened(i, j, k, l, tau) {
+						stats.QuartetsScreened++
+						continue
+					}
+					stats.QuartetsComputed++
+					buf = src.ShellQuartet(i, j, k, l, buf)
+					applyQuartet(d, buf, shells, i, j, k, l,
+						func(x, y int, v float64) { addLower(acc, x, y, v) })
+				}
+			}
+		}
+	}
+	// 2e-Fock matrix reduction over MPI ranks (Algorithm 1 line 16).
+	dx.GSumF(acc.Data)
+	Finalize(acc)
+	return acc, stats
+}

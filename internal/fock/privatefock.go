@@ -1,0 +1,92 @@
+package fock
+
+import (
+	"repro/internal/ddi"
+	"repro/internal/integrals"
+	"repro/internal/linalg"
+	"repro/internal/omp"
+)
+
+// PrivateFockBuild is the paper's Algorithm 2: the hybrid MPI/OpenMP
+// variant with a shared (read-only) density matrix and one private Fock
+// accumulator per thread. The MPI dynamic load balancer hands out single
+// i shell indices; within a rank, OpenMP work-shares the collapsed (j, k)
+// loops with schedule(dynamic,1); the per-thread Fock copies are reduced
+// over threads and then over ranks.
+//
+// Call from inside mpi.Run on every rank. The returned Fock is complete
+// and identical on all ranks.
+func PrivateFockBuild(dx *ddi.Context, eng *integrals.Engine,
+	sch *integrals.Schwarz, d *linalg.Matrix, cfg Config) (*linalg.Matrix, Stats) {
+	n := eng.Basis.NumBF
+	shells := eng.Basis.Shells
+	ns := len(shells)
+	tau := cfg.tau()
+	nthreads := cfg.threads()
+	sched := cfg.schedule()
+	src := cfg.source(eng)
+
+	// Thread-private Fock replicas (the algorithm's defining memory cost:
+	// (2 + Nthreads) N^2 per rank, eq. 3b).
+	priv := make([]*linalg.Matrix, nthreads)
+	for t := range priv {
+		priv[t] = linalg.NewSquare(n)
+	}
+	threadStats := make([]Stats, nthreads)
+
+	dx.DLBReset()
+	team := omp.NewTeam(nthreads)
+	var iShared int64 // written by master, read by all between barriers
+	team.Parallel(func(tc *omp.Context) {
+		me := tc.ThreadID()
+		acc := priv[me]
+		st := &threadStats[me]
+		var buf []float64
+		for {
+			// Master fetches the next i index (Algorithm 2 lines 3-6).
+			tc.Master(func() {
+				iShared = dx.DLBNext()
+				st.DLBGrabs++
+			})
+			tc.Barrier()
+			i := int(iShared)
+			tc.Barrier()
+			if i >= ns {
+				break
+			}
+			// OpenMP over collapsed (j, k), j <= i, k <= i (line 7).
+			tc.Collapse2(i+1, i+1, sched, func(j, k int) {
+				lmax := quartetLoopBounds(i, j, k)
+				for l := 0; l <= lmax; l++ {
+					if sch.Screened(i, j, k, l, tau) {
+						st.QuartetsScreened++
+						continue
+					}
+					st.QuartetsComputed++
+					buf = src.ShellQuartet(i, j, k, l, buf)
+					applyQuartet(d, buf, shells, i, j, k, l,
+						func(x, y int, v float64) { addLower(acc, x, y, v) })
+				}
+			})
+		}
+		// reduction(+:Fock) over threads: chunked reduction of the private
+		// replicas into thread 0's copy (paper Figure 1(B) access pattern).
+		if nthreads > 1 {
+			others := make([][]float64, 0, nthreads-1)
+			for t := 1; t < nthreads; t++ {
+				others = append(others, priv[t].Data)
+			}
+			tc.ReduceChunked(priv[0].Data, others)
+			tc.Barrier()
+		}
+	})
+	total := priv[0]
+	var stats Stats
+	for t := range threadStats {
+		stats.Add(threadStats[t])
+	}
+	// 2e-Fock matrix reduction over MPI ranks (Algorithm 2 line 23).
+	dx.GSumF(total.Data)
+	Finalize(total)
+	return total, stats
+}

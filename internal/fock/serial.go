@@ -1,0 +1,62 @@
+package fock
+
+import (
+	"repro/internal/integrals"
+	"repro/internal/linalg"
+)
+
+// SerialBuild constructs the two-electron Fock matrix on one thread using
+// the canonical symmetry-unique quartet loops with Schwarz screening. It
+// is the correctness reference for all parallel variants and the
+// single-core baseline of the benchmarks.
+func SerialBuild(eng *integrals.Engine, sch *integrals.Schwarz,
+	d *linalg.Matrix, tau float64) (*linalg.Matrix, Stats) {
+	n := eng.Basis.NumBF
+	shells := eng.Basis.Shells
+	ns := len(shells)
+	acc := linalg.NewSquare(n)
+	var stats Stats
+	var buf []float64
+	for i := 0; i < ns; i++ {
+		for j := 0; j <= i; j++ {
+			for k := 0; k <= i; k++ {
+				lmax := quartetLoopBounds(i, j, k)
+				for l := 0; l <= lmax; l++ {
+					if sch.Screened(i, j, k, l, tau) {
+						stats.QuartetsScreened++
+						continue
+					}
+					stats.QuartetsComputed++
+					buf = eng.ShellQuartet(i, j, k, l, buf)
+					applyQuartet(d, buf, shells, i, j, k, l,
+						func(x, y int, v float64) { addLower(acc, x, y, v) })
+				}
+			}
+		}
+	}
+	Finalize(acc)
+	return acc, stats
+}
+
+// ReferenceFock2e builds the two-electron Fock matrix with no symmetry
+// tricks at all: the full ERI tensor contracted directly with the density
+// by the textbook formula G_ab = sum_cd D_cd [(ab|cd) - (ac|bd)/2].
+// Exponential in memory (N^4) — for validation on small molecules only.
+func ReferenceFock2e(eng *integrals.Engine, d *linalg.Matrix) *linalg.Matrix {
+	n := eng.Basis.NumBF
+	tensor := eng.FullERITensor()
+	g := linalg.NewSquare(n)
+	for a := 0; a < n; a++ {
+		for b := 0; b < n; b++ {
+			sum := 0.0
+			for c := 0; c < n; c++ {
+				for dd := 0; dd < n; dd++ {
+					sum += d.At(c, dd) * (tensor[((a*n+b)*n+c)*n+dd] -
+						0.5*tensor[((a*n+c)*n+b)*n+dd])
+				}
+			}
+			g.Set(a, b, sum)
+		}
+	}
+	return g
+}

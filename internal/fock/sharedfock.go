@@ -1,0 +1,196 @@
+package fock
+
+import (
+	"repro/internal/basis"
+	"repro/internal/ddi"
+	"repro/internal/integrals"
+	"repro/internal/linalg"
+	"repro/internal/omp"
+)
+
+// SharedFockBuild is the paper's Algorithm 3: shared density AND shared
+// Fock matrix. The MPI dynamic load balancer distributes combined ij
+// shell-pair indices (a much finer task space than Algorithm 2's i loop,
+// which is what wins at scale); OpenMP work-shares the inner combined kl
+// pair loop with schedule(dynamic,1). Per-thread column-block buffers FI
+// and FJ absorb the i- and j-shell contributions; the kl element updates
+// the shared Fock directly, race-free because each kl iteration is owned
+// by exactly one thread. FI is flushed only when the i index changes
+// (plus once at the end); FJ is flushed after every kl loop; flushes are
+// chunked reductions partitioned over the column index, barrier-isolated
+// from quartet work (paper Figure 1).
+//
+// Call from inside mpi.Run on every rank; the returned Fock is complete
+// and identical on all ranks.
+func SharedFockBuild(dx *ddi.Context, eng *integrals.Engine,
+	sch *integrals.Schwarz, d *linalg.Matrix, cfg Config) (*linalg.Matrix, Stats) {
+	n := eng.Basis.NumBF
+	shells := eng.Basis.Shells
+	ns := len(shells)
+	npairs := NumPairs(ns)
+	tau := cfg.tau()
+	nthreads := cfg.threads()
+	sched := cfg.schedule()
+	maxQ := sch.MaxQ()
+	maxSz := eng.Basis.ShellSizeMax()
+	src := cfg.source(eng)
+
+	acc := linalg.NewSquare(n) // shared lower-triangle accumulator
+	// FI/FJ: one [shell function x NBF] block per thread (Algorithm 3
+	// line 3). Separate slices per thread keep them on distinct cache
+	// lines (the role of the paper's padding bytes).
+	fi := make([][]float64, nthreads)
+	fj := make([][]float64, nthreads)
+	for t := 0; t < nthreads; t++ {
+		fi[t] = make([]float64, maxSz*n)
+		fj[t] = make([]float64, maxSz*n)
+	}
+	threadStats := make([]Stats, nthreads)
+
+	dx.DLBReset()
+	team := omp.NewTeam(nthreads)
+	var ijShared int64
+
+	// flush adds the per-thread buffers for shell sh into the shared
+	// accumulator and zeroes them. Contributions live at slot
+	// [local*n + y]; the write target is the canonical lower-triangle
+	// element of {shellOffset+local, y}. Work is partitioned over y, which
+	// is race-free (see buffer-slot normalization in the update routing).
+	// Callers wrap it in barriers.
+	flush := func(tc *omp.Context, bufs [][]float64, sh int) {
+		s := &shells[sh]
+		off, cnt := s.BFOffset, s.NumFuncs()
+		lo, hi := tc.StaticRange(n)
+		for local := 0; local < cnt; local++ {
+			row := off + local
+			for y := lo; y < hi; y++ {
+				sum := 0.0
+				for t := 0; t < nthreads; t++ {
+					sum += bufs[t][local*n+y]
+					bufs[t][local*n+y] = 0
+				}
+				if sum == 0 {
+					continue
+				}
+				if row >= y {
+					acc.Add(row, y, sum)
+				} else {
+					acc.Add(y, row, sum)
+				}
+			}
+		}
+	}
+
+	team.Parallel(func(tc *omp.Context) {
+		me := tc.ThreadID()
+		fiBuf, fjBuf := fi[me], fj[me]
+		st := &threadStats[me]
+		var buf []float64
+		iold := -1
+		for {
+			tc.Master(func() {
+				ijShared = dx.DLBNext()
+				st.DLBGrabs++
+			})
+			tc.Barrier()
+			ij := int(ijShared)
+			tc.Barrier()
+			if ij >= npairs {
+				break
+			}
+			i, j := PairDecode(ij)
+			// I and J prescreening (Algorithm 3 line 13): the whole top
+			// iteration is skipped when no kl can survive.
+			if sch.PairQ(i, j)*maxQ < tau {
+				if me == 0 {
+					st.PairsSkipped++
+				}
+				continue
+			}
+			// Flush FI if i changed since the last processed pair
+			// (Algorithm 3 lines 15-18).
+			if i != iold && iold >= 0 {
+				tc.Barrier()
+				flush(tc, fi, iold)
+				st.Flushes++
+				tc.Barrier()
+			}
+			si, sj := &shells[i], &shells[j]
+			oi, oj := si.BFOffset, sj.BFOffset
+			// Inner kl loop, kl = 0..ij (Algorithm 3 lines 19-30).
+			// tc.For carries the `omp end do` implicit barrier.
+			tc.For(ij+1, sched, func(kl int) {
+				k, l := PairDecode(kl)
+				if sch.Screened(i, j, k, l, tau) {
+					st.QuartetsScreened++
+					return
+				}
+				st.QuartetsComputed++
+				buf = src.ShellQuartet(i, j, k, l, buf)
+				applyQuartetRouted(d, buf, shells, i, j, k, l,
+					oi, oj, n, fiBuf, fjBuf, acc)
+			})
+			// Flush FJ after every kl loop (Algorithm 3 line 31).
+			flush(tc, fj, j)
+			st.Flushes++
+			tc.Barrier()
+			iold = i
+		}
+		// Remainder FI flush (Algorithm 3 line 36). All threads exited the
+		// loop together, so iold agrees across the team.
+		if iold >= 0 {
+			tc.Barrier()
+			flush(tc, fi, iold)
+			tc.Barrier()
+		}
+	})
+
+	var stats Stats
+	for t := range threadStats {
+		stats.Add(threadStats[t])
+	}
+	// 2e-Fock matrix reduction over MPI ranks (Algorithm 3 line 38).
+	dx.GSumF(acc.Data)
+	Finalize(acc)
+	return acc, stats
+}
+
+// applyQuartetRouted distributes one quartet's contributions with the
+// shared-Fock routing: updates touching the i shell go to this thread's
+// FI buffer, updates touching the j shell go to FJ, and the kl element
+// updates the shared accumulator directly (Algorithm 3 lines 25-27).
+//
+// Buffer slots are [local*n + other]. When both indices of a pair fall in
+// the buffer's own shell block, the slot is normalized to
+// (maxLocal, minGlobal) so that the flush's partition-by-column is
+// race-free.
+func applyQuartetRouted(d *linalg.Matrix, blk []float64, shells []basis.Shell,
+	i, j, k, l int, oi, oj, n int, fiBuf, fjBuf []float64, acc *linalg.Matrix) {
+	toFI := func(a, y int, v float64) {
+		if y >= oi && y-oi < shells[i].NumFuncs() && y > a {
+			// Both in the i block and out of order: normalize so the
+			// flush's partition-by-column stays race-free.
+			a, y = y, a
+		}
+		fiBuf[(a-oi)*n+y] += v
+	}
+	toFJ := func(b, y int, v float64) {
+		if y >= oj && y-oj < shells[j].NumFuncs() && y > b {
+			// Both in the j block and out of order: normalize.
+			b, y = y, b
+		}
+		fjBuf[(b-oj)*n+y] += v
+	}
+	applyQuartet6(d, blk, shells, i, j, k, l,
+		func(role int, x, y int, v float64) {
+			switch role {
+			case roleAB, roleAC, roleAD:
+				toFI(x, y, v)
+			case roleBD, roleBC:
+				toFJ(x, y, v)
+			default: // roleCD
+				// c >= d within the canonical enumeration.
+				acc.Add(x, y, v)
+			}
+		})
+}

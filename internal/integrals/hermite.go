@@ -1,0 +1,114 @@
+package integrals
+
+import "math"
+
+// hermiteE computes the 1D Hermite expansion coefficients E_t^{ij} for a
+// primitive pair with exponents a (on A) and b (on B) along one axis,
+// where xAB = Ax - Bx. The result is indexed e[i][j][t] for 0 <= i <= la,
+// 0 <= j <= lb, 0 <= t <= i+j.
+//
+// Recurrences (Helgaker, Jørgensen, Olsen ch. 9):
+//
+//	E_0^{00}    = exp(-mu xAB^2)
+//	E_t^{i+1,j} = E_{t-1}^{ij}/(2p) + xPA E_t^{ij} + (t+1) E_{t+1}^{ij}
+//	E_t^{i,j+1} = E_{t-1}^{ij}/(2p) + xPB E_t^{ij} + (t+1) E_{t+1}^{ij}
+func hermiteE(la, lb int, a, b, xAB float64) [][][]float64 {
+	p := a + b
+	mu := a * b / p
+	xPA := -b / p * xAB // Px - Ax with Px = (a Ax + b Bx)/p
+	xPB := a / p * xAB  // Px - Bx
+
+	e := make([][][]float64, la+1)
+	for i := range e {
+		e[i] = make([][]float64, lb+1)
+		for j := range e[i] {
+			e[i][j] = make([]float64, i+j+1)
+		}
+	}
+	e[0][0][0] = math.Exp(-mu * xAB * xAB)
+	get := func(i, j, t int) float64 {
+		if t < 0 || t > i+j {
+			return 0
+		}
+		return e[i][j][t]
+	}
+	// Build up i with j = 0, then j for each i.
+	for i := 0; i < la; i++ {
+		for t := 0; t <= i+1; t++ {
+			e[i+1][0][t] = get(i, 0, t-1)/(2*p) + xPA*get(i, 0, t) + float64(t+1)*get(i, 0, t+1)
+		}
+	}
+	for i := 0; i <= la; i++ {
+		for j := 0; j < lb; j++ {
+			for t := 0; t <= i+j+1; t++ {
+				e[i][j+1][t] = get(i, j, t-1)/(2*p) + xPB*get(i, j, t) + float64(t+1)*get(i, j, t+1)
+			}
+		}
+	}
+	return e
+}
+
+// hermiteR computes the Hermite Coulomb integrals R^0_{tuv} for all
+// t+u+v <= l, for Gaussian exponent alpha and separation (x, y, z):
+//
+//	R^n_{000}     = (-2 alpha)^n F_n(alpha r^2)
+//	R^n_{t+1,u,v} = t R^{n+1}_{t-1,u,v} + x R^{n+1}_{tuv}   (etc. for u, v)
+//
+// The result is a flat array indexed by rIndex(t, u, v, l).
+func hermiteR(l int, alpha, x, y, z float64) []float64 {
+	r2 := x*x + y*y + z*z
+	fn := make([]float64, l+1)
+	Boys(l, alpha*r2, fn)
+
+	// cur[n] tables hold R^n for decreasing n; we iterate n from l down to
+	// 0, extending the (t,u,v) range at each step.
+	size := rSize(l)
+	cur := make([]float64, size)
+	next := make([]float64, size)
+	pow := 1.0
+	// n = l: only R^l_{000}.
+	for n := l; n >= 0; n-- {
+		// pow = (-2 alpha)^n
+		pow = math.Pow(-2*alpha, float64(n))
+		next, cur = cur, next
+		for i := range cur {
+			cur[i] = 0
+		}
+		cur[rIndex(0, 0, 0, l)] = pow * fn[n]
+		maxOrder := l - n
+		for total := 1; total <= maxOrder; total++ {
+			for t := 0; t <= total; t++ {
+				for u := 0; u <= total-t; u++ {
+					v := total - t - u
+					var val float64
+					switch {
+					case t > 0:
+						val = x * next[rIndex(t-1, u, v, l)]
+						if t > 1 {
+							val += float64(t-1) * next[rIndex(t-2, u, v, l)]
+						}
+					case u > 0:
+						val = y * next[rIndex(t, u-1, v, l)]
+						if u > 1 {
+							val += float64(u-1) * next[rIndex(t, u-2, v, l)]
+						}
+					default:
+						val = z * next[rIndex(t, u, v-1, l)]
+						if v > 1 {
+							val += float64(v-1) * next[rIndex(t, u, v-2, l)]
+						}
+					}
+					cur[rIndex(t, u, v, l)] = val
+				}
+			}
+		}
+	}
+	return cur
+}
+
+// rSize returns the flat table size for all t,u,v with t,u,v <= l
+// individually (a cube indexing keeps rIndex trivial and branch-free).
+func rSize(l int) int { return (l + 1) * (l + 1) * (l + 1) }
+
+// rIndex maps (t, u, v) into the flat R table for max order l.
+func rIndex(t, u, v, l int) int { return (t*(l+1)+u)*(l+1) + v }

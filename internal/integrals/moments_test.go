@@ -1,0 +1,96 @@
+package integrals
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/molecule"
+)
+
+func TestDipolePrimitiveAnalytic(t *testing.T) {
+	// <s_A | z | s_B> for normalized s Gaussians equals S_AB * Pz where
+	// P is the Gaussian product center (origin at 0).
+	a, b, r := 0.9, 1.5, 1.3
+	bas := gaussPair(a, b, r)
+	e := NewEngine(bas)
+	s := e.Overlap()
+	m := e.Dipole([3]float64{})
+	pz := b * r / (a + b) // product center for A at 0, B at (0,0,r)
+	want := s.At(0, 1) * pz
+	if math.Abs(m[2].At(0, 1)-want) > 1e-13 {
+		t.Fatalf("<A|z|B> = %v want %v", m[2].At(0, 1), want)
+	}
+	// x and y components vanish for displacement along z.
+	if math.Abs(m[0].At(0, 1)) > 1e-14 || math.Abs(m[1].At(0, 1)) > 1e-14 {
+		t.Fatal("off-axis moment components nonzero")
+	}
+	// Diagonal: <A|z|A> = Az = 0; <B|z|B> = r.
+	if math.Abs(m[2].At(0, 0)) > 1e-13 {
+		t.Fatalf("<A|z|A> = %v", m[2].At(0, 0))
+	}
+	if math.Abs(m[2].At(1, 1)-r) > 1e-12 {
+		t.Fatalf("<B|z|B> = %v want %v", m[2].At(1, 1), r)
+	}
+}
+
+func TestDipoleOriginShift(t *testing.T) {
+	// M(origin) = M(0) - origin * S, element-wise per axis.
+	b := buildBasis(t, molecule.Water(), "sto-3g")
+	e := NewEngine(b)
+	s := e.Overlap()
+	m0 := e.Dipole([3]float64{})
+	origin := [3]float64{0.7, -1.1, 2.3}
+	mShift := e.Dipole(origin)
+	for ax := 0; ax < 3; ax++ {
+		want := m0[ax].Clone()
+		want.AxpyFrom(-origin[ax], s)
+		if diff := mShift[ax].MaxAbsDiff(want); diff > 1e-11 {
+			t.Fatalf("axis %d: origin-shift identity broken, diff %v", ax, diff)
+		}
+	}
+}
+
+func TestDipoleSymmetric(t *testing.T) {
+	b := buildBasis(t, molecule.Methane(), "6-31g(d)")
+	e := NewEngine(b)
+	m := e.Dipole([3]float64{})
+	for ax := 0; ax < 3; ax++ {
+		if !m[ax].IsSymmetric(1e-11) {
+			t.Fatalf("dipole matrix %d not symmetric", ax)
+		}
+	}
+}
+
+func TestDipoleHigherAngularMomenta(t *testing.T) {
+	// p and d functions: compare <a|x|b> against numerical quadrature for
+	// a one-center pair where the integral reduces to simple moments.
+	// <px|x|px> on one center with exponent alpha (normalized):
+	// integral of x^4 exp(-2a x^2) over the x axis relative to
+	// x^2 exp(-2a x^2): ratio = 3/(4a). So <px|x^2 ... use parity:
+	// <px|x|px> = 0 by parity; <s|x|px> = 1/(2 sqrt(a)) * norm relation.
+	a := 1.1
+	m := &molecule.Molecule{Name: "C"}
+	m.Atoms = []molecule.Atom{{Z: 6, Symbol: "C", Pos: [3]float64{0, 0, 0}}}
+	bas := buildBasis(t, m, "sto-3g")
+	_ = a
+	e := NewEngine(bas)
+	mm := e.Dipole([3]float64{})
+	// Parity on one center: every diagonal element <f|x|f> vanishes.
+	for ax := 0; ax < 3; ax++ {
+		for i := 0; i < bas.NumBF; i++ {
+			if math.Abs(mm[ax].At(i, i)) > 1e-12 {
+				t.Fatalf("one-center diagonal moment nonzero: axis %d bf %d = %v",
+					ax, i, mm[ax].At(i, i))
+			}
+		}
+	}
+	// <2s|x|2px> must be nonzero (odd*odd = even).
+	// Carbon STO-3G: BF order: 1s, 2s, 2px, 2py, 2pz.
+	if math.Abs(mm[0].At(1, 2)) < 1e-3 {
+		t.Fatalf("<2s|x|2px> = %v, expected nonzero", mm[0].At(1, 2))
+	}
+	// Cross-axis elements vanish: <2s|x|2py> = 0.
+	if math.Abs(mm[0].At(1, 3)) > 1e-12 {
+		t.Fatalf("<2s|x|2py> = %v", mm[0].At(1, 3))
+	}
+}

@@ -1,0 +1,232 @@
+package integrals
+
+import (
+	"math"
+
+	"repro/internal/basis"
+)
+
+// Shell-pair precomputation. Every ERI quartet (ij|kl) reuses the same
+// per-pair quantities — Gaussian product centers, total exponents, and
+// the Hermite expansion E tables — so Gaussian codes precompute them per
+// shell PAIR once (O(N^2) storage) instead of per quartet (O(N^4) work).
+// Primitive pairs whose Gaussian overlap prefactor exp(-mu R^2) is
+// negligible are dropped entirely (primitive screening), which prunes
+// deeply contracted shells on distant centers.
+
+// primPairData is one surviving primitive pair of a shell pair.
+type primPairData struct {
+	p          float64 // total exponent a + b
+	px, py, pz float64 // product center
+	// E tables per axis, indexed [la][lb][t], built at the shells' MaxL.
+	ex, ey, ez [][][]float64
+}
+
+// pairData is the cached data of one (i >= j) shell pair.
+type pairData struct {
+	prims []primPairData
+	// coefficient products aligned with prims: coef[mi][mj][pp]
+	coef [][][]float64
+}
+
+// PairCache holds precomputed shell-pair data for an engine's basis.
+type PairCache struct {
+	eng     *Engine
+	pairs   []*pairData // triangular over shell pairs
+	PrimTol float64     // primitive overlap prefactor cutoff
+	// counters for tests/benchmarks
+	PrimPairsKept, PrimPairsDropped int
+}
+
+// DefaultPrimTol is the primitive prefactor cutoff; contributions below
+// it are beneath the ERI screening threshold for any partner pair.
+const DefaultPrimTol = 1e-12
+
+// NewPairCache precomputes all shell-pair data. primTol <= 0 selects
+// DefaultPrimTol.
+func NewPairCache(eng *Engine, primTol float64) *PairCache {
+	if primTol <= 0 {
+		primTol = DefaultPrimTol
+	}
+	shells := eng.Basis.Shells
+	n := len(shells)
+	pc := &PairCache{eng: eng, pairs: make([]*pairData, n*(n+1)/2), PrimTol: primTol}
+	for i := 0; i < n; i++ {
+		for j := 0; j <= i; j++ {
+			pc.pairs[i*(i+1)/2+j] = pc.buildPair(&shells[i], &shells[j])
+		}
+	}
+	return pc
+}
+
+func (pc *PairCache) buildPair(sa, sb *basis.Shell) *pairData {
+	la, lb := sa.MaxL(), sb.MaxL()
+	abx := sa.Center[0] - sb.Center[0]
+	aby := sa.Center[1] - sb.Center[1]
+	abz := sa.Center[2] - sb.Center[2]
+	r2 := abx*abx + aby*aby + abz*abz
+	pd := &pairData{}
+	// coef[mi][mj] filled per kept primitive pair.
+	pd.coef = make([][][]float64, len(sa.Moments))
+	for mi := range sa.Moments {
+		pd.coef[mi] = make([][]float64, len(sb.Moments))
+	}
+	var keptIdx [][2]int
+	for p, ap := range sa.Exps {
+		for q, bq := range sb.Exps {
+			mu := ap * bq / (ap + bq)
+			if math.Exp(-mu*r2) < pc.PrimTol {
+				pc.PrimPairsDropped++
+				continue
+			}
+			pc.PrimPairsKept++
+			pp := ap + bq
+			pd.prims = append(pd.prims, primPairData{
+				p:  pp,
+				px: (ap*sa.Center[0] + bq*sb.Center[0]) / pp,
+				py: (ap*sa.Center[1] + bq*sb.Center[1]) / pp,
+				pz: (ap*sa.Center[2] + bq*sb.Center[2]) / pp,
+				ex: hermiteE(la, lb, ap, bq, abx),
+				ey: hermiteE(la, lb, ap, bq, aby),
+				ez: hermiteE(la, lb, ap, bq, abz),
+			})
+			keptIdx = append(keptIdx, [2]int{p, q})
+		}
+	}
+	for mi := range sa.Moments {
+		for mj := range sb.Moments {
+			cs := make([]float64, len(keptIdx))
+			for n, pq := range keptIdx {
+				cs[n] = sa.Coefs[mi][pq[0]] * sb.Coefs[mj][pq[1]]
+			}
+			pd.coef[mi][mj] = cs
+		}
+	}
+	return pd
+}
+
+// pair fetches cached data for shells (i >= j).
+func (pc *PairCache) pair(i, j int) *pairData {
+	return pc.pairs[i*(i+1)/2+j]
+}
+
+// ShellQuartet computes the ERI block (ij|kl) like Engine.ShellQuartet
+// but from the precomputed pair data. Shell indices must be canonical:
+// i >= j and k >= l (which is how every Fock builder calls it).
+func (pc *PairCache) ShellQuartet(si, sj, sk, sl int, out []float64) []float64 {
+	shells := pc.eng.Basis.Shells
+	sa, sb, sc, sd := &shells[si], &shells[sj], &shells[sk], &shells[sl]
+	ca, cb := componentsOf(sa), componentsOf(sb)
+	cc, cd := componentsOf(sc), componentsOf(sd)
+	na, nb, nc, nd := len(ca), len(cb), len(cc), len(cd)
+	need := na * nb * nc * nd
+	if cap(out) < need {
+		out = make([]float64, need)
+	}
+	out = out[:need]
+	for i := range out {
+		out[i] = 0
+	}
+
+	bra := pc.pair(si, sj)
+	ket := pc.pair(sk, sl)
+	la, lb := sa.MaxL(), sb.MaxL()
+	lc, ld := sc.MaxL(), sd.MaxL()
+	ltot := la + lb + lc + ld
+
+	for bi := range bra.prims {
+		bp := &bra.prims[bi]
+		for ki := range ket.prims {
+			kp := &ket.prims[ki]
+			alpha := bp.p * kp.p / (bp.p + kp.p)
+			rt := hermiteR(ltot, alpha, bp.px-kp.px, bp.py-kp.py, bp.pz-kp.pz)
+			pref := 2 * math.Pow(math.Pi, 2.5) /
+				(bp.p * kp.p * math.Sqrt(bp.p+kp.p))
+
+			idx := 0
+			for _, a := range ca {
+				for _, b := range cb {
+					cab := bra.coef[a.mi][b.mi][bi] * a.norm * b.norm
+					tX, tY, tZ := a.lx+b.lx, a.ly+b.ly, a.lz+b.lz
+					for _, c := range cc {
+						for _, d := range cd {
+							w := cab * ket.coef[c.mi][d.mi][ki] * c.norm * d.norm * pref
+							uX, uY, uZ := c.lx+d.lx, c.ly+d.ly, c.lz+d.lz
+							sum := 0.0
+							for t := 0; t <= tX; t++ {
+								e1 := bp.ex[a.lx][b.lx][t]
+								if e1 == 0 {
+									continue
+								}
+								for u := 0; u <= tY; u++ {
+									e2 := bp.ey[a.ly][b.ly][u]
+									if e2 == 0 {
+										continue
+									}
+									for v := 0; v <= tZ; v++ {
+										e3 := bp.ez[a.lz][b.lz][v]
+										if e3 == 0 {
+											continue
+										}
+										braW := e1 * e2 * e3
+										ketSum := 0.0
+										for tau := 0; tau <= uX; tau++ {
+											f1 := kp.ex[c.lx][d.lx][tau]
+											if f1 == 0 {
+												continue
+											}
+											for nu := 0; nu <= uY; nu++ {
+												f2 := kp.ey[c.ly][d.ly][nu]
+												if f2 == 0 {
+													continue
+												}
+												for phi := 0; phi <= uZ; phi++ {
+													f3 := kp.ez[c.lz][d.lz][phi]
+													if f3 == 0 {
+														continue
+													}
+													sign := 1.0
+													if (tau+nu+phi)&1 == 1 {
+														sign = -1
+													}
+													ketSum += sign * f1 * f2 * f3 *
+														rt[rIndex(t+tau, u+nu, v+phi, ltot)]
+												}
+											}
+										}
+										sum += braW * ketSum
+									}
+								}
+							}
+							out[idx] += w * sum
+							idx++
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Bytes estimates the cache's float storage (E tables + coefficients).
+func (pc *PairCache) Bytes() int64 {
+	var total int64
+	for _, pd := range pc.pairs {
+		for _, pp := range pd.prims {
+			for _, tbl := range [][][][]float64{pp.ex, pp.ey, pp.ez} {
+				for _, t1 := range tbl {
+					for _, row := range t1 {
+						total += int64(len(row)) * 8
+					}
+				}
+			}
+		}
+		for _, cm := range pd.coef {
+			for _, cs := range cm {
+				total += int64(len(cs)) * 8
+			}
+		}
+	}
+	return total
+}

@@ -1,0 +1,38 @@
+package integrals
+
+// FullERITensor evaluates the complete two-electron integral tensor
+// (ab|cd) in chemists' notation, dense, with no symmetry folding:
+// tensor[((a*n+b)*n+c)*n+d]. O(N^4) memory — for small systems only
+// (validation references and the MP2 transformation).
+func (e *Engine) FullERITensor() []float64 {
+	n := e.Basis.NumBF
+	shells := e.Basis.Shells
+	tensor := make([]float64, n*n*n*n)
+	var buf []float64
+	for i := range shells {
+		for j := range shells {
+			for k := range shells {
+				for l := range shells {
+					buf = e.ShellQuartet(i, j, k, l, buf)
+					si, sj, sk, sl := &shells[i], &shells[j], &shells[k], &shells[l]
+					idx := 0
+					for fa := 0; fa < si.NumFuncs(); fa++ {
+						for fb := 0; fb < sj.NumFuncs(); fb++ {
+							for fc := 0; fc < sk.NumFuncs(); fc++ {
+								for fd := 0; fd < sl.NumFuncs(); fd++ {
+									a := si.BFOffset + fa
+									b := sj.BFOffset + fb
+									c := sk.BFOffset + fc
+									d := sl.BFOffset + fd
+									tensor[((a*n+b)*n+c)*n+d] = buf[idx]
+									idx++
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	return tensor
+}

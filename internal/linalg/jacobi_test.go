@@ -1,0 +1,91 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/omp"
+)
+
+func TestJacobiMatchesEigenSym(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	team := omp.NewTeam(3)
+	for _, n := range []int{1, 2, 3, 5, 8, 16, 33} {
+		a := randSym(rng, n)
+		wantVals, _ := EigenSym(a)
+		vals, vecs := JacobiEigenSym(a, team, JacobiOptions{})
+		for i := range vals {
+			if math.Abs(vals[i]-wantVals[i]) > 1e-8 {
+				t.Fatalf("n=%d: eigenvalue %d: %v vs %v", n, i, vals[i], wantVals[i])
+			}
+		}
+		checkEigenResidual(t, a, vals, vecs, 1e-8)
+	}
+}
+
+func TestJacobiInputUntouched(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randSym(rng, 7)
+	orig := a.Clone()
+	JacobiEigenSym(a, omp.NewTeam(2), JacobiOptions{})
+	if a.MaxAbsDiff(orig) != 0 {
+		t.Fatal("input matrix modified")
+	}
+}
+
+func TestJacobiTeamWidthsAgree(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randSym(rng, 20)
+	base, _ := JacobiEigenSym(a, omp.NewTeam(1), JacobiOptions{})
+	for _, threads := range []int{2, 4, 7} {
+		vals, vecs := JacobiEigenSym(a, omp.NewTeam(threads), JacobiOptions{})
+		for i := range vals {
+			if math.Abs(vals[i]-base[i]) > 1e-9 {
+				t.Fatalf("threads=%d: eigenvalue %d drifted: %v vs %v", threads, i, vals[i], base[i])
+			}
+		}
+		checkEigenResidual(t, a, vals, vecs, 1e-8)
+	}
+}
+
+func TestJacobiEmptyAndDiagonal(t *testing.T) {
+	team := omp.NewTeam(2)
+	vals, vecs := JacobiEigenSym(New(0, 0), team, JacobiOptions{})
+	if len(vals) != 0 || vecs.Rows != 0 {
+		t.Fatal("empty case failed")
+	}
+	d := FromRows([][]float64{{3, 0}, {0, -1}})
+	vals, _ = JacobiEigenSym(d, team, JacobiOptions{})
+	if vals[0] != -1 || vals[1] != 3 {
+		t.Fatalf("diagonal case: %v", vals)
+	}
+}
+
+func TestRotatePlayersCoverage(t *testing.T) {
+	// Every pair must meet exactly once over m-1 rounds.
+	m := 8
+	players := make([]int, m)
+	for i := range players {
+		players[i] = i
+	}
+	met := map[[2]int]int{}
+	for round := 0; round < m-1; round++ {
+		for k := 0; k < m/2; k++ {
+			p, q := players[k], players[m-1-k]
+			if p > q {
+				p, q = q, p
+			}
+			met[[2]int{p, q}]++
+		}
+		rotatePlayers(players)
+	}
+	if len(met) != m*(m-1)/2 {
+		t.Fatalf("%d distinct pairs, want %d", len(met), m*(m-1)/2)
+	}
+	for pair, count := range met {
+		if count != 1 {
+			t.Fatalf("pair %v met %d times", pair, count)
+		}
+	}
+}

@@ -1,0 +1,260 @@
+// Package loadbalance provides the work-distribution strategies discussed
+// by the paper and its related work: the DDI-style shared global counter
+// (dynamic load balancing, the strategy all three of the paper's
+// algorithms use), static round-robin partitioning (the classical
+// alternative the paper's Section 4.2 contrasts with), and randomized
+// work stealing (the technique of Liu et al. cited as future-oriented
+// related work).
+//
+// All strategies implement Balancer over an abstract task index space so
+// they can drive both the real Fock builders and standalone experiments.
+package loadbalance
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+)
+
+// Balancer hands out task indices from [0, N) to a set of workers. Next
+// returns the worker's next task and ok=false when the worker should stop.
+type Balancer interface {
+	// Next returns the next task for the given worker.
+	Next(worker int) (task int, ok bool)
+	// Name identifies the strategy.
+	Name() string
+}
+
+// --- Dynamic shared counter (DDI dlbnext) ---
+
+// Counter is the DDI-style dynamic balancer: a single shared counter that
+// every worker increments atomically. Chunk > 1 amortizes counter traffic
+// by handing out chunks of consecutive indices.
+type Counter struct {
+	n     int
+	chunk int
+	next  atomic.Int64
+	// local per-worker chunk state
+	mu    sync.Mutex
+	local map[int]*counterLocal
+}
+
+type counterLocal struct{ cur, end int }
+
+// NewCounter returns a dynamic balancer over n tasks with the given chunk
+// size (minimum 1).
+func NewCounter(n, chunk int) *Counter {
+	if chunk < 1 {
+		chunk = 1
+	}
+	return &Counter{n: n, chunk: chunk, local: map[int]*counterLocal{}}
+}
+
+// Name implements Balancer.
+func (c *Counter) Name() string { return "dynamic-counter" }
+
+// Next implements Balancer.
+func (c *Counter) Next(worker int) (int, bool) {
+	c.mu.Lock()
+	st, ok := c.local[worker]
+	if !ok {
+		st = &counterLocal{}
+		c.local[worker] = st
+	}
+	c.mu.Unlock()
+	if st.cur >= st.end {
+		start := int(c.next.Add(int64(c.chunk))) - c.chunk
+		if start >= c.n {
+			return 0, false
+		}
+		st.cur = start
+		st.end = start + c.chunk
+		if st.end > c.n {
+			st.end = c.n
+		}
+	}
+	t := st.cur
+	st.cur++
+	return t, true
+}
+
+// --- Static round-robin ---
+
+// Static partitions tasks round-robin by worker id at creation time; no
+// shared state at all (the zero-communication strategy).
+type Static struct {
+	n       int
+	workers int
+	mu      sync.Mutex
+	cursor  map[int]int
+}
+
+// NewStatic returns a static balancer over n tasks for the given worker
+// count.
+func NewStatic(n, workers int) *Static {
+	return &Static{n: n, workers: workers, cursor: map[int]int{}}
+}
+
+// Name implements Balancer.
+func (s *Static) Name() string { return "static-round-robin" }
+
+// Next implements Balancer.
+func (s *Static) Next(worker int) (int, bool) {
+	if worker < 0 || worker >= s.workers {
+		return 0, false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur, ok := s.cursor[worker]
+	if !ok {
+		cur = worker
+	}
+	if cur >= s.n {
+		return 0, false
+	}
+	s.cursor[worker] = cur + s.workers
+	return cur, true
+}
+
+// --- Randomized work stealing ---
+
+// Stealing implements per-worker deques with randomized stealing: each
+// worker starts with a contiguous block; when its own block drains it
+// steals half of a random victim's remaining block. This mirrors the
+// inter-node work-stealing SCF algorithm of Liu, Patel & Chow (IPDPS'14).
+type Stealing struct {
+	workers int
+	rng     *rand.Rand
+	mu      sync.Mutex
+	lo, hi  []int // remaining [lo, hi) block per worker
+	steals  int
+}
+
+// NewStealing returns a stealing balancer over n tasks for the given
+// worker count, seeded deterministically.
+func NewStealing(n, workers int, seed int64) (*Stealing, error) {
+	if workers <= 0 {
+		return nil, errors.New("loadbalance: need at least one worker")
+	}
+	s := &Stealing{
+		workers: workers,
+		rng:     rand.New(rand.NewSource(seed)),
+		lo:      make([]int, workers),
+		hi:      make([]int, workers),
+	}
+	per := n / workers
+	extra := n % workers
+	start := 0
+	for w := 0; w < workers; w++ {
+		count := per
+		if w < extra {
+			count++
+		}
+		s.lo[w] = start
+		s.hi[w] = start + count
+		start += count
+	}
+	return s, nil
+}
+
+// Name implements Balancer.
+func (s *Stealing) Name() string { return "work-stealing" }
+
+// Steals reports how many successful steals occurred.
+func (s *Stealing) Steals() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.steals
+}
+
+// Next implements Balancer.
+func (s *Stealing) Next(worker int) (int, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if worker < 0 || worker >= s.workers {
+		return 0, false
+	}
+	if s.lo[worker] < s.hi[worker] {
+		t := s.lo[worker]
+		s.lo[worker]++
+		return t, true
+	}
+	// Steal: try random victims, then a deterministic scan so termination
+	// is exact rather than probabilistic.
+	for attempt := 0; attempt < s.workers; attempt++ {
+		v := s.rng.Intn(s.workers)
+		if s.tryStealFrom(worker, v) {
+			t := s.lo[worker]
+			s.lo[worker]++
+			return t, true
+		}
+	}
+	for v := 0; v < s.workers; v++ {
+		if s.tryStealFrom(worker, v) {
+			t := s.lo[worker]
+			s.lo[worker]++
+			return t, true
+		}
+	}
+	return 0, false
+}
+
+// tryStealFrom moves the upper half of v's remaining block to the thief.
+// Caller holds the lock.
+func (s *Stealing) tryStealFrom(thief, v int) bool {
+	if v == thief || s.lo[v] >= s.hi[v] {
+		return false
+	}
+	remaining := s.hi[v] - s.lo[v]
+	take := (remaining + 1) / 2
+	s.lo[thief] = s.hi[v] - take
+	s.hi[thief] = s.hi[v]
+	s.hi[v] -= take
+	s.steals++
+	return true
+}
+
+// --- Simulation harness for comparing strategies ---
+
+// Makespan runs the balancer to completion with the given per-task costs
+// and worker count, returning the simulated parallel finish time and the
+// per-worker busy times. Workers draw tasks greedily (earliest-available
+// first), which matches how the Fock builders consume the balancers.
+func Makespan(b Balancer, costs []float64, workers int) (finish float64, busy []float64) {
+	busy = make([]float64, workers)
+	done := false
+	for !done {
+		// Advance the globally earliest worker.
+		w := 0
+		for i := 1; i < workers; i++ {
+			if busy[i] < busy[w] {
+				w = i
+			}
+		}
+		t, ok := b.Next(w)
+		if !ok {
+			// This worker is out of work; give every other worker a chance
+			// before declaring completion.
+			done = true
+			for i := 0; i < workers; i++ {
+				if i == w {
+					continue
+				}
+				if t2, ok2 := b.Next(i); ok2 {
+					busy[i] += costs[t2]
+					done = false
+					break
+				}
+			}
+			continue
+		}
+		busy[w] += costs[t]
+	}
+	for _, v := range busy {
+		if v > finish {
+			finish = v
+		}
+	}
+	return finish, busy
+}

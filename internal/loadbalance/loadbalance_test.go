@@ -1,0 +1,199 @@
+package loadbalance
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+// drainAll runs every worker concurrently until the balancer is empty and
+// returns how many times each task was handed out.
+func drainAll(t *testing.T, b Balancer, n, workers int) []int {
+	t.Helper()
+	counts := make([]int, n)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				task, ok := b.Next(w)
+				if !ok {
+					return
+				}
+				mu.Lock()
+				counts[task]++
+				mu.Unlock()
+			}
+		}(w)
+	}
+	wg.Wait()
+	return counts
+}
+
+func checkExactlyOnce(t *testing.T, counts []int, name string) {
+	t.Helper()
+	for i, c := range counts {
+		if c != 1 {
+			t.Fatalf("%s: task %d handed out %d times", name, i, c)
+		}
+	}
+}
+
+func TestCounterExactlyOnce(t *testing.T) {
+	for _, chunk := range []int{1, 3, 16} {
+		b := NewCounter(500, chunk)
+		checkExactlyOnce(t, drainAll(t, b, 500, 7), b.Name())
+	}
+}
+
+func TestStaticExactlyOnce(t *testing.T) {
+	b := NewStatic(500, 6)
+	checkExactlyOnce(t, drainAll(t, b, 500, 6), b.Name())
+}
+
+func TestStaticDisjointDeterministic(t *testing.T) {
+	b := NewStatic(20, 4)
+	var got []int
+	for {
+		task, ok := b.Next(1)
+		if !ok {
+			break
+		}
+		got = append(got, task)
+	}
+	want := []int{1, 5, 9, 13, 17}
+	if len(got) != len(want) {
+		t.Fatalf("worker 1 tasks = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("worker 1 tasks = %v want %v", got, want)
+		}
+	}
+}
+
+func TestStaticOutOfRangeWorker(t *testing.T) {
+	b := NewStatic(10, 2)
+	if _, ok := b.Next(5); ok {
+		t.Fatal("out-of-range worker got a task")
+	}
+}
+
+func TestStealingExactlyOnce(t *testing.T) {
+	b, err := NewStealing(1000, 8, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkExactlyOnce(t, drainAll(t, b, 1000, 8), b.Name())
+}
+
+func TestStealingStealsOnImbalance(t *testing.T) {
+	// Sequentially drain worker 0's block, then it must steal.
+	b, _ := NewStealing(100, 4, 1)
+	for i := 0; i < 50; i++ {
+		if _, ok := b.Next(0); !ok {
+			break
+		}
+	}
+	if b.Steals() == 0 {
+		t.Fatal("no steals happened despite draining one worker")
+	}
+}
+
+func TestStealingRejectsZeroWorkers(t *testing.T) {
+	if _, err := NewStealing(10, 0, 1); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestStealingQuickExactlyOnce(t *testing.T) {
+	f := func(seed int64, nRaw, wRaw uint8) bool {
+		n := int(nRaw)%200 + 1
+		w := int(wRaw)%8 + 1
+		b, err := NewStealing(n, w, seed)
+		if err != nil {
+			return false
+		}
+		counts := make([]int, n)
+		// Deterministic sequential interleaving.
+		active := make([]bool, w)
+		for i := range active {
+			active[i] = true
+		}
+		remaining := n
+		for remaining > 0 {
+			progressed := false
+			for ww := 0; ww < w; ww++ {
+				if !active[ww] {
+					continue
+				}
+				task, ok := b.Next(ww)
+				if !ok {
+					active[ww] = false
+					continue
+				}
+				counts[task]++
+				remaining--
+				progressed = true
+			}
+			if !progressed {
+				break
+			}
+		}
+		for _, c := range counts {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMakespanBalancedVsStatic(t *testing.T) {
+	// Heavy-tailed costs: dynamic and stealing must beat static.
+	n, workers := 400, 8
+	costs := make([]float64, n)
+	for i := range costs {
+		costs[i] = 1
+	}
+	// Worker 0's static share becomes pathological.
+	for i := 0; i < n; i += workers {
+		costs[i] = 50
+	}
+	staticFinish, _ := Makespan(NewStatic(n, workers), costs, workers)
+	dynFinish, _ := Makespan(NewCounter(n, 1), costs, workers)
+	st, _ := NewStealing(n, workers, 3)
+	stealFinish, _ := Makespan(st, costs, workers)
+	if dynFinish >= staticFinish {
+		t.Fatalf("dynamic (%v) should beat static (%v) on skewed costs", dynFinish, staticFinish)
+	}
+	if stealFinish >= staticFinish {
+		t.Fatalf("stealing (%v) should beat static (%v) on skewed costs", stealFinish, staticFinish)
+	}
+}
+
+func TestMakespanConservation(t *testing.T) {
+	// Sum of busy time must equal sum of costs for every strategy.
+	n, workers := 137, 5
+	costs := make([]float64, n)
+	total := 0.0
+	for i := range costs {
+		costs[i] = float64(i%7) + 1
+		total += costs[i]
+	}
+	for _, b := range []Balancer{NewCounter(n, 2), NewStatic(n, workers)} {
+		_, busy := Makespan(b, costs, workers)
+		sum := 0.0
+		for _, v := range busy {
+			sum += v
+		}
+		if sum != total {
+			t.Fatalf("%s: busy sum %v != total %v", b.Name(), sum, total)
+		}
+	}
+}

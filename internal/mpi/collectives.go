@@ -1,0 +1,179 @@
+package mpi
+
+// Collectives are implemented over the point-to-point layer with binomial
+// trees (Bcast, Reduce, Gather) and reduce+broadcast (Allreduce), the same
+// structure real MPI libraries use at these scales. Each collective call
+// consumes a per-rank sequence number folded into an internal tag so that
+// back-to-back collectives cannot cross-match; all ranks must call
+// collectives in the same order (standard MPI semantics).
+
+// Op is a reduction operator.
+type Op int
+
+// Supported reduction operators.
+const (
+	Sum Op = iota
+	Max
+	Min
+)
+
+func (o Op) apply(dst, src []float64) {
+	switch o {
+	case Sum:
+		for i, v := range src {
+			dst[i] += v
+		}
+	case Max:
+		for i, v := range src {
+			if v > dst[i] {
+				dst[i] = v
+			}
+		}
+	case Min:
+		for i, v := range src {
+			if v < dst[i] {
+				dst[i] = v
+			}
+		}
+	}
+}
+
+// nextCollTag returns the internal tag for this rank's next collective.
+func (c *Comm) nextCollTag() int {
+	seq := c.world.collSeq[c.rank].Add(1)
+	return internalTagBase + int(seq%(1<<20))
+}
+
+// relRank maps a rank into the tree rooted at root.
+func relRank(rank, root, size int) int { return (rank - root + size) % size }
+
+func absRank(rel, root, size int) int { return (rel + root) % size }
+
+// Bcast broadcasts buf from root to every rank (in place) via a binomial
+// tree.
+func (c *Comm) Bcast(root int, buf []float64) {
+	c.checkPeer(root)
+	tag := c.nextCollTag()
+	rel := relRank(c.rank, root, c.size)
+	// Receive from parent (clear lowest set bit).
+	if rel != 0 {
+		parent := absRank(rel&(rel-1), root, c.size)
+		data, _, _ := c.Recv(parent, tag)
+		copy(buf, data)
+	}
+	// Forward to children: set bits above the lowest set bit.
+	for bit := 1; bit < c.size; bit <<= 1 {
+		if rel&(bit-1) == 0 && rel&bit == 0 {
+			child := rel | bit
+			if child < c.size {
+				c.send(absRank(child, root, c.size), tag, buf, nil)
+			}
+		} else {
+			break
+		}
+	}
+}
+
+// Reduce combines buf across ranks with op into out on root; out is only
+// written on root (it may be nil elsewhere). buf is not modified.
+func (c *Comm) Reduce(root int, op Op, buf []float64, out []float64) {
+	c.checkPeer(root)
+	tag := c.nextCollTag()
+	rel := relRank(c.rank, root, c.size)
+	acc := append([]float64(nil), buf...)
+	// Gather partial sums from children (binomial tree, deepest first).
+	for bit := 1; bit < c.size; bit <<= 1 {
+		if rel&bit != 0 {
+			// Send accumulated value to parent and stop.
+			parent := absRank(rel&^bit, root, c.size)
+			c.send(parent, tag, acc, nil)
+			c.world.stats.Reduces.Add(1)
+			return
+		}
+		child := rel | bit
+		if child < c.size {
+			data, _, _ := c.Recv(absRank(child, root, c.size), tag)
+			op.apply(acc, data)
+		}
+	}
+	// Only the root reaches here.
+	copy(out, acc)
+	c.world.stats.Reduces.Add(1)
+}
+
+// Allreduce combines buf across all ranks with op; every rank receives the
+// result in out (which may alias buf).
+func (c *Comm) Allreduce(op Op, buf []float64, out []float64) {
+	tmp := make([]float64, len(buf))
+	c.Reduce(0, op, buf, tmp)
+	c.Bcast(0, tmp)
+	copy(out, tmp)
+}
+
+// AllreduceSumInPlace is the gsumf shape: sums buf across ranks in place.
+func (c *Comm) AllreduceSumInPlace(buf []float64) {
+	c.Allreduce(Sum, buf, buf)
+}
+
+// Gather collects each rank's buf (equal lengths) on root into out, which
+// must have len == size*len(buf) on root (ignored elsewhere).
+func (c *Comm) Gather(root int, buf []float64, out []float64) {
+	c.checkPeer(root)
+	tag := c.nextCollTag()
+	if c.rank == root {
+		copy(out[root*len(buf):(root+1)*len(buf)], buf)
+		for i := 0; i < c.size-1; i++ {
+			data, src, _ := c.Recv(AnySource, tag)
+			copy(out[src*len(data):], data)
+		}
+	} else {
+		c.send(root, tag, buf, nil)
+	}
+}
+
+// Allgather collects each rank's buf on every rank.
+func (c *Comm) Allgather(buf []float64, out []float64) {
+	c.Gather(0, buf, out)
+	c.Bcast(0, out)
+}
+
+// Scatter distributes equal-length chunks of in (on root) so every rank
+// receives its chunk in out; len(in) == size*len(out) on root.
+func (c *Comm) Scatter(root int, in []float64, out []float64) {
+	c.checkPeer(root)
+	tag := c.nextCollTag()
+	if c.rank == root {
+		for r := 0; r < c.size; r++ {
+			if r == root {
+				copy(out, in[r*len(out):(r+1)*len(out)])
+				continue
+			}
+			c.send(r, tag, in[r*len(out):(r+1)*len(out)], nil)
+		}
+	} else {
+		data, _, _ := c.Recv(root, tag)
+		copy(out, data)
+	}
+}
+
+// BcastInts broadcasts an int payload from root.
+func (c *Comm) BcastInts(root int, buf []int) {
+	c.checkPeer(root)
+	tag := c.nextCollTag()
+	rel := relRank(c.rank, root, c.size)
+	if rel != 0 {
+		parent := absRank(rel&(rel-1), root, c.size)
+		data, _, _ := c.RecvInts(parent, tag)
+		copy(buf, data)
+	}
+	for bit := 1; bit < c.size; bit <<= 1 {
+		if rel&(bit-1) == 0 && rel&bit == 0 {
+			child := rel | bit
+			if child < c.size {
+				c.send(absRank(child, root, c.size), tag, nil, buf)
+			}
+		} else {
+			break
+		}
+	}
+}

@@ -1,0 +1,418 @@
+// Package mpi is an in-process message-passing runtime with MPI-like
+// semantics: a fixed set of ranks executing the same function as
+// goroutines, tagged point-to-point sends and receives with wildcard
+// matching, tree-based collectives, and shared windows supporting the
+// one-sided fetch-and-add that the GAMESS DDI dynamic load balancer needs.
+//
+// It substitutes for the Intel MPI + DDI stack of the paper: the Fock
+// build algorithms only require send/recv ordering guarantees, barriers,
+// global sums, and an atomic global counter — all of which behave here
+// exactly as on a real cluster, with real concurrency, so the algorithms'
+// synchronization logic is genuinely exercised.
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Wildcards for Recv matching.
+const (
+	AnySource = -1
+	AnyTag    = -2
+)
+
+// internalTagBase separates collective traffic from user tags; user tags
+// must be small non-negative integers.
+const internalTagBase = 1 << 24
+
+// message is one point-to-point payload in flight.
+type message struct {
+	source int
+	tag    int
+	data   []float64
+	ints   []int
+}
+
+// mailbox is a rank's unordered-arrival, ordered-matching receive queue.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) deliver(msg message) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+// take blocks until a message matching (source, tag) is available and
+// removes it. Matching follows MPI ordering: the earliest-queued matching
+// message wins.
+func (m *mailbox) take(source, tag int) message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.queue {
+			if (source == AnySource || msg.source == source) &&
+				(tag == AnyTag || msg.tag == tag) {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// window is a shared memory region with atomic access, modeling an MPI-3
+// one-sided window (the DDI layer builds its DLB counter on one).
+type window struct {
+	mu   sync.Mutex
+	data []float64
+	ctr  []atomic.Int64
+}
+
+// World owns the shared state of one run: mailboxes, barrier, windows.
+type World struct {
+	size      int
+	boxes     []*mailbox
+	windows   sync.Map // name -> *window
+	subWorlds sync.Map // split key -> *World
+	barrier   *cyclicBarrier
+	collSeq   []atomic.Int64 // per-rank collective sequence numbers
+	stats     Stats
+	panicOnce sync.Once
+	panicked  atomic.Bool
+	panicVal  any
+}
+
+// Stats aggregates communication volume over a run; the large-system
+// simulator's network cost model is sanity-checked against it.
+type Stats struct {
+	Messages atomic.Int64
+	Floats   atomic.Int64
+	Barriers atomic.Int64
+	Reduces  atomic.Int64
+}
+
+// Comm is one rank's communicator handle.
+type Comm struct {
+	rank  int
+	size  int
+	world *World
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the number of ranks.
+func (c *Comm) Size() int { return c.size }
+
+// WorldStats returns a snapshot of the run's communication statistics.
+func (c *Comm) WorldStats() (messages, floats, barriers, reduces int64) {
+	s := &c.world.stats
+	return s.Messages.Load(), s.Floats.Load(), s.Barriers.Load(), s.Reduces.Load()
+}
+
+// Run executes f on size ranks concurrently and returns when all ranks
+// finish. A panic on any rank is recovered, propagated as an error, and
+// noted so stuck collectives on other ranks cannot deadlock the test
+// process silently (their goroutines are abandoned).
+func Run(size int, f func(c *Comm)) error {
+	if size <= 0 {
+		return fmt.Errorf("mpi: size must be positive, got %d", size)
+	}
+	w := &World{
+		size:    size,
+		boxes:   make([]*mailbox, size),
+		barrier: newCyclicBarrier(size),
+		collSeq: make([]atomic.Int64, size),
+	}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	var wg sync.WaitGroup
+	wg.Add(size)
+	for r := 0; r < size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if p := recover(); p != nil {
+					w.panicOnce.Do(func() { w.panicVal = p })
+					w.panicked.Store(true)
+					// Wake every blocked receiver so the run can unwind.
+					for _, b := range w.boxes {
+						b.cond.Broadcast()
+					}
+					w.barrier.poison()
+				}
+			}()
+			f(&Comm{rank: rank, size: size, world: w})
+		}(r)
+	}
+	wg.Wait()
+	if w.panicked.Load() {
+		return fmt.Errorf("mpi: rank panicked: %v", w.panicVal)
+	}
+	return nil
+}
+
+// Send delivers a copy of data to rank dest with the given tag. Tags must
+// be in [0, 1<<24).
+func (c *Comm) Send(dest, tag int, data []float64) {
+	c.checkPeer(dest)
+	c.checkTag(tag)
+	c.send(dest, tag, data, nil)
+}
+
+// SendInts delivers an integer payload.
+func (c *Comm) SendInts(dest, tag int, data []int) {
+	c.checkPeer(dest)
+	c.checkTag(tag)
+	c.send(dest, tag, nil, data)
+}
+
+func (c *Comm) send(dest, tag int, data []float64, ints []int) {
+	msg := message{source: c.rank, tag: tag}
+	if data != nil {
+		msg.data = append([]float64(nil), data...)
+	}
+	if ints != nil {
+		msg.ints = append([]int(nil), ints...)
+	}
+	c.world.stats.Messages.Add(1)
+	c.world.stats.Floats.Add(int64(len(data)))
+	c.world.boxes[dest].deliver(msg)
+}
+
+// Recv blocks until a message matching source and tag arrives and returns
+// its payload along with the actual source and tag (useful with
+// wildcards).
+func (c *Comm) Recv(source, tag int) (data []float64, actualSource, actualTag int) {
+	if source != AnySource {
+		c.checkPeer(source)
+	}
+	msg := c.world.boxes[c.rank].take(source, tag)
+	return msg.data, msg.source, msg.tag
+}
+
+// RecvInts receives an integer payload.
+func (c *Comm) RecvInts(source, tag int) (data []int, actualSource, actualTag int) {
+	msg := c.world.boxes[c.rank].take(source, tag)
+	return msg.ints, msg.source, msg.tag
+}
+
+func (c *Comm) checkPeer(r int) {
+	if r < 0 || r >= c.size {
+		panic(fmt.Sprintf("mpi: rank %d out of range [0,%d)", r, c.size))
+	}
+}
+
+func (c *Comm) checkTag(tag int) {
+	if tag < 0 || tag >= internalTagBase {
+		panic(fmt.Sprintf("mpi: user tag %d out of range", tag))
+	}
+}
+
+// --- barrier ---
+
+// cyclicBarrier is a reusable counting barrier for size participants.
+type cyclicBarrier struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	size     int
+	count    int
+	gen      int
+	poisoned bool
+}
+
+func newCyclicBarrier(size int) *cyclicBarrier {
+	b := &cyclicBarrier{size: size}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *cyclicBarrier) await() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.poisoned {
+		panic("mpi: barrier poisoned by peer rank failure")
+	}
+	gen := b.gen
+	b.count++
+	if b.count == b.size {
+		b.count = 0
+		b.gen++
+		b.cond.Broadcast()
+		return
+	}
+	for gen == b.gen && !b.poisoned {
+		b.cond.Wait()
+	}
+	if b.poisoned {
+		panic("mpi: barrier poisoned by peer rank failure")
+	}
+}
+
+func (b *cyclicBarrier) poison() {
+	b.mu.Lock()
+	b.poisoned = true
+	b.mu.Unlock()
+	b.cond.Broadcast()
+}
+
+// Barrier blocks until every rank has entered it.
+func (c *Comm) Barrier() {
+	c.world.stats.Barriers.Add(1)
+	c.world.barrier.await()
+}
+
+// --- shared windows (MPI-3 one-sided emulation) ---
+
+// getWindow creates or fetches the named window sized for at least n
+// counters. The first creator fixes the capacity, so a generous minimum is
+// applied; DLB windows only ever use a handful of counters.
+func (c *Comm) getWindow(name string, n int) *window {
+	capacity := n
+	if capacity < 64 {
+		capacity = 64
+	}
+	v, _ := c.world.windows.LoadOrStore(name, &window{
+		data: make([]float64, capacity),
+		ctr:  make([]atomic.Int64, capacity),
+	})
+	return v.(*window)
+}
+
+// FetchAdd atomically adds delta to counter idx of the named window and
+// returns the previous value — the primitive under DDI's dlbnext.
+func (c *Comm) FetchAdd(name string, idx int, delta int64) int64 {
+	w := c.getWindow(name, idx+1)
+	if idx >= len(w.ctr) {
+		panic(fmt.Sprintf("mpi: window %q counter %d out of range", name, idx))
+	}
+	return w.ctr[idx].Add(delta) - delta
+}
+
+// CounterStore atomically sets counter idx of the named window.
+func (c *Comm) CounterStore(name string, idx int, v int64) {
+	w := c.getWindow(name, idx+1)
+	w.ctr[idx].Store(v)
+}
+
+// CounterLoad atomically reads counter idx of the named window.
+func (c *Comm) CounterLoad(name string, idx int) int64 {
+	w := c.getWindow(name, idx+1)
+	return w.ctr[idx].Load()
+}
+
+// WinCreate collectively creates (or re-fetches) a named float window of
+// the given size; every rank must pass the same size.
+func (c *Comm) WinCreate(name string, size int) {
+	v, _ := c.world.windows.LoadOrStore(name, &window{
+		data: make([]float64, size),
+		ctr:  make([]atomic.Int64, 1),
+	})
+	if len(v.(*window).data) < size {
+		panic(fmt.Sprintf("mpi: window %q exists with smaller size", name))
+	}
+}
+
+// WinPut stores data at offset of the named window (one-sided put).
+func (c *Comm) WinPut(name string, offset int, data []float64) {
+	w := c.getWindow(name, offset+len(data))
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	copy(w.data[offset:offset+len(data)], data)
+}
+
+// WinGet copies window contents at offset into out (one-sided get).
+func (c *Comm) WinGet(name string, offset int, out []float64) {
+	w := c.getWindow(name, offset+len(out))
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	copy(out, w.data[offset:offset+len(out)])
+}
+
+// WinAcc atomically accumulates (sums) data into the window at offset —
+// the DDI acc operation used by distributed-data SCF variants.
+func (c *Comm) WinAcc(name string, offset int, data []float64) {
+	w := c.getWindow(name, offset+len(data))
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	for i, v := range data {
+		w.data[offset+i] += v
+	}
+}
+
+// Split partitions the communicator by color (like MPI_Comm_split): ranks
+// with equal color form a new communicator whose ranks are ordered by
+// (key, old rank). A negative color opts out and receives nil. This is
+// how node-local communicators are carved out of the world (the paper's
+// jobs run 4 ranks per node; node-level collectives use such a split).
+// Collective: every rank must call it at the same point.
+func (c *Comm) Split(color, key int) *Comm {
+	// Gather (color, key) from every rank through a window, then compute
+	// membership deterministically on each rank.
+	name := fmt.Sprintf("mpi.split.%d", c.world.collSeq[c.rank].Add(1))
+	c.getWindow(name, 2*c.size)
+	cw, _ := c.world.windows.Load(name)
+	w := cw.(*window)
+	w.ctr[2*c.rank].Store(int64(color))
+	w.ctr[2*c.rank+1].Store(int64(key))
+	c.Barrier()
+	if color < 0 {
+		c.Barrier()
+		return nil
+	}
+	type member struct{ rank, key int }
+	var members []member
+	for r := 0; r < c.size; r++ {
+		if int(w.ctr[2*r].Load()) == color {
+			members = append(members, member{rank: r, key: int(w.ctr[2*r+1].Load())})
+		}
+	}
+	sort.Slice(members, func(a, b int) bool {
+		if members[a].key != members[b].key {
+			return members[a].key < members[b].key
+		}
+		return members[a].rank < members[b].rank
+	})
+	myNew := -1
+	for i, m := range members {
+		if m.rank == c.rank {
+			myNew = i
+		}
+	}
+	// Build the sub-world: a fresh set of mailboxes and barrier shared
+	// through another window-backed registry.
+	subKey := fmt.Sprintf("%s.world.%d", name, color)
+	v, _ := c.world.subWorlds.LoadOrStore(subKey, newSubWorld(len(members)))
+	sub := v.(*World)
+	c.Barrier()
+	return &Comm{rank: myNew, size: len(members), world: sub}
+}
+
+// newSubWorld builds the shared state of a split communicator.
+func newSubWorld(size int) *World {
+	w := &World{
+		size:    size,
+		boxes:   make([]*mailbox, size),
+		barrier: newCyclicBarrier(size),
+		collSeq: make([]atomic.Int64, size),
+	}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
+}

@@ -1,0 +1,568 @@
+package mpi
+
+import (
+	"math"
+	"strings"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunSizeValidation(t *testing.T) {
+	if err := Run(0, func(c *Comm) {}); err == nil {
+		t.Fatal("expected error for size 0")
+	}
+	if err := Run(-3, func(c *Comm) {}); err == nil {
+		t.Fatal("expected error for negative size")
+	}
+}
+
+func TestRankAndSize(t *testing.T) {
+	var seen [5]atomic.Bool
+	err := Run(5, func(c *Comm) {
+		if c.Size() != 5 {
+			t.Errorf("size = %d", c.Size())
+		}
+		seen[c.Rank()].Store(true)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := range seen {
+		if !seen[r].Load() {
+			t.Fatalf("rank %d never ran", r)
+		}
+	}
+}
+
+func TestSendRecvBasic(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 7, []float64{1, 2, 3})
+		} else {
+			data, src, tag := c.Recv(0, 7)
+			if src != 0 || tag != 7 || len(data) != 3 || data[2] != 3 {
+				t.Errorf("got %v src=%d tag=%d", data, src, tag)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []float64{1}
+			c.Send(1, 0, buf)
+			buf[0] = 99 // must not affect the receiver
+			c.Barrier()
+		} else {
+			c.Barrier()
+			data, _, _ := c.Recv(0, 0)
+			if data[0] != 1 {
+				t.Errorf("send did not copy: %v", data)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvWildcards(t *testing.T) {
+	err := Run(3, func(c *Comm) {
+		switch c.Rank() {
+		case 0:
+			got := map[int]bool{}
+			for i := 0; i < 2; i++ {
+				data, src, _ := c.Recv(AnySource, AnyTag)
+				got[src] = true
+				if data[0] != float64(src) {
+					t.Errorf("payload mismatch from %d: %v", src, data)
+				}
+			}
+			if !got[1] || !got[2] {
+				t.Errorf("missing sources: %v", got)
+			}
+		default:
+			c.Send(0, c.Rank()+10, []float64{float64(c.Rank())})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRecvTagSelectivity(t *testing.T) {
+	// Messages with different tags must be matched by tag even when they
+	// arrive out of request order.
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 5, []float64{5})
+			c.Send(1, 6, []float64{6})
+		} else {
+			// Ask for tag 6 first.
+			d6, _, _ := c.Recv(0, 6)
+			d5, _, _ := c.Recv(0, 5)
+			if d6[0] != 6 || d5[0] != 5 {
+				t.Errorf("tag matching broken: %v %v", d5, d6)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendInts(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.SendInts(1, 3, []int{42, -7})
+		} else {
+			d, src, tag := c.RecvInts(0, 3)
+			if src != 0 || tag != 3 || d[0] != 42 || d[1] != -7 {
+				t.Errorf("ints: %v", d)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBarrierOrdering(t *testing.T) {
+	var phase atomic.Int64
+	err := Run(8, func(c *Comm) {
+		phase.Add(1)
+		c.Barrier()
+		if phase.Load() != 8 {
+			t.Errorf("barrier released before all ranks arrived: %d", phase.Load())
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastVariousRootsAndSizes(t *testing.T) {
+	for _, size := range []int{1, 2, 3, 4, 7, 8, 13} {
+		for root := 0; root < size; root += 2 {
+			err := Run(size, func(c *Comm) {
+				buf := make([]float64, 4)
+				if c.Rank() == root {
+					for i := range buf {
+						buf[i] = float64(10*root + i)
+					}
+				}
+				c.Bcast(root, buf)
+				for i := range buf {
+					if buf[i] != float64(10*root+i) {
+						t.Errorf("size=%d root=%d rank=%d: buf=%v", size, root, c.Rank(), buf)
+						return
+					}
+				}
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestReduceSum(t *testing.T) {
+	for _, size := range []int{1, 2, 5, 8, 9} {
+		err := Run(size, func(c *Comm) {
+			in := []float64{float64(c.Rank()), 1}
+			out := make([]float64, 2)
+			c.Reduce(0, Sum, in, out)
+			if c.Rank() == 0 {
+				wantSum := float64(size*(size-1)) / 2
+				if out[0] != wantSum || out[1] != float64(size) {
+					t.Errorf("size=%d: reduce = %v", size, out)
+				}
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestReduceMaxMin(t *testing.T) {
+	err := Run(6, func(c *Comm) {
+		in := []float64{float64(c.Rank())}
+		outMax := make([]float64, 1)
+		outMin := make([]float64, 1)
+		c.Reduce(2, Max, in, outMax)
+		c.Reduce(2, Min, in, outMin)
+		if c.Rank() == 2 {
+			if outMax[0] != 5 || outMin[0] != 0 {
+				t.Errorf("max=%v min=%v", outMax, outMin)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduce(t *testing.T) {
+	for _, size := range []int{1, 3, 4, 10} {
+		err := Run(size, func(c *Comm) {
+			buf := []float64{1, float64(c.Rank())}
+			c.AllreduceSumInPlace(buf)
+			wantSum := float64(size*(size-1)) / 2
+			if buf[0] != float64(size) || buf[1] != wantSum {
+				t.Errorf("size=%d rank=%d: %v", size, c.Rank(), buf)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAllreduceRepeatedNoCrossTalk(t *testing.T) {
+	// Successive collectives must not cross-match messages.
+	err := Run(4, func(c *Comm) {
+		for iter := 0; iter < 20; iter++ {
+			buf := []float64{float64(iter)}
+			c.AllreduceSumInPlace(buf)
+			if buf[0] != float64(4*iter) {
+				t.Errorf("iter %d: got %v", iter, buf[0])
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGatherScatter(t *testing.T) {
+	err := Run(4, func(c *Comm) {
+		// Gather
+		out := make([]float64, 4)
+		c.Gather(1, []float64{float64(c.Rank() * c.Rank())}, out)
+		if c.Rank() == 1 {
+			for r := 0; r < 4; r++ {
+				if out[r] != float64(r*r) {
+					t.Errorf("gather: %v", out)
+				}
+			}
+		}
+		c.Barrier()
+		// Scatter
+		var in []float64
+		if c.Rank() == 1 {
+			in = []float64{10, 11, 12, 13}
+		}
+		chunk := make([]float64, 1)
+		c.Scatter(1, in, chunk)
+		if chunk[0] != float64(10+c.Rank()) {
+			t.Errorf("scatter rank %d: %v", c.Rank(), chunk)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllgather(t *testing.T) {
+	err := Run(5, func(c *Comm) {
+		out := make([]float64, 5)
+		c.Allgather([]float64{float64(c.Rank() + 1)}, out)
+		for r := 0; r < 5; r++ {
+			if out[r] != float64(r+1) {
+				t.Errorf("allgather rank %d: %v", c.Rank(), out)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBcastInts(t *testing.T) {
+	err := Run(6, func(c *Comm) {
+		buf := make([]int, 2)
+		if c.Rank() == 3 {
+			buf[0], buf[1] = 17, -4
+		}
+		c.BcastInts(3, buf)
+		if buf[0] != 17 || buf[1] != -4 {
+			t.Errorf("rank %d: %v", c.Rank(), buf)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFetchAddSharedCounter(t *testing.T) {
+	const size, grabs = 8, 100
+	counts := make([]atomic.Int64, size*grabs)
+	err := Run(size, func(c *Comm) {
+		for i := 0; i < grabs; i++ {
+			v := c.FetchAdd("dlb", 0, 1)
+			counts[v].Add(1)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range counts {
+		if counts[i].Load() != 1 {
+			t.Fatalf("counter value %d claimed %d times", i, counts[i].Load())
+		}
+	}
+}
+
+func TestCounterStoreLoad(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.CounterStore("w", 3, 123)
+		}
+		c.Barrier()
+		if got := c.CounterLoad("w", 3); got != 123 {
+			t.Errorf("CounterLoad = %d", got)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPanicPropagation(t *testing.T) {
+	err := Run(4, func(c *Comm) {
+		if c.Rank() == 2 {
+			panic("deliberate failure")
+		}
+		// Other ranks block in a barrier; the poison must release them.
+		defer func() { recover() }()
+		c.Barrier()
+	})
+	if err == nil || !strings.Contains(err.Error(), "deliberate failure") {
+		t.Fatalf("expected propagated panic, got %v", err)
+	}
+}
+
+func TestStatsAccounting(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 0, []float64{1, 2, 3, 4})
+		} else {
+			c.Recv(0, 0)
+		}
+		c.Barrier()
+		msgs, floats, barriers, _ := c.WorldStats()
+		if msgs < 1 || floats < 4 || barriers < 1 {
+			t.Errorf("stats: msgs=%d floats=%d barriers=%d", msgs, floats, barriers)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllreduceLargeBuffer(t *testing.T) {
+	// Fock-matrix sized reduction (packed triangular of N=60 -> 1830).
+	n := 1830
+	err := Run(4, func(c *Comm) {
+		buf := make([]float64, n)
+		for i := range buf {
+			buf[i] = float64(c.Rank()+1) * float64(i)
+		}
+		c.AllreduceSumInPlace(buf)
+		for i := range buf {
+			want := 10.0 * float64(i) // (1+2+3+4) * i
+			if math.Abs(buf[i]-want) > 1e-12 {
+				t.Errorf("buf[%d] = %v want %v", i, buf[i], want)
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendIrecv(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			req := c.Isend(1, 9, []float64{1, 2})
+			req.Wait()
+		} else {
+			req := c.Irecv(0, 9)
+			data, src, tag := req.Wait()
+			if src != 0 || tag != 9 || len(data) != 2 || data[1] != 2 {
+				t.Errorf("irecv got %v src=%d tag=%d", data, src, tag)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIsendBufferReuse(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			buf := []float64{42}
+			req := c.Isend(1, 0, buf)
+			buf[0] = -1 // must not affect the in-flight copy
+			req.Wait()
+		} else {
+			data, _, _ := c.Recv(0, 0)
+			if data[0] != 42 {
+				t.Errorf("buffer reuse corrupted payload: %v", data)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestIrecvTestPolling(t *testing.T) {
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 1 {
+			req := c.Irecv(0, 5)
+			if req.Test() {
+				// May legitimately be true if the send won the race, but
+				// before the barrier the send hasn't been posted yet.
+				t.Error("Test true before send was posted")
+			}
+			c.Barrier()
+			data, _, _ := req.Wait()
+			if data[0] != 7 {
+				t.Errorf("polled recv got %v", data)
+			}
+			if !req.Test() {
+				t.Error("Test false after Wait")
+			}
+		} else {
+			c.Barrier()
+			c.Send(1, 5, []float64{7})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWaitAllOverlap(t *testing.T) {
+	// Post several receives, then sends arrive out of order; WaitAll must
+	// complete them all with correct tag matching.
+	err := Run(2, func(c *Comm) {
+		if c.Rank() == 0 {
+			r1 := c.Irecv(1, 1)
+			r2 := c.Irecv(1, 2)
+			r3 := c.Irecv(1, 3)
+			WaitAll(r1, r2, r3, nil)
+			for i, r := range []*Request{r1, r2, r3} {
+				data, _, tag := r.Wait()
+				if tag != i+1 || data[0] != float64(10*(i+1)) {
+					t.Errorf("req %d: data=%v tag=%d", i, data, tag)
+				}
+			}
+		} else {
+			// Reverse order sends.
+			c.Send(0, 3, []float64{30})
+			c.Send(0, 2, []float64{20})
+			c.Send(0, 1, []float64{10})
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitByColor(t *testing.T) {
+	// 8 ranks on 2 "nodes" of 4 (the paper's layout): split by node id.
+	err := Run(8, func(c *Comm) {
+		node := c.Rank() / 4
+		sub := c.Split(node, c.Rank())
+		if sub == nil {
+			t.Errorf("rank %d got nil subcomm", c.Rank())
+			return
+		}
+		if sub.Size() != 4 {
+			t.Errorf("rank %d: sub size %d", c.Rank(), sub.Size())
+		}
+		if sub.Rank() != c.Rank()%4 {
+			t.Errorf("rank %d: sub rank %d", c.Rank(), sub.Rank())
+		}
+		// Node-local allreduce: sums within each node only.
+		buf := []float64{float64(c.Rank())}
+		sub.AllreduceSumInPlace(buf)
+		want := float64(0 + 1 + 2 + 3)
+		if node == 1 {
+			want = 4 + 5 + 6 + 7
+		}
+		if buf[0] != want {
+			t.Errorf("rank %d: node sum %v want %v", c.Rank(), buf[0], want)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitKeyOrdering(t *testing.T) {
+	// Reversed keys must reverse the sub-ranks.
+	err := Run(4, func(c *Comm) {
+		sub := c.Split(0, -c.Rank())
+		if sub.Rank() != 3-c.Rank() {
+			t.Errorf("rank %d: sub rank %d want %d", c.Rank(), sub.Rank(), 3-c.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitOptOut(t *testing.T) {
+	err := Run(4, func(c *Comm) {
+		color := 0
+		if c.Rank() == 3 {
+			color = -1
+		}
+		sub := c.Split(color, 0)
+		if c.Rank() == 3 {
+			if sub != nil {
+				t.Error("opted-out rank got a communicator")
+			}
+			return
+		}
+		if sub == nil || sub.Size() != 3 {
+			t.Errorf("rank %d: bad subcomm", c.Rank())
+		}
+		// The sub-communicator must be fully functional.
+		sub.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSplitRepeated(t *testing.T) {
+	// Successive splits must not interfere.
+	err := Run(6, func(c *Comm) {
+		for iter := 0; iter < 5; iter++ {
+			sub := c.Split(c.Rank()%2, c.Rank())
+			buf := []float64{1}
+			sub.AllreduceSumInPlace(buf)
+			if buf[0] != 3 {
+				t.Errorf("iter %d rank %d: %v", iter, c.Rank(), buf[0])
+				return
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

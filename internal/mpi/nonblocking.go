@@ -1,0 +1,75 @@
+package mpi
+
+// Nonblocking point-to-point operations (MPI_Isend / MPI_Irecv /
+// MPI_Wait). The GAMESS DDI layer uses nonblocking transfers to overlap
+// distributed-array traffic with integral computation; these complete the
+// substrate so such overlap patterns can be expressed here too.
+
+// Request is a handle to an in-flight nonblocking operation.
+type Request struct {
+	done chan struct{}
+	data []float64
+	src  int
+	tag  int
+}
+
+// Wait blocks until the operation completes and returns the received
+// payload (nil for sends) with its envelope.
+func (r *Request) Wait() (data []float64, source, tag int) {
+	<-r.done
+	return r.data, r.src, r.tag
+}
+
+// Test reports whether the operation has completed without blocking.
+func (r *Request) Test() bool {
+	select {
+	case <-r.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// Isend starts a nonblocking send. The payload is copied immediately, so
+// the caller may reuse the buffer right away (MPI_Isend with an eager
+// protocol). The returned request completes as soon as the message is
+// enqueued at the destination.
+func (c *Comm) Isend(dest, tag int, data []float64) *Request {
+	c.checkPeer(dest)
+	c.checkTag(tag)
+	r := &Request{done: make(chan struct{})}
+	payload := append([]float64(nil), data...)
+	go func() {
+		c.world.stats.Messages.Add(1)
+		c.world.stats.Floats.Add(int64(len(payload)))
+		c.world.boxes[dest].deliver(message{source: c.rank, tag: tag, data: payload})
+		close(r.done)
+	}()
+	return r
+}
+
+// Irecv starts a nonblocking receive matching (source, tag), wildcards
+// allowed. Complete it with Wait or poll with Test.
+func (c *Comm) Irecv(source, tag int) *Request {
+	if source != AnySource {
+		c.checkPeer(source)
+	}
+	r := &Request{done: make(chan struct{})}
+	go func() {
+		msg := c.world.boxes[c.rank].take(source, tag)
+		r.data = msg.data
+		r.src = msg.source
+		r.tag = msg.tag
+		close(r.done)
+	}()
+	return r
+}
+
+// WaitAll waits for every request.
+func WaitAll(reqs ...*Request) {
+	for _, r := range reqs {
+		if r != nil {
+			r.Wait()
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package scf
+
+import (
+	"repro/internal/ddi"
+	"repro/internal/fock"
+	"repro/internal/integrals"
+	"repro/internal/linalg"
+)
+
+// SerialBuilder returns a Builder running the single-threaded reference
+// Fock construction.
+func SerialBuilder(eng *integrals.Engine, sch *integrals.Schwarz, tau float64) Builder {
+	if tau == 0 {
+		tau = fock.DefaultTau
+	}
+	return func(d *linalg.Matrix) (*linalg.Matrix, fock.Stats) {
+		return fock.SerialBuild(eng, sch, d, tau)
+	}
+}
+
+// Algorithm selects one of the paper's three Fock-build parallelizations.
+type Algorithm string
+
+// The three SCF implementations benchmarked in the paper.
+const (
+	AlgMPIOnly     Algorithm = "mpi-only"     // Algorithm 1, stock GAMESS
+	AlgPrivateFock Algorithm = "private-fock" // Algorithm 2
+	AlgSharedFock  Algorithm = "shared-fock"  // Algorithm 3
+)
+
+// Algorithms lists the paper's three variants in presentation order.
+var Algorithms = []Algorithm{AlgMPIOnly, AlgPrivateFock, AlgSharedFock}
+
+// ParallelBuilder returns a Builder running the chosen algorithm on the
+// given DDI context. It must be invoked from inside mpi.Run, and ALL
+// ranks must call the resulting builder collectively each iteration.
+func ParallelBuilder(alg Algorithm, dx *ddi.Context, eng *integrals.Engine,
+	sch *integrals.Schwarz, cfg fock.Config) Builder {
+	return func(d *linalg.Matrix) (*linalg.Matrix, fock.Stats) {
+		switch alg {
+		case AlgMPIOnly:
+			return fock.MPIOnlyBuild(dx, eng, sch, d, cfg)
+		case AlgPrivateFock:
+			return fock.PrivateFockBuild(dx, eng, sch, d, cfg)
+		case AlgSharedFock:
+			return fock.SharedFockBuild(dx, eng, sch, d, cfg)
+		default:
+			panic("scf: unknown algorithm " + string(alg))
+		}
+	}
+}
+
+// InCoreBuilder returns a Builder that evaluates the screened ERIs once
+// and replays them every SCF iteration — GAMESS's "conventional" mode,
+// practical only at the small sizes real execution targets (the error
+// from BuildStore explains why the paper's systems require direct SCF).
+func InCoreBuilder(eng *integrals.Engine, sch *integrals.Schwarz, tau float64) (Builder, error) {
+	store, err := fock.BuildStore(eng, sch, tau)
+	if err != nil {
+		return nil, err
+	}
+	return func(d *linalg.Matrix) (*linalg.Matrix, fock.Stats) {
+		return store.BuildFock(d)
+	}, nil
+}

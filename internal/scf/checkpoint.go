@@ -1,0 +1,65 @@
+package scf
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/linalg"
+)
+
+// Checkpointing: persist a converged SCF state and warm-start later runs
+// from it — the role GAMESS's PUNCH/restart files play. A production SCF
+// on thousands of nodes checkpoints between jobs; here the same mechanism
+// also accelerates repeated runs on perturbed geometries.
+
+// Checkpoint is the serialized SCF state.
+type Checkpoint struct {
+	Molecule        string    `json:"molecule"`
+	Basis           string    `json:"basis"`
+	NumBF           int       `json:"num_bf"`
+	Energy          float64   `json:"energy"`
+	Converged       bool      `json:"converged"`
+	Iterations      int       `json:"iterations"`
+	OrbitalEnergies []float64 `json:"orbital_energies"`
+	Density         []float64 `json:"density"` // row-major NumBF x NumBF
+}
+
+// SaveCheckpoint writes the result's restartable state as JSON.
+func SaveCheckpoint(w io.Writer, molName, basisName string, res *Result) error {
+	if res.D == nil {
+		return fmt.Errorf("scf: result has no density to checkpoint")
+	}
+	cp := Checkpoint{
+		Molecule:        molName,
+		Basis:           basisName,
+		NumBF:           res.D.Rows,
+		Energy:          res.Energy,
+		Converged:       res.Converged,
+		Iterations:      res.Iterations,
+		OrbitalEnergies: res.OrbitalEnergies,
+		Density:         res.D.Data,
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(&cp)
+}
+
+// LoadCheckpoint reads a checkpoint written by SaveCheckpoint.
+func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("scf: bad checkpoint: %w", err)
+	}
+	if cp.NumBF <= 0 || len(cp.Density) != cp.NumBF*cp.NumBF {
+		return nil, fmt.Errorf("scf: checkpoint density has %d elements for %d basis functions",
+			len(cp.Density), cp.NumBF)
+	}
+	return &cp, nil
+}
+
+// DensityMatrix reconstructs the checkpointed density.
+func (cp *Checkpoint) DensityMatrix() *linalg.Matrix {
+	m := linalg.NewSquare(cp.NumBF)
+	copy(m.Data, cp.Density)
+	return m
+}

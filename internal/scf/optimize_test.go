@@ -1,0 +1,79 @@
+package scf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/molecule"
+)
+
+func TestOptimizeH2BondLength(t *testing.T) {
+	// Start well away from equilibrium; RHF/STO-3G H2 minimizes at
+	// r = 1.346 bohr (0.712 angstrom) — a classic textbook number.
+	m := &molecule.Molecule{Name: "H2"}
+	m.AddAtomAngstrom("H", 0, 0, 0)
+	m.AddAtomAngstrom("H", 0, 0, 0.90)
+	res, err := Optimize(m, OptimizeOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("optimization did not converge: max grad %v after %d steps",
+			res.MaxGradient, res.Steps)
+	}
+	r := BondLength(res.Molecule, 0, 1)
+	if math.Abs(r-1.346) > 0.02 {
+		t.Fatalf("H2 bond = %.4f bohr, want ~1.346", r)
+	}
+	// Energy at the minimum must beat the starting point and be near the
+	// known minimum value (~ -1.1175 hartree).
+	if res.Energy > res.EnergyTrace[0] {
+		t.Fatal("energy increased")
+	}
+	if math.Abs(res.Energy-(-1.1175)) > 2e-3 {
+		t.Fatalf("optimized energy = %v", res.Energy)
+	}
+}
+
+func TestOptimizeEnergyMonotone(t *testing.T) {
+	m := &molecule.Molecule{Name: "H2"}
+	m.AddAtomAngstrom("H", 0, 0, 0)
+	m.AddAtomAngstrom("H", 0, 0, 0.60)
+	res, err := Optimize(m, OptimizeOptions{MaxSteps: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(res.EnergyTrace); i++ {
+		if res.EnergyTrace[i] > res.EnergyTrace[i-1]+1e-12 {
+			t.Fatalf("energy trace not monotone at %d: %v", i, res.EnergyTrace)
+		}
+	}
+}
+
+func TestNumericalGradientAntisymmetry(t *testing.T) {
+	// For a homonuclear diatomic along z, the gradient must be equal and
+	// opposite on the two atoms and vanish off-axis.
+	m := &molecule.Molecule{Name: "H2"}
+	m.AddAtomAngstrom("H", 0, 0, 0)
+	m.AddAtomAngstrom("H", 0, 0, 0.85)
+	grad, err := NumericalGradient(m, "sto-3g", Options{}, 5e-3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(grad[0][2]+grad[1][2]) > 1e-5 {
+		t.Fatalf("gradient not antisymmetric: %v vs %v", grad[0][2], grad[1][2])
+	}
+	for a := 0; a < 2; a++ {
+		for ax := 0; ax < 2; ax++ {
+			if math.Abs(grad[a][ax]) > 1e-6 {
+				t.Fatalf("off-axis gradient nonzero: %v", grad)
+			}
+		}
+	}
+	// Stretched past equilibrium: the force pulls the atoms together
+	// (dE/dz positive on the far atom... the far atom at +z with the bond
+	// stretched has dE/dr > 0, i.e. grad[1][2] > 0).
+	if grad[1][2] <= 0 {
+		t.Fatalf("stretched H2 should pull inward: dE/dz = %v", grad[1][2])
+	}
+}

@@ -1,0 +1,58 @@
+package scf
+
+import (
+	"math"
+
+	"repro/internal/integrals"
+	"repro/internal/linalg"
+)
+
+// Molecular properties derived from a converged density — the quantities
+// a production SCF code reports after the energy.
+
+// MullikenCharges returns the per-atom Mulliken partial charges
+// q_A = Z_A - sum_{a in A} (D S)_aa.
+func MullikenCharges(eng *integrals.Engine, d *linalg.Matrix) []float64 {
+	s := eng.Overlap()
+	ds := linalg.Mul(d, s)
+	mol := eng.Basis.Mol
+	charges := make([]float64, len(mol.Atoms))
+	for i, a := range mol.Atoms {
+		charges[i] = float64(a.Z)
+	}
+	for _, sh := range eng.Basis.Shells {
+		for f := 0; f < sh.NumFuncs(); f++ {
+			bf := sh.BFOffset + f
+			charges[sh.Atom] -= ds.At(bf, bf)
+		}
+	}
+	return charges
+}
+
+// DipoleMoment returns the molecular dipole moment in atomic units
+// (e * bohr; multiply by 2.5417 for debye), evaluated about the origin:
+// mu = sum_A Z_A R_A - tr(D M).
+func DipoleMoment(eng *integrals.Engine, d *linalg.Matrix) [3]float64 {
+	m := eng.Dipole([3]float64{})
+	var mu [3]float64
+	for _, a := range eng.Basis.Mol.Atoms {
+		for ax := 0; ax < 3; ax++ {
+			mu[ax] += float64(a.Z) * a.Pos[ax]
+		}
+	}
+	for ax := 0; ax < 3; ax++ {
+		mu[ax] -= linalg.Dot(d, m[ax])
+	}
+	return mu
+}
+
+// DipoleDebye converts an atomic-unit dipole vector to its magnitude in
+// debye.
+func DipoleDebye(mu [3]float64) float64 {
+	const auToDebye = 2.541746473
+	return auToDebye * vecNorm(mu)
+}
+
+func vecNorm(v [3]float64) float64 {
+	return math.Sqrt(v[0]*v[0] + v[1]*v[1] + v[2]*v[2])
+}

@@ -1,0 +1,102 @@
+package scf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/integrals"
+	"repro/internal/molecule"
+)
+
+func convergedWater(t *testing.T) (*integrals.Engine, *Result) {
+	t.Helper()
+	eng := uhfSetup(t, molecule.Water(), "sto-3g")
+	sch := integrals.ComputeSchwarz(eng)
+	res, err := RunRHF(eng, SerialBuilder(eng, sch, 0), Options{})
+	if err != nil || !res.Converged {
+		t.Fatalf("water SCF failed: %v", err)
+	}
+	return eng, res
+}
+
+func TestMullikenChargesWater(t *testing.T) {
+	eng, res := convergedWater(t)
+	q := MullikenCharges(eng, res.D)
+	if len(q) != 3 {
+		t.Fatalf("%d charges", len(q))
+	}
+	// Charge conservation: sum = molecular charge = 0.
+	sum := q[0] + q[1] + q[2]
+	if math.Abs(sum) > 1e-8 {
+		t.Fatalf("charges do not sum to zero: %v", sum)
+	}
+	// Oxygen negative, hydrogens positive and symmetric.
+	if q[0] >= 0 {
+		t.Fatalf("oxygen charge %v not negative", q[0])
+	}
+	if q[1] <= 0 || math.Abs(q[1]-q[2]) > 1e-8 {
+		t.Fatalf("hydrogen charges %v %v", q[1], q[2])
+	}
+	// STO-3G Mulliken oxygen charge is about -0.33.
+	if q[0] < -0.6 || q[0] > -0.1 {
+		t.Fatalf("oxygen charge %v outside window", q[0])
+	}
+}
+
+func TestDipoleMomentWater(t *testing.T) {
+	eng, res := convergedWater(t)
+	mu := DipoleMoment(eng, res.D)
+	// Symmetry: dipole along the C2 axis (z by our geometry), x=y=0.
+	if math.Abs(mu[0]) > 1e-8 || math.Abs(mu[1]) > 1e-8 {
+		t.Fatalf("off-axis dipole components: %v", mu)
+	}
+	d := DipoleDebye(mu)
+	// RHF/STO-3G water dipole is about 1.7 debye.
+	if d < 1.2 || d > 2.2 {
+		t.Fatalf("water dipole = %v debye", d)
+	}
+}
+
+func TestDipoleOriginIndependenceNeutral(t *testing.T) {
+	// For a NEUTRAL molecule the dipole moment must not depend on the
+	// expectation origin used for the electronic part, because
+	// tr(D S) equals the nuclear charge sum. Shift the whole molecule and
+	// verify the dipole is unchanged.
+	eng, res := convergedWater(t)
+	mu := DipoleMoment(eng, res.D)
+
+	shifted := molecule.Water()
+	for i := range shifted.Atoms {
+		shifted.Atoms[i].Pos[0] += 5.0
+		shifted.Atoms[i].Pos[2] -= 3.0
+	}
+	eng2 := uhfSetup(t, shifted, "sto-3g")
+	sch2 := integrals.ComputeSchwarz(eng2)
+	res2, err := RunRHF(eng2, SerialBuilder(eng2, sch2, 0), Options{})
+	if err != nil || !res2.Converged {
+		t.Fatal("shifted water SCF failed")
+	}
+	mu2 := DipoleMoment(eng2, res2.D)
+	for ax := 0; ax < 3; ax++ {
+		if math.Abs(mu[ax]-mu2[ax]) > 1e-6 {
+			t.Fatalf("dipole changed under translation: %v vs %v", mu, mu2)
+		}
+	}
+}
+
+func TestMullikenH2Symmetric(t *testing.T) {
+	eng := uhfSetup(t, molecule.H2(), "sto-3g")
+	sch := integrals.ComputeSchwarz(eng)
+	res, err := RunRHF(eng, SerialBuilder(eng, sch, 0), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := MullikenCharges(eng, res.D)
+	if math.Abs(q[0]) > 1e-10 || math.Abs(q[1]) > 1e-10 {
+		t.Fatalf("homonuclear charges must vanish: %v", q)
+	}
+	mu := DipoleMoment(eng, res.D)
+	if DipoleDebye(mu) > 1e-8 {
+		t.Fatalf("H2 dipole must vanish: %v", mu)
+	}
+}

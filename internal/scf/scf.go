@@ -1,0 +1,290 @@
+// Package scf drives the restricted Hartree-Fock self-consistent field
+// procedure: core-Hamiltonian initial guess, Fock diagonalization in the
+// Löwdin-orthogonalized basis, density updates, DIIS convergence
+// acceleration, and the RMS-density convergence criterion described in
+// the paper's Section 3. The two-electron Fock builder is pluggable, so
+// the same driver runs on the serial reference or on any of the three
+// parallel algorithms.
+package scf
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/fock"
+	"repro/internal/integrals"
+	"repro/internal/linalg"
+)
+
+// Builder computes the two-electron Fock matrix for a density.
+type Builder func(d *linalg.Matrix) (*linalg.Matrix, fock.Stats)
+
+// Options configures the SCF loop. The zero value gives sensible defaults.
+type Options struct {
+	MaxIter    int     // default 100
+	ConvDens   float64 // RMS density change threshold, default 1e-8
+	ConvEnergy float64 // energy change threshold, default 1e-9
+	DisableDI  bool    // turn off DIIS extrapolation
+	DIISSize   int     // DIIS subspace size, default 8
+	LinDepTol  float64 // overlap eigenvalue cutoff, default 1e-8
+	// Guess selects the initial Fock: "core" (bare core Hamiltonian,
+	// default) or "gwh" (generalized Wolfsberg-Helmholz, which weights
+	// off-diagonal elements by overlaps and usually starts closer).
+	Guess string
+	// InitialDensity warm-starts the SCF from a previous density (e.g. a
+	// loaded Checkpoint), overriding Guess. Dimensions must match.
+	InitialDensity *linalg.Matrix
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxIter == 0 {
+		o.MaxIter = 100
+	}
+	if o.ConvDens == 0 {
+		o.ConvDens = 1e-8
+	}
+	if o.ConvEnergy == 0 {
+		o.ConvEnergy = 1e-9
+	}
+	if o.DIISSize == 0 {
+		o.DIISSize = 8
+	}
+	if o.LinDepTol == 0 {
+		o.LinDepTol = 1e-8
+	}
+	return o
+}
+
+// IterInfo records one SCF iteration for convergence reporting.
+type IterInfo struct {
+	Energy   float64 // total energy at this iteration
+	DeltaE   float64
+	RMSDens  float64
+	DIISErr  float64
+	FockStat fock.Stats
+}
+
+// Result is a converged (or exhausted) SCF calculation.
+type Result struct {
+	Converged        bool
+	Iterations       int
+	Energy           float64 // total = electronic + nuclear repulsion
+	Electronic       float64
+	NuclearRepulsion float64
+	OrbitalEnergies  []float64
+	C                *linalg.Matrix // MO coefficients (columns)
+	D                *linalg.Matrix // final density
+	History          []IterInfo
+	TotalFockStats   fock.Stats
+}
+
+// DensityFromC assembles the closed-shell density D = 2 C_occ C_occ^T.
+func DensityFromC(c *linalg.Matrix, nocc int) *linalg.Matrix {
+	n := c.Rows
+	d := linalg.NewSquare(n)
+	for a := 0; a < n; a++ {
+		for b := 0; b <= a; b++ {
+			sum := 0.0
+			for o := 0; o < nocc; o++ {
+				sum += c.At(a, o) * c.At(b, o)
+			}
+			d.Set(a, b, 2*sum)
+			d.Set(b, a, 2*sum)
+		}
+	}
+	return d
+}
+
+// RunRHF performs a restricted Hartree-Fock calculation over the engine's
+// basis, using builder for the two-electron Fock matrices.
+func RunRHF(eng *integrals.Engine, builder Builder, opt Options) (*Result, error) {
+	opt = opt.withDefaults()
+	mol := eng.Basis.Mol
+	nelec := mol.NumElectrons()
+	if nelec%2 != 0 {
+		return nil, fmt.Errorf("scf: RHF needs an even electron count, molecule %q has %d", mol.Name, nelec)
+	}
+	nocc := nelec / 2
+	n := eng.Basis.NumBF
+	if nocc > n {
+		return nil, fmt.Errorf("scf: %d occupied orbitals exceed basis size %d", nocc, n)
+	}
+
+	s := eng.Overlap()
+	h := eng.CoreHamiltonian()
+	x, err := linalg.LowdinOrthogonalizer(s, opt.LinDepTol)
+	if err != nil {
+		return nil, fmt.Errorf("scf: %w", err)
+	}
+
+	// Initial guess: a warm-start density, or diagonalize the guess Fock
+	// in the orthogonal basis.
+	var eps []float64
+	var c, d *linalg.Matrix
+	if opt.InitialDensity != nil {
+		if opt.InitialDensity.Rows != n || opt.InitialDensity.Cols != n {
+			return nil, fmt.Errorf("scf: initial density is %dx%d for a %d-function basis",
+				opt.InitialDensity.Rows, opt.InitialDensity.Cols, n)
+		}
+		d = opt.InitialDensity.Clone()
+	} else {
+		g0, err := guessFock(opt.Guess, h, s)
+		if err != nil {
+			return nil, err
+		}
+		eps, c = diagonalizeFock(g0, x)
+		d = DensityFromC(c, nocc)
+	}
+
+	res := &Result{NuclearRepulsion: mol.NuclearRepulsion()}
+	diis := newDIIS(opt.DIISSize)
+	ePrev := math.Inf(1)
+
+	for iter := 1; iter <= opt.MaxIter; iter++ {
+		g, stats := builder(d)
+		res.TotalFockStats.Add(stats)
+		f := h.Clone()
+		f.AxpyFrom(1, g)
+
+		// Electronic energy from the CURRENT density and Fock.
+		eElec := 0.5 * linalg.Dot(d, sumMatrices(h, f))
+		eTot := eElec + res.NuclearRepulsion
+
+		diisErr := 0.0
+		if !opt.DisableDI {
+			var errNorm float64
+			f, errNorm = diis.extrapolate(f, d, s, x)
+			diisErr = errNorm
+		}
+
+		eps, c = diagonalizeFock(f, x)
+		dNew := DensityFromC(c, nocc)
+		rms := dNew.RMSDiff(d)
+		dE := eTot - ePrev
+
+		res.History = append(res.History, IterInfo{
+			Energy: eTot, DeltaE: dE, RMSDens: rms, DIISErr: diisErr, FockStat: stats,
+		})
+		res.Iterations = iter
+		res.Energy = eTot
+		res.Electronic = eElec
+		res.D = dNew
+		res.C = c
+		res.OrbitalEnergies = eps
+
+		if rms < opt.ConvDens && math.Abs(dE) < opt.ConvEnergy {
+			res.Converged = true
+			d = dNew
+			break
+		}
+		d = dNew
+		ePrev = eTot
+	}
+	return res, nil
+}
+
+// guessFock returns the initial Fock matrix for the named guess.
+func guessFock(name string, h, s *linalg.Matrix) (*linalg.Matrix, error) {
+	switch name {
+	case "", "core":
+		return h, nil
+	case "gwh":
+		// Generalized Wolfsberg-Helmholz: F_ab = K S_ab (H_aa + H_bb)/2
+		// with the conventional K = 1.75 off the diagonal.
+		n := h.Rows
+		g := linalg.NewSquare(n)
+		const kGWH = 1.75
+		for a := 0; a < n; a++ {
+			g.Set(a, a, h.At(a, a))
+			for b := 0; b < a; b++ {
+				v := 0.5 * kGWH * s.At(a, b) * (h.At(a, a) + h.At(b, b))
+				g.Set(a, b, v)
+				g.Set(b, a, v)
+			}
+		}
+		return g, nil
+	default:
+		return nil, fmt.Errorf("scf: unknown initial guess %q (want core or gwh)", name)
+	}
+}
+
+// diagonalizeFock solves F C = eps S C through the Löwdin transform:
+// F' = X^T F X, F' C' = eps C', C = X C'.
+func diagonalizeFock(f, x *linalg.Matrix) ([]float64, *linalg.Matrix) {
+	fp := linalg.TripleProduct(x, f)
+	fp.Symmetrize() // clean numerical asymmetry before the eigensolver
+	eps, cp := linalg.EigenSym(fp)
+	return eps, linalg.Mul(x, cp)
+}
+
+func sumMatrices(a, b *linalg.Matrix) *linalg.Matrix {
+	out := a.Clone()
+	out.AxpyFrom(1, b)
+	return out
+}
+
+// --- DIIS (Pulay convergence acceleration) ---
+
+type diisState struct {
+	size   int
+	focks  []*linalg.Matrix
+	errors []*linalg.Matrix
+}
+
+func newDIIS(size int) *diisState { return &diisState{size: size} }
+
+// extrapolate records (F, error) with error = X^T (FDS - SDF) X and
+// returns the DIIS-combined Fock along with the max-abs error element.
+func (st *diisState) extrapolate(f, d, s, x *linalg.Matrix) (*linalg.Matrix, float64) {
+	fds := linalg.Mul(f, linalg.Mul(d, s))
+	sdf := linalg.Mul(s, linalg.Mul(d, f))
+	e := fds.Clone()
+	e.AxpyFrom(-1, sdf)
+	e = linalg.TripleProduct(x, e)
+
+	errNorm := 0.0
+	for _, v := range e.Data {
+		if a := math.Abs(v); a > errNorm {
+			errNorm = a
+		}
+	}
+
+	st.focks = append(st.focks, f.Clone())
+	st.errors = append(st.errors, e)
+	if len(st.focks) > st.size {
+		st.focks = st.focks[1:]
+		st.errors = st.errors[1:]
+	}
+	m := len(st.focks)
+	if m < 2 {
+		return f, errNorm
+	}
+
+	// Solve the DIIS equations: [B 1; 1 0] [c; lambda] = [0; 1] with
+	// B_ij = <e_i, e_j>.
+	dim := m + 1
+	bmat := linalg.NewSquare(dim)
+	rhs := make([]float64, dim)
+	for i := 0; i < m; i++ {
+		for j := 0; j <= i; j++ {
+			v := linalg.Dot(st.errors[i], st.errors[j])
+			bmat.Set(i, j, v)
+			bmat.Set(j, i, v)
+		}
+		bmat.Set(i, m, 1)
+		bmat.Set(m, i, 1)
+	}
+	rhs[m] = 1
+	coef, err := linalg.SolveLinear(bmat, rhs)
+	if err != nil {
+		// Singular DIIS system: drop history and continue un-extrapolated.
+		st.focks = st.focks[:0]
+		st.errors = st.errors[:0]
+		return f, errNorm
+	}
+	out := linalg.NewSquare(f.Rows)
+	for i := 0; i < m; i++ {
+		out.AxpyFrom(coef[i], st.focks[i])
+	}
+	return out, errNorm
+}

@@ -1,0 +1,96 @@
+package simulate
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/knl"
+)
+
+// CSV renderers for the experiment rows, so the regenerated figures can
+// be plotted directly (one file per artifact; see cmd/scaling -csv).
+
+// CSVTable2 renders Table 2 rows as CSV.
+func CSVTable2(rows []Table2Row) string {
+	var b strings.Builder
+	b.WriteString("system,atoms,basis_functions,mpi_gb,private_fock_gb,shared_fock_gb,ratio_private,ratio_shared\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%d,%d,%.4f,%.4f,%.4f,%.1f,%.1f\n",
+			r.System, r.Atoms, r.BasisF, r.MPIGB, r.PrFGB, r.ShFGB, r.RatioPr, r.RatioSh)
+	}
+	return b.String()
+}
+
+// CSVScaling renders Table 3 / Figure 6 rows as CSV.
+func CSVScaling(rows []ScalingRow) string {
+	var b strings.Builder
+	b.WriteString("nodes,mpi_s,private_fock_s,shared_fock_s,mpi_eff_pct,private_eff_pct,shared_eff_pct\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d,%.2f,%.2f,%.2f,%.1f,%.1f,%.1f\n",
+			r.Nodes, r.TimeSec[AlgMPIOnly], r.TimeSec[AlgPrivateFock], r.TimeSec[AlgSharedFock],
+			r.EffPct[AlgMPIOnly], r.EffPct[AlgPrivateFock], r.EffPct[AlgSharedFock])
+	}
+	return b.String()
+}
+
+// CSVFig3 renders the affinity sweep as CSV.
+func CSVFig3(rows []Fig3Row) string {
+	var b strings.Builder
+	b.WriteString("threads_per_rank")
+	for _, aff := range knl.Affinities {
+		fmt.Fprintf(&b, ",%s_s", aff)
+	}
+	b.WriteString("\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d", r.ThreadsPerRank)
+		for _, aff := range knl.Affinities {
+			fmt.Fprintf(&b, ",%.2f", r.TimeSec[aff])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}
+
+// CSVFig4 renders the single-node scaling as CSV (empty cell = infeasible).
+func CSVFig4(rows []Fig4Row) string {
+	var b strings.Builder
+	b.WriteString("hw_threads,mpi_s,private_fock_s,shared_fock_s\n")
+	cell := func(m map[string]float64, alg string) string {
+		if v, ok := m[alg]; ok {
+			return fmt.Sprintf("%.2f", v)
+		}
+		return ""
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d,%s,%s,%s\n", r.HWThreads,
+			cell(r.TimeSec, AlgMPIOnly), cell(r.TimeSec, AlgPrivateFock), cell(r.TimeSec, AlgSharedFock))
+	}
+	return b.String()
+}
+
+// CSVFig5 renders the mode sweep as CSV.
+func CSVFig5(rows []Fig5Row) string {
+	var b strings.Builder
+	b.WriteString("system,cluster_mode,memory_mode,mpi_s,private_fock_s,shared_fock_s\n")
+	cell := func(m map[string]float64, alg string) string {
+		if v, ok := m[alg]; ok {
+			return fmt.Sprintf("%.2f", v)
+		}
+		return ""
+	}
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%s,%s,%s,%s,%s,%s\n", r.System, r.ClusterMode, r.MemoryMode,
+			cell(r.TimeSec, AlgMPIOnly), cell(r.TimeSec, AlgPrivateFock), cell(r.TimeSec, AlgSharedFock))
+	}
+	return b.String()
+}
+
+// CSVFig7 renders the large-scale run as CSV.
+func CSVFig7(rows []Fig7Row) string {
+	var b strings.Builder
+	b.WriteString("nodes,cores,time_s,efficiency_pct,gb_per_node\n")
+	for _, r := range rows {
+		fmt.Fprintf(&b, "%d,%d,%.2f,%.1f,%.1f\n", r.Nodes, r.Cores, r.TimeSec, r.EffPct, r.MemGB)
+	}
+	return b.String()
+}

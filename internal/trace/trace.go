@@ -1,0 +1,93 @@
+// Package trace provides the timing and counting instrumentation the
+// benchmark harness uses. The paper's appendix notes that some GAMESS
+// timer routines report CPU time instead of wall-clock time, which is
+// wrong for multithreaded code; like the authors (who switched to
+// omp_get_wtime), everything here is wall-clock.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Timer accumulates named wall-clock sections, safe for concurrent use.
+type Timer struct {
+	mu       sync.Mutex
+	sections map[string]*section
+}
+
+type section struct {
+	total time.Duration
+	count int
+}
+
+// NewTimer returns an empty timer.
+func NewTimer() *Timer { return &Timer{sections: map[string]*section{}} }
+
+// Start begins timing a section; call the returned stop function when the
+// section ends. Sections may run concurrently and repeatedly.
+func (t *Timer) Start(name string) (stop func()) {
+	begin := time.Now()
+	return func() {
+		d := time.Since(begin)
+		t.mu.Lock()
+		defer t.mu.Unlock()
+		s, ok := t.sections[name]
+		if !ok {
+			s = &section{}
+			t.sections[name] = s
+		}
+		s.total += d
+		s.count++
+	}
+}
+
+// Time runs f inside the named section.
+func (t *Timer) Time(name string, f func()) {
+	stop := t.Start(name)
+	defer stop()
+	f()
+}
+
+// Total returns the accumulated duration of a section.
+func (t *Timer) Total(name string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.sections[name]; ok {
+		return s.total
+	}
+	return 0
+}
+
+// Count returns how many times a section ran.
+func (t *Timer) Count(name string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.sections[name]; ok {
+		return s.count
+	}
+	return 0
+}
+
+// Report renders the sections sorted by descending total time, in the
+// spirit of GAMESS's "TIME TO FORM FOCK" log lines.
+func (t *Timer) Report() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.sections))
+	for n := range t.sections {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool {
+		return t.sections[names[i]].total > t.sections[names[j]].total
+	})
+	var b strings.Builder
+	for _, n := range names {
+		s := t.sections[n]
+		fmt.Fprintf(&b, "%-30s %12.6fs  x%d\n", n, s.total.Seconds(), s.count)
+	}
+	return b.String()
+}

@@ -1,0 +1,59 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestTimerAccumulates(t *testing.T) {
+	tm := NewTimer()
+	tm.Time("fock", func() { time.Sleep(2 * time.Millisecond) })
+	tm.Time("fock", func() { time.Sleep(2 * time.Millisecond) })
+	if tm.Count("fock") != 2 {
+		t.Fatalf("count = %d", tm.Count("fock"))
+	}
+	if tm.Total("fock") < 3*time.Millisecond {
+		t.Fatalf("total = %v", tm.Total("fock"))
+	}
+}
+
+func TestTimerUnknownSection(t *testing.T) {
+	tm := NewTimer()
+	if tm.Total("nope") != 0 || tm.Count("nope") != 0 {
+		t.Fatal("unknown section should be zero")
+	}
+}
+
+func TestTimerConcurrent(t *testing.T) {
+	tm := NewTimer()
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 100; j++ {
+				stop := tm.Start("hot")
+				stop()
+			}
+		}()
+	}
+	wg.Wait()
+	if tm.Count("hot") != 800 {
+		t.Fatalf("count = %d", tm.Count("hot"))
+	}
+}
+
+func TestReportOrdering(t *testing.T) {
+	tm := NewTimer()
+	tm.Time("small", func() {})
+	tm.Time("big", func() { time.Sleep(3 * time.Millisecond) })
+	rep := tm.Report()
+	if !strings.Contains(rep, "big") || !strings.Contains(rep, "small") {
+		t.Fatalf("report missing sections: %q", rep)
+	}
+	if strings.Index(rep, "big") > strings.Index(rep, "small") {
+		t.Fatal("report not sorted by total time")
+	}
+}
