@@ -16,6 +16,7 @@ package repro
 
 import (
 	"fmt"
+	"time"
 
 	"repro/internal/basis"
 	"repro/internal/ddi"
@@ -36,11 +37,13 @@ type Result = scf.Result
 // Algorithm selects one of the paper's three Fock-build parallelizations.
 type Algorithm = scf.Algorithm
 
-// The three SCF implementations benchmarked by the paper.
+// The three SCF implementations benchmarked by the paper, plus the
+// fault-aware variant (lease-based DLB with task re-issue).
 const (
-	MPIOnly     = scf.AlgMPIOnly
-	PrivateFock = scf.AlgPrivateFock
-	SharedFock  = scf.AlgSharedFock
+	MPIOnly       = scf.AlgMPIOnly
+	PrivateFock   = scf.AlgPrivateFock
+	SharedFock    = scf.AlgSharedFock
+	ResilientFock = scf.AlgResilientFock
 )
 
 // BuiltinMolecule returns a named test system: "h2", "heh+", "water",
@@ -141,6 +144,44 @@ func RunParallelRHF(mol *Molecule, basisName string, cfg ParallelConfig, opt SCF
 		}
 	}
 	return results[0], nil
+}
+
+// ResilientConfig shapes a fault-tolerant parallel RHF run.
+type ResilientConfig struct {
+	Ranks       int               // MPI ranks; defaults to 2
+	Algorithm   Algorithm         // defaults to ResilientFock
+	Deadline    time.Duration     // per-blocking-op bound; defaults to 30s
+	MaxRestarts int               // shrink-and-restart budget; defaults to 3
+	Fault       *mpi.FaultPlan    // optional failure injection (first attempt only)
+	Checkpoint  []byte            // optional prior checkpoint to warm-start from
+}
+
+// RecoveryInfo reports how a resilient run survived rank failures.
+type RecoveryInfo = scf.Recovery
+
+// RunResilientRHF runs a restricted Hartree-Fock calculation that
+// survives rank death: with the (default) resilient Fock builder a
+// failure is absorbed in-flight by re-issuing the dead rank's DLB task
+// leases; otherwise the driver shrinks to the survivors and restarts the
+// current iteration from the last per-iteration checkpoint.
+func RunResilientRHF(mol *Molecule, basisName string, cfg ResilientConfig, opt SCFOptions) (*Result, *RecoveryInfo, error) {
+	b, err := basis.Build(mol, basisName)
+	if err != nil {
+		return nil, nil, err
+	}
+	eng := integrals.NewEngine(b)
+	sch := integrals.ComputeSchwarz(eng)
+	cache := integrals.NewPairCache(eng, 0)
+	return scf.RunRHFResilient(eng, sch, scf.ResilientOptions{
+		Ranks:       cfg.Ranks,
+		Algorithm:   cfg.Algorithm,
+		Fock:        fock.Config{Quartets: cache},
+		SCF:         opt,
+		Deadline:    cfg.Deadline,
+		MaxRestarts: cfg.MaxRestarts,
+		Fault:       cfg.Fault,
+		Checkpoint:  cfg.Checkpoint,
+	})
 }
 
 // BasisInfo summarizes a basis over a molecule: shell and basis function

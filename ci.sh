@@ -1,0 +1,25 @@
+#!/bin/sh
+# ci.sh — the repo's verification gate.
+#
+# Tier 1 (required green before any merge):
+#   go vet ./... && go build ./... && go test ./...
+#
+# Tier 2 (concurrency soundness): the race detector over the packages
+# with real parallelism and fault injection. The full ./internal/scf
+# suite under -race takes ~5 minutes; everything else is seconds.
+#
+# Usage: ./ci.sh [-short]   (-short skips the slow simulator sweeps)
+set -eu
+
+short=""
+[ "${1:-}" = "-short" ] && short="-short"
+
+echo "== tier 1: vet + build + test =="
+go vet ./...
+go build ./...
+go test $short ./...
+
+echo "== tier 2: race detector (mpi, ddi, fock, scf) =="
+go test $short -race ./internal/mpi/ ./internal/ddi/ ./internal/fock/ ./internal/scf/
+
+echo "ci: all green"

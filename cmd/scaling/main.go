@@ -8,6 +8,7 @@
 //	scaling -exp fig5     # cluster x memory mode sweep (Figure 5)
 //	scaling -exp fig7     # 5.0 nm on up to 3,000 Theta nodes (Figure 7)
 //	scaling -exp ablation # DLB contention and task-granularity ablations
+//	scaling -exp resilience # MTBF failure model: restart vs. lease re-issue
 //	scaling -exp all
 package main
 
@@ -22,7 +23,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table2, table3, fig3, fig4, fig5, fig7, sweep, breakdown, ablation, all")
+	exp := flag.String("exp", "all", "experiment id: table2, table3, fig3, fig4, fig5, fig7, sweep, breakdown, ablation, resilience, all")
 	csvDir := flag.String("csv", "", "also write <experiment>.csv files into this directory")
 	flag.Parse()
 
@@ -88,6 +89,12 @@ func main() {
 			rows, err := simulate.RunSystemSweep(pc, 64)
 			check(err)
 			fmt.Println(simulate.FormatSweep(rows))
+		case "resilience":
+			fmt.Println("== Failure model: 5.0 nm at scale, checkpoint restart vs. lease re-issue ==")
+			rows, err := simulate.RunResilience(pc)
+			check(err)
+			fmt.Println(simulate.FormatResilience(rows))
+			writeCSV(id, simulate.CSVResilience(rows))
 		case "ablation":
 			fmt.Println("== Ablation: DLB contention coefficient (MPI-only, 512 nodes) ==")
 			rows, err := simulate.RunDLBContentionAblation(pc)
@@ -110,7 +117,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, id := range []string{"table2", "table3", "fig3", "fig4", "fig5", "fig7", "sweep", "breakdown", "ablation"} {
+		for _, id := range []string{"table2", "table3", "fig3", "fig4", "fig5", "fig7", "sweep", "breakdown", "ablation", "resilience"} {
 			run(id)
 		}
 		return

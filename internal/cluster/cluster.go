@@ -60,18 +60,46 @@ type Machine struct {
 	MaxNodes int
 	Node     knl.Node
 	Net      Network
+	// NodeMTBFHours is the mean time between fail-stop failures of a
+	// single node, in hours. Production HPC nodes sit around one failure
+	// every couple of years; large jobs see failures far more often
+	// because node failure rates add.
+	NodeMTBFHours float64
 }
+
+// DefaultNodeMTBFHours is the per-node mean time between failures used
+// when a machine does not override it: two years, a common planning
+// figure for commodity HPC nodes.
+const DefaultNodeMTBFHours = 2 * 365 * 24 // 17,520 h
 
 // Theta returns the ALCF Theta model: 3,624 Intel Xeon Phi 7230 nodes on
 // Aries (Table 1).
 func Theta() Machine {
-	return Machine{Name: "Theta (Cray XC40)", MaxNodes: 3624, Node: knl.Phi7230(), Net: Aries()}
+	return Machine{Name: "Theta (Cray XC40)", MaxNodes: 3624, Node: knl.Phi7230(), Net: Aries(),
+		NodeMTBFHours: DefaultNodeMTBFHours}
 }
 
 // JLSE returns the JLSE evaluation cluster: 10 Xeon Phi 7210 nodes on
 // Omni-Path (Table 1).
 func JLSE() Machine {
-	return Machine{Name: "JLSE Xeon Phi cluster", MaxNodes: 10, Node: knl.Phi7210(), Net: OmniPath()}
+	return Machine{Name: "JLSE Xeon Phi cluster", MaxNodes: 10, Node: knl.Phi7210(), Net: OmniPath(),
+		NodeMTBFHours: DefaultNodeMTBFHours}
+}
+
+// SystemMTBFSec returns the mean time between failures, in seconds, of a
+// job spanning the given node count: independent exponential node
+// lifetimes compose to a system rate of nodes/MTBF_node. At Theta's full
+// 3,624 nodes a 2-year per-node MTBF yields a failure roughly every
+// 4.8 hours — the regime that motivates fault-tolerant runtimes.
+func (m Machine) SystemMTBFSec(nodes int) float64 {
+	if nodes < 1 {
+		return math.Inf(1)
+	}
+	mtbf := m.NodeMTBFHours
+	if mtbf <= 0 {
+		mtbf = DefaultNodeMTBFHours
+	}
+	return mtbf * 3600 / float64(nodes)
 }
 
 // Job is a requested run configuration.

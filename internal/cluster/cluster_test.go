@@ -1,6 +1,7 @@
 package cluster
 
 import (
+	"math"
 	"testing"
 	"testing/quick"
 
@@ -88,5 +89,28 @@ func TestWithModes(t *testing.T) {
 	// Original untouched (value semantics).
 	if JLSE().Node.ClusterModeUsed != knl.Quadrant {
 		t.Fatal("WithModes mutated the constructor default")
+	}
+}
+
+func TestSystemMTBF(t *testing.T) {
+	theta := Theta()
+	// One node: the system MTBF is the node MTBF.
+	if got := theta.SystemMTBFSec(1); got != DefaultNodeMTBFHours*3600 {
+		t.Fatalf("1-node MTBF = %v s", got)
+	}
+	// Rates add: n nodes fail n times as often.
+	if got, want := theta.SystemMTBFSec(3000), DefaultNodeMTBFHours*3600/3000.0; got != want {
+		t.Fatalf("3000-node MTBF = %v s, want %v", got, want)
+	}
+	// Full Theta with a 2-year node MTBF fails about every 4.8 hours.
+	if h := theta.SystemMTBFSec(3624) / 3600; h < 4 || h > 6 {
+		t.Fatalf("full-Theta MTBF = %v h, expected ~4.8", h)
+	}
+	// A zero-valued machine falls back to the default node MTBF.
+	if got := (Machine{}).SystemMTBFSec(10); got != DefaultNodeMTBFHours*3600/10.0 {
+		t.Fatalf("default fallback = %v s", got)
+	}
+	if !math.IsInf((Machine{}).SystemMTBFSec(0), 1) {
+		t.Fatal("zero nodes must never fail")
 	}
 }

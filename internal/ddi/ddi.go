@@ -21,8 +21,9 @@ import (
 
 // Context is one rank's handle to the DDI services.
 type Context struct {
-	Comm  *mpi.Comm
-	epoch int64
+	Comm       *mpi.Comm
+	epoch      int64
+	leaseCycle int64 // lease-based DLB cycle sequence (see lease.go)
 }
 
 // New wraps an MPI communicator with DDI services.

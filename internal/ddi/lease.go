@@ -1,0 +1,153 @@
+package ddi
+
+// Lease-based dynamic load balancing: the fault-aware DLB mode.
+//
+// The classic dlbnext counter hands out each task index exactly once and
+// forgets it — if the drawing rank dies, the index dies with it and the
+// Fock matrix silently loses those quartets' contributions. Following the
+// task re-issue idea from dynamic-distribution Hartree-Fock work (HONPAS;
+// see PAPERS.md), a lease cycle instead tracks per-task state in a shared
+// counter window:
+//
+//	0        free  — not yet claimed by anyone
+//	rank+1   leased — claimed by that world rank, result not yet pushed
+//	-1       done  — contribution pushed to the shared result
+//
+// Ranks draw indices from a cursor (one-sided fetch-and-add, exactly like
+// dlbnext) and claim them with a CAS; when a rank dies, survivors re-issue
+// its leases with Steal. Exactly-once completion rests on two invariants:
+//
+//  1. Every transition into the done state is a CAS from a unique prior
+//     owner, and a task's contribution is pushed to the shared result
+//     immediately before its done-mark with no failure point in between
+//     (fault injection fires only at runtime events: barrier, send, recv,
+//     DLB draw — and abandoned ranks are fenced from the windows), so
+//     "done" implies "pushed exactly once".
+//  2. A claim and a steal race through CAS on the same slot; the loser
+//     simply skips the task, so no index is ever processed twice.
+import "fmt"
+
+const (
+	leaseFree int64 = 0
+	leaseDone int64 = -1
+)
+
+// LeaseDLB is one rank's handle to a lease-based DLB cycle.
+type LeaseDLB struct {
+	ctx    *Context
+	cycle  int64
+	total  int
+	stateW string // per-task lease state, total slots
+	curW   string // draw cursor, 1 slot
+}
+
+// NewLeaseDLB starts a new lease cycle over task indices [0, total).
+// Every rank of the communicator must call it once per cycle, in the same
+// order, but — unlike DLBReset — it does NOT barrier: survivors of a rank
+// failure can still open their handle and finish the cycle. Fresh windows
+// per cycle make zeroing (and its races) unnecessary.
+func (d *Context) NewLeaseDLB(total int) *LeaseDLB {
+	d.leaseCycle++
+	l := &LeaseDLB{ctx: d, cycle: d.leaseCycle, total: total}
+	l.stateW = leaseWindowName(d.leaseCycle, "state")
+	l.curW = leaseWindowName(d.leaseCycle, "cur")
+	if total > 0 {
+		d.Comm.WinCreateCounters(l.stateW, total)
+	}
+	return l
+}
+
+func leaseWindowName(cycle int64, part string) string {
+	return fmt.Sprintf("ddi.lease.%s.%d", part, cycle)
+}
+
+// Total returns the number of task indices in the cycle.
+func (l *LeaseDLB) Total() int { return l.total }
+
+// Cycle returns the cycle sequence number, usable to key per-cycle
+// companion windows (e.g. a shared Fock accumulation buffer).
+func (l *LeaseDLB) Cycle() int64 { return l.cycle }
+
+// Next draws and claims the next fresh task index. ok is false once the
+// cursor is exhausted — switch to Steal then. A drawn index whose claim
+// is lost to a concurrent steal is skipped and the draw retried, so a
+// returned index is always exclusively owned by this rank.
+func (l *LeaseDLB) Next() (idx int, ok bool) {
+	me := int64(l.ctx.Comm.Rank()) + 1
+	for {
+		v := l.ctx.Comm.FetchAdd(l.curW, 0, 1)
+		if v >= int64(l.total) {
+			return -1, false
+		}
+		if l.ctx.Comm.CounterCAS(l.stateW, int(v), leaseFree, me) {
+			return int(v), true
+		}
+	}
+}
+
+// Complete marks a task this rank owns as done. Call it immediately
+// after pushing the task's contribution to the shared result; the pair
+// forms the push-then-mark critical section invariant 1 relies on.
+func (l *LeaseDLB) Complete(idx int) {
+	me := int64(l.ctx.Comm.Rank()) + 1
+	l.ctx.Comm.CounterCAS(l.stateW, idx, me, leaseDone)
+}
+
+// Steal re-issues one task abandoned by a failed rank: either still
+// leased by a rank now known dead, or drawn but never claimed (the owner
+// died between its draw and its claim — such slots sit free BEHIND the
+// cursor). Returns ok=false when there is nothing to steal right now;
+// poll AllComplete to distinguish "nothing ever" from "peers still
+// working".
+func (l *LeaseDLB) Steal() (idx int, ok bool) {
+	failed := l.ctx.Comm.FailedRanks()
+	if len(failed) == 0 {
+		return -1, false
+	}
+	dead := make(map[int64]bool, len(failed))
+	for _, r := range failed {
+		dead[int64(r)+1] = true
+	}
+	me := int64(l.ctx.Comm.Rank()) + 1
+	cur := l.ctx.Comm.CounterLoad(l.curW, 0)
+	if cur > int64(l.total) {
+		cur = int64(l.total)
+	}
+	for i := int64(0); i < cur; i++ {
+		s := l.ctx.Comm.CounterLoad(l.stateW, int(i))
+		if s == leaseFree || dead[s] {
+			if l.ctx.Comm.CounterCAS(l.stateW, int(i), s, me) {
+				return int(i), true
+			}
+		}
+	}
+	return -1, false
+}
+
+// AllComplete reports whether every task index has been drawn and marked
+// done — the cycle's termination condition. Because contributions are
+// pushed before their done-mark, a rank observing AllComplete may safely
+// read the full shared result.
+func (l *LeaseDLB) AllComplete() bool {
+	if l.ctx.Comm.CounterLoad(l.curW, 0) < int64(l.total) {
+		return false
+	}
+	for i := 0; i < l.total; i++ {
+		if l.ctx.Comm.CounterLoad(l.stateW, i) != leaseDone {
+			return false
+		}
+	}
+	return true
+}
+
+// Outstanding counts tasks not yet done — leased or unclaimed — for
+// progress reporting and tests.
+func (l *LeaseDLB) Outstanding() int {
+	n := 0
+	for i := 0; i < l.total; i++ {
+		if l.ctx.Comm.CounterLoad(l.stateW, i) != leaseDone {
+			n++
+		}
+	}
+	return n
+}

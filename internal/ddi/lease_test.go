@@ -1,0 +1,193 @@
+package ddi
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+// leaseRecorder collects which rank completed which task, and asserts
+// exactly-once coverage of [0, total).
+type leaseRecorder struct {
+	mu   sync.Mutex
+	who  map[int]int // task -> completing rank
+	dups int
+}
+
+func newLeaseRecorder() *leaseRecorder { return &leaseRecorder{who: map[int]int{}} }
+
+func (r *leaseRecorder) record(rank, idx int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.who[idx]; dup {
+		r.dups++
+	}
+	r.who[idx] = rank
+}
+
+func (r *leaseRecorder) assertExactlyOnce(t *testing.T, total int) {
+	t.Helper()
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.dups != 0 {
+		t.Fatalf("%d tasks completed more than once", r.dups)
+	}
+	if len(r.who) != total {
+		t.Fatalf("%d of %d tasks completed", len(r.who), total)
+	}
+}
+
+// leaseWorkLoop is the canonical fault-aware consumption pattern: drain
+// the fresh cursor, then steal from the dead until every task is done.
+func leaseWorkLoop(t *testing.T, c *mpi.Comm, l *LeaseDLB, rec *leaseRecorder) {
+	for {
+		idx, ok := l.Next()
+		if !ok {
+			break
+		}
+		rec.record(c.Rank(), idx) // "push the contribution"
+		l.Complete(idx)
+	}
+	start := time.Now()
+	for !l.AllComplete() {
+		if idx, ok := l.Steal(); ok {
+			rec.record(c.Rank(), idx)
+			l.Complete(idx)
+			continue
+		}
+		if time.Since(start) > 10*time.Second {
+			t.Errorf("rank %d: lease cycle never completed", c.Rank())
+			return
+		}
+		time.Sleep(200 * time.Microsecond)
+	}
+}
+
+// TestLeaseExactlyOnceNoFailure: the lease cycle degenerates to plain
+// dlbnext semantics when nobody dies.
+func TestLeaseExactlyOnceNoFailure(t *testing.T) {
+	const total = 200
+	rec := newLeaseRecorder()
+	err := mpi.Run(4, func(c *mpi.Comm) {
+		l := New(c).NewLeaseDLB(total)
+		leaseWorkLoop(t, c, l, rec)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.assertExactlyOnce(t, total)
+}
+
+// TestLeaseExactlyOnceUnderRankDeath is the tentpole's DLB acceptance
+// test: a rank dies holding two unpushed leases; survivors re-issue them
+// and the cycle still completes with every task processed exactly once —
+// no lost and no duplicated work.
+func TestLeaseExactlyOnceUnderRankDeath(t *testing.T) {
+	const total = 25
+	rec := newLeaseRecorder()
+	rep, err := mpi.RunWithOptions(4, mpi.RunOptions{
+		Deadline: 5 * time.Second,
+		// The victim's third cursor draw kills it, leaving its first two
+		// tasks leased (claimed, never completed).
+		Fault: &mpi.FaultPlan{Kills: []mpi.Kill{{Rank: 1, Site: mpi.SiteDLB, After: 3}}},
+	}, func(c *mpi.Comm) {
+		l := New(c).NewLeaseDLB(total)
+		if c.Rank() == 1 {
+			l.Next()
+			l.Next()
+			l.Next() // killed here, before the draw lands
+			t.Error("victim survived its own kill")
+			return
+		}
+		// Survivors wait for the death so the victim is guaranteed to
+		// hold leases when the cursor race starts.
+		for c.Healthy() {
+			time.Sleep(time.Millisecond)
+		}
+		leaseWorkLoop(t, c, l, rec)
+	})
+	if !errors.Is(err, mpi.ErrRankFailed) {
+		t.Fatalf("want ErrRankFailed, got %v", err)
+	}
+	if got := rep.DeadRanks(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("DeadRanks = %v, want [1]", got)
+	}
+	rec.assertExactlyOnce(t, total)
+	// The two orphaned leases must have been completed by survivors.
+	rec.mu.Lock()
+	defer rec.mu.Unlock()
+	for idx, rank := range rec.who {
+		if rank == 1 {
+			t.Fatalf("task %d recorded by the dead rank", idx)
+		}
+	}
+}
+
+// TestLeaseStealsUnclaimedDraw covers the draw/claim gap: a rank that
+// dies after drawing an index but before claiming it leaves a free slot
+// behind the cursor; Steal must re-issue it.
+func TestLeaseStealsUnclaimedDraw(t *testing.T) {
+	const total = 10
+	rec := newLeaseRecorder()
+	_, err := mpi.RunWithOptions(2, mpi.RunOptions{Deadline: 5 * time.Second}, func(c *mpi.Comm) {
+		l := New(c).NewLeaseDLB(total)
+		if c.Rank() == 1 {
+			// Simulate death in the gap: draw the cursor directly (as
+			// Next would), then die before the claim CAS.
+			c.FetchAdd(l.curW, 0, 1)
+			panic("died between draw and claim")
+		}
+		for c.Healthy() {
+			time.Sleep(time.Millisecond)
+		}
+		leaseWorkLoop(t, c, l, rec)
+	})
+	if !errors.Is(err, mpi.ErrRankFailed) {
+		t.Fatalf("want ErrRankFailed, got %v", err)
+	}
+	rec.assertExactlyOnce(t, total)
+}
+
+// TestDLBResetWraparoundExactlyOnce is the satellite-3 stress test: >32
+// DLB cycles force the epoch%32 slot reuse, and after each reuse the
+// counter must still hand out every index exactly once per cycle. Run
+// under -race this also audits the reset/draw synchronization.
+func TestDLBResetWraparoundExactlyOnce(t *testing.T) {
+	const size, cycles, total = 4, 40, 64
+	var mu sync.Mutex
+	perCycle := make([]map[int64]int, cycles)
+	for i := range perCycle {
+		perCycle[i] = map[int64]int{}
+	}
+	err := mpi.Run(size, func(c *mpi.Comm) {
+		d := New(c)
+		for e := 0; e < cycles; e++ {
+			d.DLBReset()
+			for {
+				v := d.DLBNext()
+				if v >= total {
+					break
+				}
+				mu.Lock()
+				perCycle[e][v]++
+				mu.Unlock()
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for e, got := range perCycle {
+		if len(got) != total {
+			t.Fatalf("cycle %d: %d of %d indices handed out (slot reuse lost work)", e, len(got), total)
+		}
+		for v, n := range got {
+			if n != 1 {
+				t.Fatalf("cycle %d: index %d handed out %d times after slot reuse", e, v, n)
+			}
+		}
+	}
+}

@@ -80,6 +80,7 @@ type Stats struct {
 	PairsSkipped     int64 // whole ij iterations skipped by prescreening
 	DLBGrabs         int64 // dynamic load balancer fetches
 	Flushes          int64 // FI/FJ buffer flushes (shared-Fock only)
+	TasksReissued    int64 // DLB leases stolen from failed ranks (resilient-fock only)
 }
 
 // Add accumulates other into s.
@@ -89,6 +90,7 @@ func (s *Stats) Add(other Stats) {
 	s.PairsSkipped += other.PairsSkipped
 	s.DLBGrabs += other.DLBGrabs
 	s.Flushes += other.Flushes
+	s.TasksReissued += other.TasksReissued
 }
 
 // PairIndex maps i >= j to the canonical combined pair index, the "ij"

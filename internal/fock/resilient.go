@@ -1,0 +1,127 @@
+package fock
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/ddi"
+	"repro/internal/integrals"
+	"repro/internal/linalg"
+)
+
+// ResilientBuild is the fault-aware Fock construction: Algorithm 1's
+// quartet distribution re-based on the lease-granting DLB
+// (ddi.LeaseDLB), with the closing gsumf replaced by one-sided
+// accumulation into a shared window. A build survives mid-flight rank
+// death — survivors re-issue the dead rank's leases and still produce a
+// Fock matrix with every symmetry-unique shell quartet counted exactly
+// once — because:
+//
+//   - Each combined (i, j) shell-pair task is claimed through a lease,
+//     and a task's contributions are pushed (WinAcc) immediately before
+//     its lease is marked done, with no failure point between — so a
+//     done-marked task has been pushed exactly once, and an undone task
+//     not at all.
+//   - No blocking collective or barrier appears anywhere in the build;
+//     survivors never touch an operation a dead peer can poison. The
+//     only waits are bounded polls on the lease table.
+//
+// Call from inside mpi.Run on every rank, like the other builders. The
+// returned matrix is identical on all surviving ranks.
+func ResilientBuild(dx *ddi.Context, eng *integrals.Engine,
+	sch *integrals.Schwarz, d *linalg.Matrix, cfg Config) (*linalg.Matrix, Stats) {
+	n := eng.Basis.NumBF
+	shells := eng.Basis.Shells
+	ns := len(shells)
+	tau := cfg.tau()
+	src := cfg.source(eng)
+	var stats Stats
+
+	lease := dx.NewLeaseDLB(NumPairs(ns))
+	win := fmt.Sprintf("fock.resilient.%d", lease.Cycle())
+	dx.Comm.WinCreate(win, n*n)
+
+	// batch accumulates the pending (unpushed) tasks' contributions; it
+	// is zeroed after every flush so each contribution is pushed once.
+	batch := linalg.NewSquare(n)
+	var pending []int
+	var buf []float64
+
+	computePair := func(ij int) {
+		i, j := PairDecode(ij)
+		for k := 0; k <= i; k++ {
+			lmax := quartetLoopBounds(i, j, k)
+			for l := 0; l <= lmax; l++ {
+				if sch.Screened(i, j, k, l, tau) {
+					stats.QuartetsScreened++
+					continue
+				}
+				stats.QuartetsComputed++
+				buf = src.ShellQuartet(i, j, k, l, buf)
+				applyQuartet(d, buf, shells, i, j, k, l,
+					func(x, y int, v float64) { addLower(batch, x, y, v) })
+			}
+		}
+		pending = append(pending, ij)
+	}
+
+	// flush is the push-then-mark critical section the exactly-once
+	// guarantee rests on: accumulate the batch into the shared window,
+	// then mark its leases done. Neither step blocks or contains a
+	// fault-injection site.
+	flush := func() {
+		if len(pending) == 0 {
+			return
+		}
+		dx.Comm.WinAcc(win, 0, batch.Data)
+		for i := range batch.Data {
+			batch.Data[i] = 0
+		}
+		for _, ij := range pending {
+			lease.Complete(ij)
+		}
+		pending = pending[:0]
+		stats.Flushes++
+	}
+
+	// flushEvery bounds how much computed work a death can force to be
+	// redone (a dying rank's unflushed tasks are recomputed elsewhere).
+	const flushEvery = 16
+
+	for {
+		ij, ok := lease.Next()
+		if !ok {
+			break
+		}
+		stats.DLBGrabs++
+		computePair(ij)
+		if len(pending) >= flushEvery {
+			flush()
+		}
+	}
+	flush()
+
+	// Drain phase: re-issue leases orphaned by failed ranks until every
+	// task is done. Progress (a successful steal anywhere) resets the
+	// local wait clock; a wedged run still times out via the deadline.
+	start := time.Now()
+	for !lease.AllComplete() {
+		if ij, ok := lease.Steal(); ok {
+			stats.TasksReissued++
+			stats.DLBGrabs++
+			computePair(ij)
+			flush()
+			start = time.Now()
+			continue
+		}
+		dx.Comm.CheckDeadline("resilient-fock drain", start)
+		time.Sleep(200 * time.Microsecond)
+	}
+
+	// All tasks pushed; the window now holds the complete lower-triangle
+	// accumulation and is safe to read one-sidedly.
+	acc := linalg.NewSquare(n)
+	dx.Comm.WinGet(win, 0, acc.Data)
+	Finalize(acc)
+	return acc, stats
+}

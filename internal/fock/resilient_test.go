@@ -1,0 +1,100 @@
+package fock
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"repro/internal/ddi"
+	"repro/internal/linalg"
+	"repro/internal/molecule"
+	"repro/internal/mpi"
+)
+
+// TestResilientMatchesSerial: with nobody dying, the lease-based build is
+// just Algorithm 1 with one-sided accumulation — every rank must
+// reproduce the serial Fock matrix, and the ranks together must compute
+// each quartet exactly once.
+func TestResilientMatchesSerial(t *testing.T) {
+	eng, sch, d := setup(t, molecule.Water(), "6-31g")
+	want, wantStats := SerialBuild(eng, sch, d, DefaultTau)
+
+	const ranks = 3
+	got := make([]*linalg.Matrix, ranks)
+	stats := make([]Stats, ranks)
+	err := mpi.Run(ranks, func(c *mpi.Comm) {
+		dx := ddi.New(c)
+		got[c.Rank()], stats[c.Rank()] = ResilientBuild(dx, eng, sch, d, Config{})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total int64
+	for r := 0; r < ranks; r++ {
+		if diff := got[r].MaxAbsDiff(want); diff > 1e-10 {
+			t.Fatalf("rank %d: resilient vs serial diff = %v", r, diff)
+		}
+		total += stats[r].QuartetsComputed
+	}
+	if total != wantStats.QuartetsComputed {
+		t.Fatalf("ranks computed %d quartets, serial computed %d (not exactly once)",
+			total, wantStats.QuartetsComputed)
+	}
+}
+
+// TestResilientSurvivesRankDeath is the tentpole's mid-Fock-build
+// acceptance test: one rank dies at a DLB draw while holding an
+// uncompleted lease; the survivors re-issue it and still produce the
+// exact serial Fock matrix, with the collective quartet count proving no
+// quartet was lost or duplicated.
+func TestResilientSurvivesRankDeath(t *testing.T) {
+	eng, sch, d := setup(t, molecule.Water(), "6-31g")
+	want, wantStats := SerialBuild(eng, sch, d, DefaultTau)
+
+	const ranks, victim = 4, 1
+	got := make([]*linalg.Matrix, ranks)
+	stats := make([]Stats, ranks)
+	rep, err := mpi.RunWithOptions(ranks, mpi.RunOptions{
+		Deadline: 10 * time.Second,
+		// The victim claims its first task, then dies drawing its second —
+		// leaving one computed-but-unpushed lease for survivors to re-issue.
+		Fault: &mpi.FaultPlan{Kills: []mpi.Kill{{Rank: victim, Site: mpi.SiteDLB, After: 2}}},
+	}, func(c *mpi.Comm) {
+		if c.Rank() != victim {
+			// Hold survivors back so the victim is guaranteed to be
+			// holding a lease when it dies (keeps the test deterministic).
+			for c.Healthy() {
+				time.Sleep(time.Millisecond)
+			}
+		}
+		dx := ddi.New(c)
+		got[c.Rank()], stats[c.Rank()] = ResilientBuild(dx, eng, sch, d, Config{})
+	})
+	if !errors.Is(err, mpi.ErrRankFailed) {
+		t.Fatalf("want ErrRankFailed, got %v", err)
+	}
+	if got := rep.DeadRanks(); len(got) != 1 || got[0] != victim {
+		t.Fatalf("DeadRanks = %v, want [%d]", got, victim)
+	}
+	if len(rep.Completed) != ranks-1 {
+		t.Fatalf("Completed = %v, want the %d survivors", rep.Completed, ranks-1)
+	}
+	var total, reissued int64
+	for _, r := range rep.Completed {
+		if diff := got[r].MaxAbsDiff(want); diff > 1e-10 {
+			t.Fatalf("survivor %d: resilient vs serial diff = %v", r, diff)
+		}
+		total += stats[r].QuartetsComputed
+		reissued += stats[r].TasksReissued
+	}
+	// The victim never pushed anything, so the survivors alone must have
+	// computed exactly the serial quartet count — the dead rank's lease
+	// re-issued, nothing lost, nothing double-counted.
+	if total != wantStats.QuartetsComputed {
+		t.Fatalf("survivors computed %d quartets, serial computed %d (lost or duplicated work)",
+			total, wantStats.QuartetsComputed)
+	}
+	if reissued == 0 {
+		t.Fatal("no lease was re-issued despite a rank dying while holding one")
+	}
+}

@@ -16,6 +16,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Wildcards for Recv matching.
@@ -58,8 +59,15 @@ func (m *mailbox) deliver(msg message) {
 
 // take blocks until a message matching (source, tag) is available and
 // removes it. Matching follows MPI ordering: the earliest-queued matching
-// message wins.
-func (m *mailbox) take(source, tag int) message {
+// message wins. Already-delivered matches are drained even after a peer
+// failure; only an empty wait observes poison (unwinding the receiver)
+// or the run deadline (converting a silent hang into ErrTimeout).
+func (m *mailbox) take(c *Comm, source, tag int) message {
+	deadline := c.world.root.deadline
+	var start time.Time
+	if deadline > 0 {
+		start = time.Now()
+	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
@@ -68,6 +76,14 @@ func (m *mailbox) take(source, tag int) message {
 				(tag == AnyTag || msg.tag == tag) {
 				m.queue = append(m.queue[:i], m.queue[i+1:]...)
 				return msg
+			}
+		}
+		if f := c.world.poisonF.Load(); f != nil {
+			panic(failurePanic{f: f})
+		}
+		if deadline > 0 {
+			if el := time.Since(start); el > deadline {
+				panic(timeoutPanic{rank: c.rank, site: "recv", elapsed: el})
 			}
 		}
 		m.cond.Wait()
@@ -82,7 +98,9 @@ type window struct {
 	ctr  []atomic.Int64
 }
 
-// World owns the shared state of one run: mailboxes, barrier, windows.
+// World owns the shared state of one run: mailboxes, barrier, windows,
+// and — on the top-level world — the failure bookkeeping shared by every
+// communicator split from it.
 type World struct {
 	size      int
 	boxes     []*mailbox
@@ -91,9 +109,43 @@ type World struct {
 	barrier   *cyclicBarrier
 	collSeq   []atomic.Int64 // per-rank collective sequence numbers
 	stats     Stats
-	panicOnce sync.Once
-	panicked  atomic.Bool
-	panicVal  any
+
+	// root points to the top-level world (self for the world communicator);
+	// fault injection, fencing, and failure records live only there, keyed
+	// by world rank ids.
+	root     *World
+	deadline time.Duration // per-blocking-op bound; 0 = wait forever
+	fault    *faultState   // injection schedule; nil = none
+
+	poisonF   atomic.Pointer[RankFailure] // first observed failure
+	fenced    []atomic.Bool               // abandoned ranks barred from windows (root only)
+	failMu    sync.Mutex
+	failures  []RankFailure // primary failures in detection order (root only)
+	outcomes  []int8        // per-rank outcome states (root only)
+	watchStop chan struct{} // stops the deadline watchdog
+}
+
+// newWorld builds the shared state of a communicator: the top-level world
+// when root is nil, otherwise a sub-world inheriting root's deadline and
+// failure state.
+func newWorld(size int, root *World) *World {
+	w := &World{
+		size:    size,
+		boxes:   make([]*mailbox, size),
+		barrier: newCyclicBarrier(size),
+		collSeq: make([]atomic.Int64, size),
+	}
+	if root == nil {
+		w.root = w
+		w.fenced = make([]atomic.Bool, size)
+	} else {
+		w.root = root
+		w.deadline = root.deadline
+	}
+	for i := range w.boxes {
+		w.boxes[i] = newMailbox()
+	}
+	return w
 }
 
 // Stats aggregates communication volume over a run; the large-system
@@ -124,49 +176,6 @@ func (c *Comm) WorldStats() (messages, floats, barriers, reduces int64) {
 	return s.Messages.Load(), s.Floats.Load(), s.Barriers.Load(), s.Reduces.Load()
 }
 
-// Run executes f on size ranks concurrently and returns when all ranks
-// finish. A panic on any rank is recovered, propagated as an error, and
-// noted so stuck collectives on other ranks cannot deadlock the test
-// process silently (their goroutines are abandoned).
-func Run(size int, f func(c *Comm)) error {
-	if size <= 0 {
-		return fmt.Errorf("mpi: size must be positive, got %d", size)
-	}
-	w := &World{
-		size:    size,
-		boxes:   make([]*mailbox, size),
-		barrier: newCyclicBarrier(size),
-		collSeq: make([]atomic.Int64, size),
-	}
-	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
-	}
-	var wg sync.WaitGroup
-	wg.Add(size)
-	for r := 0; r < size; r++ {
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				if p := recover(); p != nil {
-					w.panicOnce.Do(func() { w.panicVal = p })
-					w.panicked.Store(true)
-					// Wake every blocked receiver so the run can unwind.
-					for _, b := range w.boxes {
-						b.cond.Broadcast()
-					}
-					w.barrier.poison()
-				}
-			}()
-			f(&Comm{rank: rank, size: size, world: w})
-		}(r)
-	}
-	wg.Wait()
-	if w.panicked.Load() {
-		return fmt.Errorf("mpi: rank panicked: %v", w.panicVal)
-	}
-	return nil
-}
-
 // Send delivers a copy of data to rank dest with the given tag. Tags must
 // be in [0, 1<<24).
 func (c *Comm) Send(dest, tag int, data []float64) {
@@ -183,6 +192,7 @@ func (c *Comm) SendInts(dest, tag int, data []int) {
 }
 
 func (c *Comm) send(dest, tag int, data []float64, ints []int) {
+	c.faultHook(SiteSend)
 	msg := message{source: c.rank, tag: tag}
 	if data != nil {
 		msg.data = append([]float64(nil), data...)
@@ -202,13 +212,15 @@ func (c *Comm) Recv(source, tag int) (data []float64, actualSource, actualTag in
 	if source != AnySource {
 		c.checkPeer(source)
 	}
-	msg := c.world.boxes[c.rank].take(source, tag)
+	c.faultHook(SiteRecv)
+	msg := c.world.boxes[c.rank].take(c, source, tag)
 	return msg.data, msg.source, msg.tag
 }
 
 // RecvInts receives an integer payload.
 func (c *Comm) RecvInts(source, tag int) (data []int, actualSource, actualTag int) {
-	msg := c.world.boxes[c.rank].take(source, tag)
+	c.faultHook(SiteRecv)
+	msg := c.world.boxes[c.rank].take(c, source, tag)
 	return msg.ints, msg.source, msg.tag
 }
 
@@ -242,11 +254,16 @@ func newCyclicBarrier(size int) *cyclicBarrier {
 	return b
 }
 
-func (b *cyclicBarrier) await() {
+func (b *cyclicBarrier) await(c *Comm) {
+	deadline := c.world.root.deadline
+	var start time.Time
+	if deadline > 0 {
+		start = time.Now()
+	}
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.poisoned {
-		panic("mpi: barrier poisoned by peer rank failure")
+		panicPoisoned(c)
 	}
 	gen := b.gen
 	b.count++
@@ -257,11 +274,29 @@ func (b *cyclicBarrier) await() {
 		return
 	}
 	for gen == b.gen && !b.poisoned {
+		if deadline > 0 {
+			if el := time.Since(start); el > deadline {
+				// Withdraw: this rank never completed the barrier.
+				b.count--
+				panic(timeoutPanic{rank: c.rank, site: "barrier", elapsed: el})
+			}
+		}
 		b.cond.Wait()
 	}
 	if b.poisoned {
-		panic("mpi: barrier poisoned by peer rank failure")
+		panicPoisoned(c)
 	}
+}
+
+// panicPoisoned unwinds a rank that observed a poisoned barrier with the
+// typed failure that caused the poison.
+func panicPoisoned(c *Comm) {
+	if f := c.world.poisonF.Load(); f != nil {
+		panic(failurePanic{f: f})
+	}
+	// Poisoned before the failure record landed; synthesize a generic one.
+	panic(failurePanic{f: &RankFailure{Rank: -1, Site: "barrier", Kind: KindPanic,
+		Cause: "peer rank failure"}})
 }
 
 func (b *cyclicBarrier) poison() {
@@ -273,8 +308,9 @@ func (b *cyclicBarrier) poison() {
 
 // Barrier blocks until every rank has entered it.
 func (c *Comm) Barrier() {
+	c.faultHook(SiteBarrier)
 	c.world.stats.Barriers.Add(1)
-	c.world.barrier.await()
+	c.world.barrier.await(c)
 }
 
 // --- shared windows (MPI-3 one-sided emulation) ---
@@ -295,8 +331,12 @@ func (c *Comm) getWindow(name string, n int) *window {
 }
 
 // FetchAdd atomically adds delta to counter idx of the named window and
-// returns the previous value — the primitive under DDI's dlbnext.
+// returns the previous value — the primitive under DDI's dlbnext. The
+// fault hook fires BEFORE the add, so a rank killed at a DLB draw never
+// consumes the drawn index.
 func (c *Comm) FetchAdd(name string, idx int, delta int64) int64 {
+	c.checkFenced()
+	c.faultHook(SiteDLB)
 	w := c.getWindow(name, idx+1)
 	if idx >= len(w.ctr) {
 		panic(fmt.Sprintf("mpi: window %q counter %d out of range", name, idx))
@@ -306,6 +346,7 @@ func (c *Comm) FetchAdd(name string, idx int, delta int64) int64 {
 
 // CounterStore atomically sets counter idx of the named window.
 func (c *Comm) CounterStore(name string, idx int, v int64) {
+	c.checkFenced()
 	w := c.getWindow(name, idx+1)
 	w.ctr[idx].Store(v)
 }
@@ -314,6 +355,30 @@ func (c *Comm) CounterStore(name string, idx int, v int64) {
 func (c *Comm) CounterLoad(name string, idx int) int64 {
 	w := c.getWindow(name, idx+1)
 	return w.ctr[idx].Load()
+}
+
+// CounterCAS atomically compares-and-swaps counter idx of the named
+// window, reporting success — the primitive under the DDI lease table's
+// claim/steal/complete transitions.
+func (c *Comm) CounterCAS(name string, idx int, old, new int64) bool {
+	c.checkFenced()
+	w := c.getWindow(name, idx+1)
+	if idx >= len(w.ctr) {
+		panic(fmt.Sprintf("mpi: window %q counter %d out of range", name, idx))
+	}
+	return w.ctr[idx].CompareAndSwap(old, new)
+}
+
+// WinCreateCounters creates (or re-fetches) a named counter window with
+// at least n slots. The first creator of a window fixes its capacity (at
+// a minimum of 64), so windows that need more counters — like the DDI
+// lease table, one slot per task — must be created explicitly before
+// first use.
+func (c *Comm) WinCreateCounters(name string, n int) {
+	w := c.getWindow(name, n)
+	if len(w.ctr) < n {
+		panic(fmt.Sprintf("mpi: counter window %q exists with %d < %d slots", name, len(w.ctr), n))
+	}
 }
 
 // WinCreate collectively creates (or re-fetches) a named float window of
@@ -330,6 +395,7 @@ func (c *Comm) WinCreate(name string, size int) {
 
 // WinPut stores data at offset of the named window (one-sided put).
 func (c *Comm) WinPut(name string, offset int, data []float64) {
+	c.checkFenced()
 	w := c.getWindow(name, offset+len(data))
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -347,6 +413,7 @@ func (c *Comm) WinGet(name string, offset int, out []float64) {
 // WinAcc atomically accumulates (sums) data into the window at offset —
 // the DDI acc operation used by distributed-data SCF variants.
 func (c *Comm) WinAcc(name string, offset int, data []float64) {
+	c.checkFenced()
 	w := c.getWindow(name, offset+len(data))
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -397,22 +464,8 @@ func (c *Comm) Split(color, key int) *Comm {
 	// Build the sub-world: a fresh set of mailboxes and barrier shared
 	// through another window-backed registry.
 	subKey := fmt.Sprintf("%s.world.%d", name, color)
-	v, _ := c.world.subWorlds.LoadOrStore(subKey, newSubWorld(len(members)))
+	v, _ := c.world.subWorlds.LoadOrStore(subKey, newWorld(len(members), c.world.root))
 	sub := v.(*World)
 	c.Barrier()
 	return &Comm{rank: myNew, size: len(members), world: sub}
-}
-
-// newSubWorld builds the shared state of a split communicator.
-func newSubWorld(size int) *World {
-	w := &World{
-		size:    size,
-		boxes:   make([]*mailbox, size),
-		barrier: newCyclicBarrier(size),
-		collSeq: make([]atomic.Int64, size),
-	}
-	for i := range w.boxes {
-		w.boxes[i] = newMailbox()
-	}
-	return w
 }

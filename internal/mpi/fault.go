@@ -1,0 +1,524 @@
+package mpi
+
+// Fault tolerance: the runtime-level half of the PR's resilience story.
+//
+// At the paper's headline scale (3,000 KNL nodes / 192,000 cores, Figure
+// 7) node failures during a run are the norm, and GAMESS' only answer is
+// a full restart from the PUNCH file. This file makes failure a
+// first-class, *testable* runtime event:
+//
+//   - FaultPlan injects rank deaths and delays at well-defined runtime
+//     events (barrier entry, send, recv, DLB fetch-add), modeling
+//     fail-stop node loss. Real MPI failure detection also happens at
+//     communication events, so this is the natural fault model for an
+//     in-process runtime.
+//   - Every blocking primitive (mailbox take, Barrier, and therefore all
+//     collectives) observes the world's poison state and an optional
+//     per-operation deadline, converting silent hangs into typed
+//     RankFailure panics that unwind the surviving ranks.
+//   - RunWithOptions returns a structured RunReport: which rank failed,
+//     where, who unwound, who completed, and which goroutines had to be
+//     abandoned (and fenced off the shared windows).
+//
+// Error taxonomy: a run error always unwraps to ErrRankFailed (a rank
+// died: injected kill or real panic) or ErrTimeout (a blocking operation
+// exceeded the deadline, i.e. a peer was stuck rather than dead).
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Sentinel errors for errors.Is dispatch on a failed run.
+var (
+	// ErrRankFailed reports that at least one rank died (injected kill or
+	// panic); surviving ranks were unwound from their blocking operations.
+	ErrRankFailed = errors.New("mpi: rank failed")
+	// ErrTimeout reports that a blocking operation exceeded the configured
+	// deadline — a peer was stuck (not provably dead) and the run gave up
+	// waiting instead of hanging forever.
+	ErrTimeout = errors.New("mpi: deadline exceeded")
+)
+
+// FailureKind classifies how a rank left the computation.
+type FailureKind int
+
+// Failure kinds.
+const (
+	KindPanic   FailureKind = iota // the rank's code panicked
+	KindKilled                     // an injected FaultPlan kill fired
+	KindTimeout                    // the rank gave up after Deadline blocked
+)
+
+func (k FailureKind) String() string {
+	switch k {
+	case KindKilled:
+		return "killed"
+	case KindTimeout:
+		return "timeout"
+	default:
+		return "panic"
+	}
+}
+
+// RankFailure is the typed error describing one rank's failure. It
+// unwraps to ErrRankFailed (killed/panic) or ErrTimeout.
+type RankFailure struct {
+	Rank    int
+	Site    string // where the failure was observed ("barrier", "dlb #3", ...)
+	Kind    FailureKind
+	Cause   any           // the panic value for KindPanic
+	Elapsed time.Duration // blocked time for KindTimeout
+}
+
+// Error implements error.
+func (f *RankFailure) Error() string {
+	switch f.Kind {
+	case KindTimeout:
+		return fmt.Sprintf("mpi: rank %d timed out after %v blocked at %s", f.Rank, f.Elapsed.Round(time.Millisecond), f.Site)
+	case KindKilled:
+		return fmt.Sprintf("mpi: rank %d killed at %s (injected fault)", f.Rank, f.Site)
+	default:
+		return fmt.Sprintf("mpi: rank %d panicked at %s: %v", f.Rank, f.Site, f.Cause)
+	}
+}
+
+// Unwrap lets errors.Is(err, ErrRankFailed) / errors.Is(err, ErrTimeout)
+// dispatch on the failure class.
+func (f *RankFailure) Unwrap() error {
+	if f.Kind == KindTimeout {
+		return ErrTimeout
+	}
+	return ErrRankFailed
+}
+
+// --- fault injection ---
+
+// FaultSite names a runtime event class at which faults can be injected.
+type FaultSite string
+
+// Injectable runtime events. SiteDLB is the one-sided fetch-and-add under
+// ddi.DLBNext — the paper's dynamic load balancer draw.
+const (
+	SiteBarrier FaultSite = "barrier"
+	SiteSend    FaultSite = "send"
+	SiteRecv    FaultSite = "recv"
+	SiteDLB     FaultSite = "dlb"
+)
+
+func siteIndex(s FaultSite) int {
+	switch s {
+	case SiteBarrier:
+		return 0
+	case SiteSend:
+		return 1
+	case SiteRecv:
+		return 2
+	default:
+		return 3
+	}
+}
+
+// Kill schedules rank Rank to die on its After-th event (1-based) at
+// Site. Death happens before the event takes effect, so a rank killed at
+// a DLB draw never consumes the drawn index.
+type Kill struct {
+	Rank  int
+	Site  FaultSite
+	After int
+}
+
+// Delay stalls rank Rank for Sleep on its After-th event at Site —
+// modeling a slow or wedged (but not dead) peer, the case the Deadline
+// machinery exists for.
+type Delay struct {
+	Rank  int
+	Site  FaultSite
+	After int
+	Sleep time.Duration
+}
+
+// FaultPlan is an injection schedule for one run. The zero value injects
+// nothing.
+type FaultPlan struct {
+	Kills  []Kill
+	Delays []Delay
+}
+
+type siteCounters [4]atomic.Int64
+
+// faultState tracks per-rank, per-site event counts against the plan.
+type faultState struct {
+	plan   FaultPlan
+	counts []siteCounters
+}
+
+// hit records one event and fires any matching delay/kill.
+func (fs *faultState) hit(rank int, site FaultSite) {
+	n := fs.counts[rank][siteIndex(site)].Add(1)
+	for _, d := range fs.plan.Delays {
+		if d.Rank == rank && d.Site == site && int64(d.After) == n {
+			time.Sleep(d.Sleep)
+		}
+	}
+	for _, k := range fs.plan.Kills {
+		if k.Rank == rank && k.Site == site && int64(k.After) == n {
+			panic(injectedKill{rank: rank, site: site, n: int(n)})
+		}
+	}
+}
+
+// Panic payload types used to classify unwinding in the rank runner.
+type injectedKill struct {
+	rank int
+	site FaultSite
+	n    int
+}
+
+type failurePanic struct{ f *RankFailure }
+
+type timeoutPanic struct {
+	rank    int
+	site    string
+	elapsed time.Duration
+}
+
+// --- run options and report ---
+
+// RunOptions configures a fault-aware run.
+type RunOptions struct {
+	// Deadline bounds the time any single blocking operation (Recv,
+	// Barrier, collectives, resilient-build waits) may stay blocked; 0
+	// waits forever (classic MPI semantics). When a wait exceeds the
+	// deadline the waiting rank unwinds with a KindTimeout RankFailure.
+	Deadline time.Duration
+	// Fault optionally injects rank deaths and delays.
+	Fault *FaultPlan
+}
+
+// rank outcome states recorded on the top-level world.
+const (
+	outcomeRunning int8 = iota
+	outcomeCompleted
+	outcomeUnwound
+	outcomeFailed
+	outcomeAbandoned
+)
+
+// RunReport describes how a run ended, rank by rank.
+type RunReport struct {
+	Size     int
+	Failures []RankFailure // primary failures (killed / panicked / timed out), in detection order
+	Unwound  []int         // survivors that observed the poison and unwound cleanly
+	Completed []int        // ranks that returned normally
+	Abandoned []int        // goroutines still blocked/stuck at grace expiry; leaked but fenced from windows
+	Err       error         // nil on a clean run
+}
+
+// DeadRanks returns the ranks that are genuinely gone — killed, panicked,
+// or abandoned (fenced). Timed-out waiters are NOT dead: they unwound
+// healthy after giving up on a stuck peer.
+func (r *RunReport) DeadRanks() []int {
+	set := map[int]bool{}
+	for _, f := range r.Failures {
+		if f.Kind != KindTimeout {
+			set[f.Rank] = true
+		}
+	}
+	for _, a := range r.Abandoned {
+		set[a] = true
+	}
+	out := make([]int, 0, len(set))
+	for rk := range set {
+		out = append(out, rk)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Run executes f on size ranks concurrently and returns when all ranks
+// finish. A panic on any rank is recovered, propagated as a typed
+// RankFailure error, and poisons the world so blocked peers unwind
+// instead of deadlocking.
+func Run(size int, f func(c *Comm)) error {
+	_, err := RunWithOptions(size, RunOptions{}, f)
+	return err
+}
+
+// RunWithOptions executes f on size ranks with fault injection and
+// deadline-bounded blocking, returning a structured report alongside the
+// error (report.Err == err).
+func RunWithOptions(size int, opt RunOptions, f func(c *Comm)) (*RunReport, error) {
+	if size <= 0 {
+		return nil, fmt.Errorf("mpi: size must be positive, got %d", size)
+	}
+	w := newWorld(size, nil)
+	w.deadline = opt.Deadline
+	if opt.Fault != nil {
+		w.fault = &faultState{plan: *opt.Fault, counts: make([]siteCounters, size)}
+	}
+	w.outcomes = make([]int8, size)
+	if w.deadline > 0 {
+		w.startWatchdog()
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(size)
+	for r := 0; r < size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() { w.finishRank(rank, recover()) }()
+			f(&Comm{rank: rank, size: size, world: w})
+		}(r)
+	}
+
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	if w.deadline <= 0 {
+		<-done
+	} else {
+		w.waitWithGrace(done)
+	}
+	if w.watchStop != nil {
+		close(w.watchStop)
+	}
+	report := w.buildReport()
+	return report, report.Err
+}
+
+// waitWithGrace waits for all ranks; once the world is poisoned it gives
+// survivors one deadline (plus slack) to unwind, then abandons and fences
+// whatever is left so the caller regains control.
+func (w *World) waitWithGrace(done chan struct{}) {
+	ticker := time.NewTicker(2 * time.Millisecond)
+	defer ticker.Stop()
+	var graceTimer <-chan time.Time
+	for {
+		select {
+		case <-done:
+			return
+		case <-ticker.C:
+			if graceTimer == nil && w.poisonF.Load() != nil {
+				graceTimer = time.After(w.deadline + 500*time.Millisecond)
+			}
+		case <-graceTimer:
+			w.abandonStragglers()
+			return
+		}
+	}
+}
+
+// abandonStragglers marks still-running ranks abandoned and fences them
+// from the shared windows, so a wedged goroutine that later wakes cannot
+// corrupt state the survivors (or a restarted attempt) rely on.
+func (w *World) abandonStragglers() {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	for r := range w.outcomes {
+		if w.outcomes[r] == outcomeRunning {
+			w.outcomes[r] = outcomeAbandoned
+			w.fenced[r].Store(true)
+		}
+	}
+}
+
+// finishRank classifies how a rank's goroutine ended and records it.
+func (w *World) finishRank(rank int, p any) {
+	switch v := p.(type) {
+	case nil:
+		w.setOutcome(rank, outcomeCompleted)
+	case failurePanic:
+		w.setOutcome(rank, outcomeUnwound)
+	case timeoutPanic:
+		w.recordFailure(RankFailure{Rank: v.rank, Site: v.site, Kind: KindTimeout, Elapsed: v.elapsed})
+	case injectedKill:
+		w.recordFailure(RankFailure{Rank: v.rank, Site: fmt.Sprintf("%s #%d", v.site, v.n), Kind: KindKilled})
+	default:
+		w.recordFailure(RankFailure{Rank: rank, Site: "user code", Kind: KindPanic, Cause: v})
+	}
+}
+
+func (w *World) setOutcome(rank int, o int8) {
+	w.failMu.Lock()
+	if w.outcomes[rank] == outcomeRunning {
+		w.outcomes[rank] = o
+	}
+	w.failMu.Unlock()
+}
+
+// recordFailure registers a primary failure and poisons the world so
+// every blocked peer unwinds.
+func (w *World) recordFailure(f RankFailure) {
+	w.failMu.Lock()
+	w.failures = append(w.failures, f)
+	if w.outcomes[f.Rank] == outcomeRunning {
+		w.outcomes[f.Rank] = outcomeFailed
+	}
+	w.failMu.Unlock()
+	fc := f
+	w.poisonWorld(&fc)
+}
+
+// poisonWorld marks this world and every sub-world failed and wakes all
+// blocked waiters: barrier waiters AND mailbox receivers (the seed's
+// poison only woke the barrier — a receiver blocked on a dead peer hung
+// forever).
+func (w *World) poisonWorld(f *RankFailure) {
+	w.poisonF.CompareAndSwap(nil, f)
+	w.barrier.poison()
+	for _, b := range w.boxes {
+		b.cond.Broadcast()
+	}
+	w.subWorlds.Range(func(_, v any) bool {
+		v.(*World).poisonWorld(f)
+		return true
+	})
+}
+
+// buildReport snapshots per-rank outcomes into a RunReport.
+func (w *World) buildReport() *RunReport {
+	w.failMu.Lock()
+	defer w.failMu.Unlock()
+	rep := &RunReport{Size: w.size}
+	rep.Failures = append(rep.Failures, w.failures...)
+	for r, o := range w.outcomes {
+		switch o {
+		case outcomeCompleted:
+			rep.Completed = append(rep.Completed, r)
+		case outcomeUnwound:
+			rep.Unwound = append(rep.Unwound, r)
+		case outcomeAbandoned:
+			rep.Abandoned = append(rep.Abandoned, r)
+		}
+	}
+	if len(rep.Failures) > 0 {
+		f := rep.Failures[0]
+		rep.Err = &f
+	}
+	return rep
+}
+
+// --- watchdog: periodic wakeups so deadline checks can run ---
+
+func (w *World) startWatchdog() {
+	w.watchStop = make(chan struct{})
+	tick := w.deadline / 8
+	if tick < time.Millisecond {
+		tick = time.Millisecond
+	}
+	if tick > 20*time.Millisecond {
+		tick = 20 * time.Millisecond
+	}
+	go func() {
+		t := time.NewTicker(tick)
+		defer t.Stop()
+		for {
+			select {
+			case <-w.watchStop:
+				return
+			case <-t.C:
+				w.broadcastAll()
+			}
+		}
+	}()
+}
+
+// broadcastAll wakes every blocked waiter (recursively through split
+// communicators) so it can re-check poison and deadline state.
+func (w *World) broadcastAll() {
+	for _, b := range w.boxes {
+		b.cond.Broadcast()
+	}
+	w.barrier.cond.Broadcast()
+	w.subWorlds.Range(func(_, v any) bool {
+		v.(*World).broadcastAll()
+		return true
+	})
+}
+
+// --- per-comm fault hooks and queries ---
+
+// faultHook records one runtime event for fault injection. Injection
+// targets world ranks, so events on split communicators are not counted.
+func (c *Comm) faultHook(site FaultSite) {
+	w := c.world
+	if w != w.root || w.root.fault == nil {
+		return
+	}
+	w.root.fault.hit(c.rank, site)
+}
+
+// checkFenced bars an abandoned rank from mutating shared windows. The
+// panic unwinds it like any other failure observation.
+func (c *Comm) checkFenced() {
+	w := c.world
+	if w != w.root {
+		return
+	}
+	if w.fenced[c.rank].Load() {
+		f := w.poisonF.Load()
+		if f == nil {
+			f = &RankFailure{Rank: c.rank, Site: "fenced", Kind: KindTimeout}
+		}
+		panic(failurePanic{f: f})
+	}
+}
+
+// checkPoison unwinds the caller if the world has been poisoned by a
+// peer's failure. Blocking primitives call it whenever they would wait.
+func (c *Comm) checkPoison() {
+	if f := c.world.poisonF.Load(); f != nil {
+		panic(failurePanic{f: f})
+	}
+}
+
+// Deadline returns the per-blocking-operation deadline of this run (0 =
+// none).
+func (c *Comm) Deadline() time.Duration { return c.world.root.deadline }
+
+// CheckDeadline panics with a timeout failure when the elapsed time since
+// start exceeds the run's deadline. Resilient algorithms call it in their
+// polling loops so a wedged lease-holder cannot stall the build forever.
+func (c *Comm) CheckDeadline(site string, start time.Time) {
+	d := c.world.root.deadline
+	if d <= 0 {
+		return
+	}
+	if el := time.Since(start); el > d {
+		panic(timeoutPanic{rank: c.rank, site: site, elapsed: el})
+	}
+}
+
+// FailedRanks returns the world ranks currently known dead (killed,
+// panicked) or fenced after abandonment, ascending. Timed-out waiters are
+// not included — they are healthy ranks that gave up on a stuck peer. On
+// a split communicator the returned ids are still WORLD ranks.
+func (c *Comm) FailedRanks() []int {
+	w := c.world.root
+	set := map[int]bool{}
+	w.failMu.Lock()
+	for _, f := range w.failures {
+		if f.Kind != KindTimeout {
+			set[f.Rank] = true
+		}
+	}
+	w.failMu.Unlock()
+	for r := range w.fenced {
+		if w.fenced[r].Load() {
+			set[r] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Healthy reports whether no failure has been observed in this run.
+func (c *Comm) Healthy() bool { return c.world.root.poisonF.Load() == nil }

@@ -4,20 +4,47 @@ package mpi
 // MPI_Wait). The GAMESS DDI layer uses nonblocking transfers to overlap
 // distributed-array traffic with integral computation; these complete the
 // substrate so such overlap patterns can be expressed here too.
+//
+// Fault semantics: the background receive goroutine captures any failure
+// unwinding (peer death, deadline) and re-raises it from Wait, so the
+// rank that owns the request — not an anonymous goroutine — unwinds.
 
 // Request is a handle to an in-flight nonblocking operation.
 type Request struct {
-	done chan struct{}
-	data []float64
-	src  int
-	tag  int
+	done     chan struct{}
+	data     []float64
+	src      int
+	tag      int
+	panicVal any // failure captured in the background goroutine
 }
 
 // Wait blocks until the operation completes and returns the received
-// payload (nil for sends) with its envelope.
+// payload (nil for sends) with its envelope. If the operation failed
+// because a peer rank died or the deadline expired, Wait re-raises that
+// failure on the calling rank so it unwinds like any blocked receiver.
 func (r *Request) Wait() (data []float64, source, tag int) {
 	<-r.done
+	if r.panicVal != nil {
+		panic(r.panicVal)
+	}
 	return r.data, r.src, r.tag
+}
+
+// WaitErr is like Wait but converts a failure into a typed error
+// (unwrapping to ErrRankFailed or ErrTimeout) instead of unwinding, for
+// callers that want to handle peer death locally.
+func (r *Request) WaitErr() (data []float64, source, tag int, err error) {
+	<-r.done
+	switch v := r.panicVal.(type) {
+	case nil:
+		return r.data, r.src, r.tag, nil
+	case failurePanic:
+		return nil, 0, 0, v.f
+	case timeoutPanic:
+		return nil, 0, 0, &RankFailure{Rank: v.rank, Site: v.site, Kind: KindTimeout, Elapsed: v.elapsed}
+	default:
+		panic(v) // not a failure: a genuine bug, keep crashing
+	}
 }
 
 // Test reports whether the operation has completed without blocking.
@@ -33,10 +60,12 @@ func (r *Request) Test() bool {
 // Isend starts a nonblocking send. The payload is copied immediately, so
 // the caller may reuse the buffer right away (MPI_Isend with an eager
 // protocol). The returned request completes as soon as the message is
-// enqueued at the destination.
+// enqueued at the destination. Fault hooks fire synchronously on the
+// calling rank, before the request is returned.
 func (c *Comm) Isend(dest, tag int, data []float64) *Request {
 	c.checkPeer(dest)
 	c.checkTag(tag)
+	c.faultHook(SiteSend)
 	r := &Request{done: make(chan struct{})}
 	payload := append([]float64(nil), data...)
 	go func() {
@@ -54,13 +83,19 @@ func (c *Comm) Irecv(source, tag int) *Request {
 	if source != AnySource {
 		c.checkPeer(source)
 	}
+	c.faultHook(SiteRecv)
 	r := &Request{done: make(chan struct{})}
 	go func() {
-		msg := c.world.boxes[c.rank].take(source, tag)
+		defer func() {
+			if p := recover(); p != nil {
+				r.panicVal = p
+			}
+			close(r.done)
+		}()
+		msg := c.world.boxes[c.rank].take(c, source, tag)
 		r.data = msg.data
 		r.src = msg.source
 		r.tag = msg.tag
-		close(r.done)
 	}()
 	return r
 }

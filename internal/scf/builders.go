@@ -21,11 +21,17 @@ func SerialBuilder(eng *integrals.Engine, sch *integrals.Schwarz, tau float64) B
 // Algorithm selects one of the paper's three Fock-build parallelizations.
 type Algorithm string
 
-// The three SCF implementations benchmarked in the paper.
+// The three SCF implementations benchmarked in the paper, plus the
+// fault-aware variant added on top of them.
 const (
 	AlgMPIOnly     Algorithm = "mpi-only"     // Algorithm 1, stock GAMESS
 	AlgPrivateFock Algorithm = "private-fock" // Algorithm 2
 	AlgSharedFock  Algorithm = "shared-fock"  // Algorithm 3
+	// AlgResilientFock is Algorithm 1's distribution on the lease-based
+	// DLB with one-sided accumulation: a build survives mid-flight rank
+	// death by re-issuing the dead rank's task leases (see
+	// fock.ResilientBuild). Not part of the paper's benchmark set.
+	AlgResilientFock Algorithm = "resilient-fock"
 )
 
 // Algorithms lists the paper's three variants in presentation order.
@@ -44,6 +50,8 @@ func ParallelBuilder(alg Algorithm, dx *ddi.Context, eng *integrals.Engine,
 			return fock.PrivateFockBuild(dx, eng, sch, d, cfg)
 		case AlgSharedFock:
 			return fock.SharedFockBuild(dx, eng, sch, d, cfg)
+		case AlgResilientFock:
+			return fock.ResilientBuild(dx, eng, sch, d, cfg)
 		default:
 			panic("scf: unknown algorithm " + string(alg))
 		}

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 
 	"repro/internal/linalg"
 )
@@ -44,15 +45,31 @@ func SaveCheckpoint(w io.Writer, molName, basisName string, res *Result) error {
 	return enc.Encode(&cp)
 }
 
-// LoadCheckpoint reads a checkpoint written by SaveCheckpoint.
+// maxCheckpointBF bounds the basis size a checkpoint may claim; beyond it
+// the file is certainly corrupt (the density alone would exceed 100 GB).
+const maxCheckpointBF = 1 << 17
+
+// LoadCheckpoint reads and validates a checkpoint written by
+// SaveCheckpoint. A truncated, corrupted, or inconsistent file yields a
+// descriptive error — never a panic — so drivers can fall back to a
+// standard initial guess.
 func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 	var cp Checkpoint
 	if err := json.NewDecoder(r).Decode(&cp); err != nil {
-		return nil, fmt.Errorf("scf: bad checkpoint: %w", err)
+		return nil, fmt.Errorf("scf: checkpoint truncated or corrupted: %w", err)
 	}
-	if cp.NumBF <= 0 || len(cp.Density) != cp.NumBF*cp.NumBF {
-		return nil, fmt.Errorf("scf: checkpoint density has %d elements for %d basis functions",
-			len(cp.Density), cp.NumBF)
+	if cp.NumBF <= 0 || cp.NumBF > maxCheckpointBF {
+		return nil, fmt.Errorf("scf: checkpoint claims %d basis functions (want 1..%d)",
+			cp.NumBF, maxCheckpointBF)
+	}
+	if len(cp.Density) != cp.NumBF*cp.NumBF {
+		return nil, fmt.Errorf("scf: checkpoint density has %d elements for %d basis functions (want %d)",
+			len(cp.Density), cp.NumBF, cp.NumBF*cp.NumBF)
+	}
+	for i, v := range cp.Density {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return nil, fmt.Errorf("scf: checkpoint density element %d is not finite", i)
+		}
 	}
 	return &cp, nil
 }

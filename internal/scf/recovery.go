@@ -1,0 +1,217 @@
+package scf
+
+// Recovery driver: the SCF-level half of the fault-tolerance story,
+// modeling what GAMESS achieves with PUNCH-file restarts — but
+// automatically, inside one call. RunRHFResilient runs a parallel RHF
+// and, when a rank dies or wedges:
+//
+//   - with AlgResilientFock, the Fock build itself absorbs the failure
+//     (survivors re-issue the dead rank's task leases) and the SCF
+//     finishes in place — "in-build recovery";
+//   - otherwise (or when too few ranks survive in-build), the driver
+//     shrinks the world to the surviving rank count and restarts the
+//     current iteration from the last checkpoint, falling back to the
+//     standard initial guess when no valid checkpoint exists.
+//
+// Checkpoints flow through the existing SaveCheckpoint/LoadCheckpoint
+// JSON serialization, held in memory here (a file is just another
+// io.Reader/Writer for the same functions).
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/ddi"
+	"repro/internal/fock"
+	"repro/internal/integrals"
+	"repro/internal/mpi"
+)
+
+// ResilientOptions configures RunRHFResilient.
+type ResilientOptions struct {
+	Ranks     int       // initial MPI rank count; default 2
+	Algorithm Algorithm // default AlgResilientFock
+	Fock      fock.Config
+	SCF       Options
+	// Deadline bounds every blocking runtime operation (see
+	// mpi.RunOptions.Deadline); default 30s.
+	Deadline time.Duration
+	// MaxRestarts caps shrink-and-restart attempts after the first run;
+	// default 3.
+	MaxRestarts int
+	// Fault injects failures into the FIRST attempt only — restarted
+	// attempts run clean, as a failed node stays out of the job.
+	Fault *mpi.FaultPlan
+	// Checkpoint optionally seeds the driver with a previously saved
+	// checkpoint (the restart-from-PUNCH-file case). Corrupted or
+	// truncated contents are diagnosed and ignored: the run starts from
+	// the standard guess instead.
+	Checkpoint []byte
+}
+
+func (o ResilientOptions) withDefaults() ResilientOptions {
+	if o.Ranks <= 0 {
+		o.Ranks = 2
+	}
+	if o.Algorithm == "" {
+		o.Algorithm = AlgResilientFock
+	}
+	if o.Deadline == 0 {
+		o.Deadline = 30 * time.Second
+	}
+	if o.MaxRestarts == 0 {
+		o.MaxRestarts = 3
+	}
+	return o
+}
+
+// Recovery reports how a resilient run survived.
+type Recovery struct {
+	Attempts           int              // mpi.Run invocations (1 = no restart)
+	Restarts           int              // shrink-and-restart transitions
+	RanksPerAttempt    []int            // world size of each attempt
+	CheckpointRestarts int              // restarts warm-started from a checkpoint
+	GuessRestarts      int              // restarts from the standard guess
+	CorruptCheckpoints int              // checkpoints rejected as corrupt/truncated
+	InBuildRecovery    bool             // a failure was absorbed without restarting
+	FailedRanks        []int            // world ranks lost across all attempts
+	Reports            []*mpi.RunReport // one per attempt
+}
+
+// ckptStore holds the latest checkpoint bytes; the OnIteration hook
+// writes it from inside the run while the driver reads it after.
+type ckptStore struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (s *ckptStore) save(molName, basisName string, res *Result) {
+	var b bytes.Buffer
+	if err := SaveCheckpoint(&b, molName, basisName, res); err != nil {
+		return // a result without a density is not checkpointable; keep the old one
+	}
+	s.mu.Lock()
+	s.buf = b.Bytes()
+	s.mu.Unlock()
+}
+
+// load returns the stored checkpoint, or (nil, false, nil) when none
+// exists, or an error when the contents fail validation.
+func (s *ckptStore) load() (*Checkpoint, bool, error) {
+	s.mu.Lock()
+	buf := s.buf
+	s.mu.Unlock()
+	if buf == nil {
+		return nil, false, nil
+	}
+	cp, err := LoadCheckpoint(bytes.NewReader(buf))
+	if err != nil {
+		return nil, true, err
+	}
+	return cp, true, nil
+}
+
+// RunRHFResilient runs a parallel RHF that survives rank failures, per
+// the package comment above. It returns the converged result, the
+// recovery trace, and an error only when recovery itself was exhausted
+// (rank budget or restart budget).
+func RunRHFResilient(eng *integrals.Engine, sch *integrals.Schwarz,
+	opt ResilientOptions) (*Result, *Recovery, error) {
+	opt = opt.withDefaults()
+	rec := &Recovery{}
+	store := &ckptStore{buf: opt.Checkpoint}
+	molName := eng.Basis.Mol.Name
+	basisName := eng.Basis.Name
+
+	ranks := opt.Ranks
+	var lastErr error
+	for {
+		rec.Attempts++
+		rec.RanksPerAttempt = append(rec.RanksPerAttempt, ranks)
+
+		scfOpt := opt.SCF
+		cp, had, err := store.load()
+		if err != nil {
+			// Corrupted/truncated checkpoint: diagnose, fall back to the
+			// standard guess (satellite-2 behavior).
+			rec.CorruptCheckpoints++
+		} else if cp != nil {
+			scfOpt.InitialDensity = cp.DensityMatrix()
+		}
+		if rec.Attempts > 1 {
+			if had && err == nil {
+				rec.CheckpointRestarts++
+			} else {
+				rec.GuessRestarts++
+			}
+		}
+
+		var fault *mpi.FaultPlan
+		if rec.Attempts == 1 {
+			fault = opt.Fault
+		}
+
+		results := make([]*Result, ranks)
+		errs := make([]error, ranks)
+		report, runErr := mpi.RunWithOptions(ranks,
+			mpi.RunOptions{Deadline: opt.Deadline, Fault: fault},
+			func(c *mpi.Comm) {
+				dx := ddi.New(c)
+				builder := ParallelBuilder(opt.Algorithm, dx, eng, sch, opt.Fock)
+				o := scfOpt
+				if c.Rank() == 0 {
+					// Rank 0 checkpoints every iteration; all ranks hold
+					// identical state, so one writer suffices.
+					o.OnIteration = func(_ int, r *Result) { store.save(molName, basisName, r) }
+				}
+				res, err := RunRHF(eng, builder, o)
+				results[c.Rank()] = res
+				errs[c.Rank()] = err
+			})
+		rec.Reports = append(rec.Reports, report)
+		rec.FailedRanks = append(rec.FailedRanks, report.DeadRanks()...)
+
+		// Success: any rank that ran to completion holds the full result
+		// (all ranks compute identical state). With the resilient builder
+		// this can hold even when runErr records a dead peer.
+		for _, r := range report.Completed {
+			if results[r] != nil && errs[r] == nil {
+				if runErr != nil {
+					rec.InBuildRecovery = true
+				}
+				return results[r], rec, nil
+			}
+		}
+		if runErr == nil {
+			// No rank failure, yet no usable result: a deterministic SCF
+			// error (bad options, odd electron count) — retrying cannot
+			// help.
+			for _, err := range errs {
+				if err != nil {
+					return nil, rec, err
+				}
+			}
+			return nil, rec, fmt.Errorf("scf: resilient run produced no result")
+		}
+		lastErr = runErr
+
+		// Shrink to the survivors and restart from the last checkpoint.
+		dead := len(report.DeadRanks())
+		if dead == 0 {
+			// Pure-timeout failure: nobody is provably dead, but the run
+			// could not finish. Drop one rank (the wedged one is fenced
+			// out by its own deadline next time) and retry.
+			dead = 1
+		}
+		ranks -= dead
+		if ranks < 1 {
+			return nil, rec, fmt.Errorf("scf: no ranks left to restart with: %w", lastErr)
+		}
+		if rec.Restarts >= opt.MaxRestarts {
+			return nil, rec, fmt.Errorf("scf: restart budget (%d) exhausted: %w", opt.MaxRestarts, lastErr)
+		}
+		rec.Restarts++
+	}
+}

@@ -1,0 +1,204 @@
+package scf
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/integrals"
+	"repro/internal/molecule"
+	"repro/internal/mpi"
+)
+
+func resilientSetup(t *testing.T) (*integrals.Engine, *integrals.Schwarz, *Result) {
+	t.Helper()
+	ref, eng := serialSCF(t, molecule.Water(), "sto-3g", Options{})
+	if !ref.Converged {
+		t.Fatal("reference SCF did not converge")
+	}
+	sch := integrals.ComputeSchwarz(eng)
+	return eng, sch, ref
+}
+
+// TestResilientCleanRun: without faults the resilient driver is just a
+// parallel SCF — one attempt, no restarts, reference energy.
+func TestResilientCleanRun(t *testing.T) {
+	eng, sch, ref := resilientSetup(t)
+	res, rec, err := RunRHFResilient(eng, sch, ResilientOptions{Ranks: 3, Deadline: 20 * time.Second})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || math.Abs(res.Energy-ref.Energy) > 1e-8 {
+		t.Fatalf("E = %.12f, want %.12f", res.Energy, ref.Energy)
+	}
+	if rec.Attempts != 1 || rec.Restarts != 0 || rec.InBuildRecovery {
+		t.Fatalf("unexpected recovery trace: %+v", rec)
+	}
+}
+
+// TestInBuildRecoveryMidFockBuild is the tentpole's mid-SCF/mid-build
+// acceptance test for the resilient builder: a rank dies at a DLB draw
+// partway through the run; the survivors re-issue its leases and finish
+// the ENTIRE SCF without a restart, converging to the failure-free
+// energy to 1e-8 hartree.
+func TestInBuildRecoveryMidFockBuild(t *testing.T) {
+	eng, sch, ref := resilientSetup(t)
+	res, rec, err := RunRHFResilient(eng, sch, ResilientOptions{
+		Ranks:    3,
+		Deadline: 20 * time.Second,
+		// Rank 2's eighth cursor draw kills it — inside a Fock build a few
+		// iterations into the SCF.
+		Fault: &mpi.FaultPlan{Kills: []mpi.Kill{{Rank: 2, Site: mpi.SiteDLB, After: 8}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || math.Abs(res.Energy-ref.Energy) > 1e-8 {
+		t.Fatalf("E = %.12f, want %.12f", res.Energy, ref.Energy)
+	}
+	if !rec.InBuildRecovery {
+		t.Fatalf("failure was not absorbed in-build: %+v", rec)
+	}
+	if rec.Restarts != 0 || rec.Attempts != 1 {
+		t.Fatalf("in-build recovery should not restart: %+v", rec)
+	}
+	if len(rec.FailedRanks) != 1 || rec.FailedRanks[0] != 2 {
+		t.Fatalf("FailedRanks = %v, want [2]", rec.FailedRanks)
+	}
+	if rec.Reports[0].Failures[0].Kind != mpi.KindKilled {
+		t.Fatalf("failure kind = %v, want killed", rec.Reports[0].Failures[0].Kind)
+	}
+}
+
+// TestRestartFromCheckpointMidSCF drives the checkpoint path: with the
+// non-resilient Algorithm 1 builder, a rank death poisons the collective
+// reduction and every survivor unwinds; the driver must shrink to the
+// survivors and warm-start from the per-iteration checkpoint, still
+// converging to the failure-free energy.
+func TestRestartFromCheckpointMidSCF(t *testing.T) {
+	eng, sch, ref := resilientSetup(t)
+	res, rec, err := RunRHFResilient(eng, sch, ResilientOptions{
+		Ranks:     3,
+		Algorithm: AlgMPIOnly,
+		Deadline:  20 * time.Second,
+		// DLBReset barriers twice per Fock build, so the fifth barrier is
+		// the start of iteration 3 — iterations 1 and 2 are checkpointed.
+		Fault: &mpi.FaultPlan{Kills: []mpi.Kill{{Rank: 1, Site: mpi.SiteBarrier, After: 5}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || math.Abs(res.Energy-ref.Energy) > 1e-8 {
+		t.Fatalf("E = %.12f, want %.12f (failure-free reference)", res.Energy, ref.Energy)
+	}
+	if rec.Attempts != 2 || rec.Restarts != 1 {
+		t.Fatalf("want exactly one restart: %+v", rec)
+	}
+	if rec.CheckpointRestarts != 1 || rec.GuessRestarts != 0 {
+		t.Fatalf("restart should warm-start from the checkpoint: %+v", rec)
+	}
+	if len(rec.RanksPerAttempt) != 2 || rec.RanksPerAttempt[0] != 3 || rec.RanksPerAttempt[1] != 2 {
+		t.Fatalf("world should shrink 3 -> 2: %v", rec.RanksPerAttempt)
+	}
+	if rec.InBuildRecovery {
+		t.Fatal("Algorithm 1 cannot recover in-build")
+	}
+	// The warm start must actually help: fewer iterations than the cold
+	// reference (it resumes from iteration 2's density).
+	if res.Iterations >= ref.Iterations {
+		t.Fatalf("restart took %d iterations, cold run %d — checkpoint not used",
+			res.Iterations, ref.Iterations)
+	}
+}
+
+// TestRestartBeforeFirstCheckpointFallsBackToGuess: a death in the very
+// first Fock build leaves no checkpoint; the driver must restart from
+// the standard initial guess and still converge.
+func TestRestartBeforeFirstCheckpointFallsBackToGuess(t *testing.T) {
+	eng, sch, ref := resilientSetup(t)
+	res, rec, err := RunRHFResilient(eng, sch, ResilientOptions{
+		Ranks:     3,
+		Algorithm: AlgMPIOnly,
+		Deadline:  20 * time.Second,
+		// First barrier = iteration 1's DLBReset: nothing checkpointed yet.
+		Fault: &mpi.FaultPlan{Kills: []mpi.Kill{{Rank: 1, Site: mpi.SiteBarrier, After: 1}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || math.Abs(res.Energy-ref.Energy) > 1e-8 {
+		t.Fatalf("E = %.12f, want %.12f", res.Energy, ref.Energy)
+	}
+	if rec.GuessRestarts != 1 || rec.CheckpointRestarts != 0 {
+		t.Fatalf("restart should fall back to the guess: %+v", rec)
+	}
+}
+
+// TestCorruptSeedCheckpointFallsBack is the satellite-2 driver behavior:
+// a truncated checkpoint seed is diagnosed and ignored, and the run
+// proceeds from the standard guess.
+func TestCorruptSeedCheckpointFallsBack(t *testing.T) {
+	eng, sch, ref := resilientSetup(t)
+	// A real checkpoint, truncated mid-stream.
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, "water", "sto-3g", ref); err != nil {
+		t.Fatal(err)
+	}
+	truncated := buf.Bytes()[:buf.Len()/2]
+
+	res, rec, err := RunRHFResilient(eng, sch, ResilientOptions{
+		Ranks:      2,
+		Deadline:   20 * time.Second,
+		Checkpoint: truncated,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.CorruptCheckpoints == 0 {
+		t.Fatalf("truncated checkpoint not diagnosed: %+v", rec)
+	}
+	if !res.Converged || math.Abs(res.Energy-ref.Energy) > 1e-8 {
+		t.Fatalf("E = %.12f, want %.12f", res.Energy, ref.Energy)
+	}
+}
+
+// TestCheckpointTruncatedAndCorrupted is the satellite-2 unit test:
+// LoadCheckpoint must return descriptive errors — never panic — on
+// truncated or corrupted files.
+func TestCheckpointTruncatedAndCorrupted(t *testing.T) {
+	ref, _ := serialSCF(t, molecule.Water(), "sto-3g", Options{})
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, "water", "sto-3g", ref); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+
+	cases := []struct {
+		name string
+		data []byte
+		want string
+	}{
+		{"empty", nil, "truncated or corrupted"},
+		{"truncated", full[:len(full)/3], "truncated or corrupted"},
+		{"binary garbage", []byte{0x1f, 0x8b, 0x08, 0x00, 0xff}, "truncated or corrupted"},
+		{"absurd basis size", []byte(`{"num_bf":1000000,"density":[]}`), "basis functions"},
+		{"negative basis size", []byte(`{"num_bf":-4,"density":[]}`), "basis functions"},
+		{"length mismatch", []byte(`{"num_bf":3,"density":[1,2,3,4]}`), "want 9"},
+	}
+	for _, tc := range cases {
+		_, err := LoadCheckpoint(bytes.NewReader(tc.data))
+		if err == nil {
+			t.Fatalf("%s: accepted", tc.name)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Fatalf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+
+	// The happy path still round-trips.
+	if _, err := LoadCheckpoint(bytes.NewReader(full)); err != nil {
+		t.Fatalf("valid checkpoint rejected: %v", err)
+	}
+}

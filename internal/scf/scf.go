@@ -34,6 +34,11 @@ type Options struct {
 	// InitialDensity warm-starts the SCF from a previous density (e.g. a
 	// loaded Checkpoint), overriding Guess. Dimensions must match.
 	InitialDensity *linalg.Matrix
+	// OnIteration, when set, is invoked after every completed iteration
+	// with the up-to-date Result (History, Energy, D reflect iteration
+	// iter). The recovery driver uses it to checkpoint each iteration so
+	// a rank failure restarts from the latest density, not from scratch.
+	OnIteration func(iter int, res *Result)
 }
 
 func (o Options) withDefaults() Options {
@@ -171,6 +176,10 @@ func RunRHF(eng *integrals.Engine, builder Builder, opt Options) (*Result, error
 		res.D = dNew
 		res.C = c
 		res.OrbitalEnergies = eps
+
+		if opt.OnIteration != nil {
+			opt.OnIteration(iter, res)
+		}
 
 		if rms < opt.ConvDens && math.Abs(dE) < opt.ConvEnergy {
 			res.Converged = true

@@ -1,0 +1,41 @@
+package repro
+
+// Facade-level resilience test: the library call a downstream user makes
+// to run a fault-tolerant SCF, with a rank killed mid-run.
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+)
+
+func TestResilientFacadeSurvivesRankDeath(t *testing.T) {
+	mol, err := BuiltinMolecule("h2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := RunRHF(mol, "sto-3g", SCFOptions{})
+	if err != nil || !ref.Converged {
+		t.Fatalf("reference run failed: %v", err)
+	}
+
+	res, rec, err := RunResilientRHF(mol, "sto-3g", ResilientConfig{
+		Ranks:    3,
+		Deadline: 20 * time.Second,
+		Fault:    &mpi.FaultPlan{Kills: []mpi.Kill{{Rank: 1, Site: mpi.SiteDLB, After: 2}}},
+	}, SCFOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged || math.Abs(res.Energy-ref.Energy) > 1e-8 {
+		t.Fatalf("resilient E = %.12f, want %.12f", res.Energy, ref.Energy)
+	}
+	if len(rec.FailedRanks) != 1 || rec.FailedRanks[0] != 1 {
+		t.Fatalf("FailedRanks = %v, want [1]", rec.FailedRanks)
+	}
+	if !rec.InBuildRecovery && rec.Restarts == 0 {
+		t.Fatalf("a rank died but no recovery was recorded: %+v", rec)
+	}
+}
