@@ -25,6 +25,7 @@ import (
 	"repro/internal/molecule"
 	"repro/internal/mpi"
 	"repro/internal/scf"
+	"repro/internal/telemetry"
 )
 
 // Molecule is a molecular geometry (see NewMolecule, BuiltinMolecule,
@@ -83,6 +84,16 @@ func ParseXYZ(text string) (*Molecule, error) { return molecule.ParseXYZ(text) }
 // (DIIS on, RMS-density convergence 1e-8, at most 100 iterations).
 type SCFOptions = scf.Options
 
+// Telemetry is a unified observability session: a metrics registry, a
+// per-rank/per-thread Chrome trace-event recorder, and a load-imbalance
+// collector. Create one with NewTelemetry, pass it via SCFOptions
+// (or ResilientConfig), then write out its trace and metrics or print
+// its Summary. A nil session disables all instrumentation.
+type Telemetry = telemetry.Session
+
+// NewTelemetry returns a fresh telemetry session.
+func NewTelemetry() *Telemetry { return telemetry.NewSession() }
+
 // RunRHF runs a serial restricted Hartree-Fock calculation on mol with
 // the named basis set ("sto-3g", "6-31g", or the paper's "6-31g(d)").
 func RunRHF(mol *Molecule, basisName string, opt SCFOptions) (*Result, error) {
@@ -92,7 +103,8 @@ func RunRHF(mol *Molecule, basisName string, opt SCFOptions) (*Result, error) {
 	}
 	eng := integrals.NewEngine(b)
 	sch := integrals.ComputeSchwarz(eng)
-	return scf.RunRHF(eng, scf.SerialBuilder(eng, sch, 0), opt)
+	builder := scf.InstrumentedBuilder(scf.SerialBuilder(eng, sch, 0), opt.Telemetry, "serial", 0)
+	return scf.RunRHF(eng, builder, opt)
 }
 
 // ParallelConfig shapes a parallel RHF run on the in-process runtimes.
@@ -127,14 +139,18 @@ func RunParallelRHF(mol *Molecule, basisName string, cfg ParallelConfig, opt SCF
 
 	results := make([]*Result, cfg.Ranks)
 	errs := make([]error, cfg.Ranks)
-	runErr := mpi.Run(cfg.Ranks, func(c *mpi.Comm) {
-		dx := ddi.New(c)
-		builder := scf.ParallelBuilder(cfg.Algorithm, dx, eng, sch,
-			fock.Config{Threads: cfg.Threads, Quartets: cache})
-		res, err := scf.RunRHF(eng, builder, opt)
-		results[c.Rank()] = res
-		errs[c.Rank()] = err
-	})
+	_, runErr := mpi.RunWithOptions(cfg.Ranks,
+		mpi.RunOptions{Telemetry: opt.Telemetry},
+		func(c *mpi.Comm) {
+			dx := ddi.New(c)
+			builder := scf.ParallelBuilder(cfg.Algorithm, dx, eng, sch,
+				fock.Config{Threads: cfg.Threads, Quartets: cache})
+			o := opt
+			o.TelemetryRank = c.Rank()
+			res, err := scf.RunRHF(eng, builder, o)
+			results[c.Rank()] = res
+			errs[c.Rank()] = err
+		})
 	if runErr != nil {
 		return nil, runErr
 	}
@@ -148,12 +164,13 @@ func RunParallelRHF(mol *Molecule, basisName string, cfg ParallelConfig, opt SCF
 
 // ResilientConfig shapes a fault-tolerant parallel RHF run.
 type ResilientConfig struct {
-	Ranks       int               // MPI ranks; defaults to 2
-	Algorithm   Algorithm         // defaults to ResilientFock
-	Deadline    time.Duration     // per-blocking-op bound; defaults to 30s
-	MaxRestarts int               // shrink-and-restart budget; defaults to 3
-	Fault       *mpi.FaultPlan    // optional failure injection (first attempt only)
-	Checkpoint  []byte            // optional prior checkpoint to warm-start from
+	Ranks       int            // MPI ranks; defaults to 2
+	Algorithm   Algorithm      // defaults to ResilientFock
+	Deadline    time.Duration  // per-blocking-op bound; defaults to 30s
+	MaxRestarts int            // shrink-and-restart budget; defaults to 3
+	Fault       *mpi.FaultPlan // optional failure injection (first attempt only)
+	Checkpoint  []byte         // optional prior checkpoint to warm-start from
+	Telemetry   *Telemetry     // optional observability session
 }
 
 // RecoveryInfo reports how a resilient run survived rank failures.
@@ -181,6 +198,7 @@ func RunResilientRHF(mol *Molecule, basisName string, cfg ResilientConfig, opt S
 		MaxRestarts: cfg.MaxRestarts,
 		Fault:       cfg.Fault,
 		Checkpoint:  cfg.Checkpoint,
+		Telemetry:   cfg.Telemetry,
 	})
 }
 

@@ -8,6 +8,11 @@
 # with real parallelism and fault injection. The full ./internal/scf
 # suite under -race takes ~5 minutes; everything else is seconds.
 #
+# Tier 3 (observability gate): run a tiny SCF with -trace and check the
+# emitted Chrome trace is valid JSON with properly nested spans covering
+# the full span taxonomy (scf.iter, fock.build, fock.task, mpi.op,
+# dlb.draw).
+#
 # Usage: ./ci.sh [-short]   (-short skips the slow simulator sweeps)
 set -eu
 
@@ -19,7 +24,15 @@ go vet ./...
 go build ./...
 go test $short ./...
 
-echo "== tier 2: race detector (mpi, ddi, fock, scf) =="
-go test $short -race ./internal/mpi/ ./internal/ddi/ ./internal/fock/ ./internal/scf/
+echo "== tier 2: race detector (mpi, ddi, fock, scf, telemetry) =="
+go test $short -race ./internal/mpi/ ./internal/ddi/ ./internal/fock/ ./internal/scf/ ./internal/telemetry/
+
+echo "== tier 3: trace gate (hfrun -trace -> tracecheck) =="
+tracedir=$(mktemp -d)
+trap 'rm -rf "$tracedir"' EXIT
+go run ./cmd/hfrun -mol water -basis sto-3g -alg shared-fock -ranks 2 -threads 2 \
+	-trace "$tracedir/ci_trace.json" -metrics "$tracedir/ci_metrics.json" >/dev/null
+go run ./cmd/tracecheck -q \
+	-require scf.iter,fock.build,fock.task,mpi.op,dlb.draw "$tracedir/ci_trace.json"
 
 echo "ci: all green"

@@ -14,6 +14,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"time"
 
@@ -35,8 +37,25 @@ func main() {
 		mp2     = flag.Bool("mp2", false, "add the MP2 correlation energy after a serial RHF")
 		guess   = flag.String("guess", "core", "initial guess: core or gwh")
 		doOpt   = flag.Bool("opt", false, "optimize the geometry before reporting (serial RHF)")
+		traceF  = flag.String("trace", "", "write a Chrome trace-event JSON (load in chrome://tracing or Perfetto) to this file")
+		metricF = flag.String("metrics", "", "write the metrics snapshot JSON to this file")
+		pprofA  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
+
+	if *pprofA != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofA, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "hfrun: pprof:", err)
+			}
+		}()
+		fmt.Printf("pprof:    http://localhost%s/debug/pprof/\n", *pprofA)
+	}
+	var tel *repro.Telemetry
+	if *traceF != "" || *metricF != "" {
+		tel = repro.NewTelemetry()
+		defer finishTelemetry(tel, *traceF, *metricF)
+	}
 
 	mol, err := loadMolecule(*molName, *flakeN, *xyzPath)
 	if err != nil {
@@ -49,7 +68,7 @@ func main() {
 	fmt.Printf("molecule: %s (%d atoms, %d electrons)\n", mol.Name, mol.NumAtoms(), mol.NumElectrons())
 	fmt.Printf("basis:    %s (%d shells, %d basis functions)\n", info.Name, info.NumShells, info.NumBF)
 
-	opt := repro.SCFOptions{MaxIter: *maxIter, Guess: *guess}
+	opt := repro.SCFOptions{MaxIter: *maxIter, Guess: *guess, Telemetry: tel}
 	start := time.Now()
 	if *doOpt {
 		fmt.Println("mode:     geometry optimization (serial RHF)")
@@ -142,6 +161,38 @@ func loadMolecule(name string, flakeN int, xyzPath string) (*repro.Molecule, err
 	default:
 		return repro.BuiltinMolecule(name)
 	}
+}
+
+// finishTelemetry writes the trace and metrics files and prints the
+// end-of-run summary (load-imbalance table, counters, histograms).
+func finishTelemetry(tel *repro.Telemetry, tracePath, metricsPath string) {
+	if tracePath != "" {
+		f, err := os.Create(tracePath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tel.WriteTrace(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("\ntrace written to %s (open in chrome://tracing or https://ui.perfetto.dev)\n", tracePath)
+	}
+	if metricsPath != "" {
+		f, err := os.Create(metricsPath)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tel.WriteMetrics(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("metrics written to %s\n", metricsPath)
+	}
+	fmt.Printf("\n%s", tel.Summary())
 }
 
 func fatal(err error) {

@@ -15,17 +15,30 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"time"
 
+	"repro"
+	"repro/internal/mpi"
 	"repro/internal/simulate"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: table2, table3, fig3, fig4, fig5, fig7, sweep, breakdown, ablation, resilience, all")
 	csvDir := flag.String("csv", "", "also write <experiment>.csv files into this directory")
+	pprofA := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	flag.Parse()
+
+	if *pprofA != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofA, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "scaling: pprof:", err)
+			}
+		}()
+	}
 
 	pc := simulate.NewProfileCache()
 	writeCSV := func(id, content string) {
@@ -95,6 +108,7 @@ func main() {
 			check(err)
 			fmt.Println(simulate.FormatResilience(rows))
 			writeCSV(id, simulate.CSVResilience(rows))
+			liveResilience()
 		case "ablation":
 			fmt.Println("== Ablation: DLB contention coefficient (MPI-only, 512 nodes) ==")
 			rows, err := simulate.RunDLBContentionAblation(pc)
@@ -123,6 +137,43 @@ func main() {
 		return
 	}
 	run(*exp)
+}
+
+// liveResilience complements the analytic failure model with a real
+// fault-injected run on the in-process runtime: a water/STO-3G RHF on 4
+// ranks where rank 1 is killed at its third DLB draw. It prints the
+// per-rank wall times and recovery-event counts from each attempt's
+// mpi.RunReport — the measured counterpart of the model's restart
+// overhead columns.
+func liveResilience() {
+	fmt.Println("== Live fault injection: water/STO-3G, 4 ranks, rank 1 killed at DLB draw #3 ==")
+	mol, err := repro.BuiltinMolecule("water")
+	check(err)
+	res, rec, err := repro.RunResilientRHF(mol, "sto-3g", repro.ResilientConfig{
+		Ranks:    4,
+		Deadline: 10 * time.Second,
+		Fault:    &mpi.FaultPlan{Kills: []mpi.Kill{{Rank: 1, Site: mpi.SiteDLB, After: 3}}},
+	}, repro.SCFOptions{})
+	check(err)
+	mode := "shrink-and-restart"
+	if rec.InBuildRecovery {
+		mode = "in-build lease re-issue"
+	}
+	fmt.Printf("  converged: %v  E = %.10f hartree  (%d attempt(s), recovery: %s)\n",
+		res.Converged, res.Energy, rec.Attempts, mode)
+	for i, rep := range rec.Reports {
+		ev := rep.RecoveryCounts()
+		fmt.Printf("  attempt %d: %d ranks | kills %d, panics %d, timeouts %d, unwound %d, abandoned %d\n",
+			i+1, rep.Size, ev.Kills, ev.Panics, ev.Timeouts, ev.Unwound, ev.Abandoned)
+		for r := 0; r < rep.Size; r++ {
+			wall := time.Duration(0)
+			if r < len(rep.RankWall) {
+				wall = rep.RankWall[r]
+			}
+			fmt.Printf("    rank %d: %-9s wall %v\n", r, rep.OutcomeOf(r), wall.Round(time.Microsecond))
+		}
+	}
+	fmt.Println()
 }
 
 func check(err error) {

@@ -1,0 +1,72 @@
+// Command tracecheck validates a Chrome trace-event JSON file produced
+// by the telemetry layer (hfrun -trace / scaling -trace): it parses the
+// file, verifies that spans nest correctly on every (pid, tid) lane, and
+// optionally requires a set of span categories to be present. It exits
+// non-zero on any violation, so CI can gate on trace well-formedness.
+//
+// Examples:
+//
+//	tracecheck out.json
+//	tracecheck -require scf.iter,fock.build,fock.task,mpi.op,dlb.draw out.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/telemetry"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated span categories that must appear in the trace")
+	quiet := flag.Bool("q", false, "suppress the per-category report")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require cat1,cat2,...] trace.json")
+		os.Exit(2)
+	}
+	path := flag.Arg(0)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	stats, err := telemetry.ValidateTrace(data)
+	if err != nil {
+		fatal(fmt.Errorf("%s: %w", path, err))
+	}
+
+	var missing []string
+	if *require != "" {
+		for _, cat := range strings.Split(*require, ",") {
+			cat = strings.TrimSpace(cat)
+			if cat != "" && stats.Categories[cat] == 0 {
+				missing = append(missing, cat)
+			}
+		}
+	}
+
+	if !*quiet {
+		fmt.Printf("%s: %d events (%d spans, %d instants) on %d lanes, max nesting depth %d\n",
+			path, stats.Events, stats.Spans, stats.Instants, stats.Lanes, stats.MaxDepth)
+		cats := make([]string, 0, len(stats.Categories))
+		for c := range stats.Categories {
+			cats = append(cats, c)
+		}
+		sort.Strings(cats)
+		for _, c := range cats {
+			fmt.Printf("  %-20s %d\n", c, stats.Categories[c])
+		}
+	}
+	if len(missing) > 0 {
+		fatal(fmt.Errorf("%s: required categories missing: %s", path, strings.Join(missing, ", ")))
+	}
+	fmt.Println("trace OK")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "tracecheck:", err)
+	os.Exit(1)
+}

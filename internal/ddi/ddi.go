@@ -37,7 +37,12 @@ const dlbWindow = "ddi.dlb"
 // ranks — ddi_dlbnext. Every call hands out a unique index; work sharing
 // follows from ranks skipping indices they did not draw.
 func (d *Context) DLBNext() int64 {
-	return d.Comm.FetchAdd(dlbWindow, int(d.epoch%32), 1)
+	tel := d.Comm.Telemetry()
+	tel.Counter("ddi.dlb.draws").Add(1)
+	end := tel.TimedOp("dlb.draw", "dlbnext", d.Comm.Rank(), 0)
+	v := d.Comm.FetchAdd(dlbWindow, int(d.epoch%32), 1)
+	end()
+	return v
 }
 
 // DLBReset starts a new DLB cycle. Collective: every rank must call it at

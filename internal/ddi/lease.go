@@ -73,6 +73,9 @@ func (l *LeaseDLB) Cycle() int64 { return l.cycle }
 // is lost to a concurrent steal is skipped and the draw retried, so a
 // returned index is always exclusively owned by this rank.
 func (l *LeaseDLB) Next() (idx int, ok bool) {
+	tel := l.ctx.Comm.Telemetry()
+	tel.Counter("ddi.lease.draws").Add(1)
+	defer tel.TimedOp("dlb.draw", "lease-next", l.ctx.Comm.Rank(), 0)()
 	me := int64(l.ctx.Comm.Rank()) + 1
 	for {
 		v := l.ctx.Comm.FetchAdd(l.curW, 0, 1)
@@ -117,6 +120,11 @@ func (l *LeaseDLB) Steal() (idx int, ok bool) {
 		s := l.ctx.Comm.CounterLoad(l.stateW, int(i))
 		if s == leaseFree || dead[s] {
 			if l.ctx.Comm.CounterCAS(l.stateW, int(i), s, me) {
+				if tel := l.ctx.Comm.Telemetry(); tel != nil {
+					tel.Counter("ddi.lease.steals").Add(1)
+					tel.Instant("recovery.reissue", "lease-steal", l.ctx.Comm.Rank(), 0,
+						map[string]any{"task": int(i), "from": s - 1})
+				}
 				return int(i), true
 			}
 		}

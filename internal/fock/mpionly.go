@@ -24,6 +24,8 @@ func MPIOnlyBuild(dx *ddi.Context, eng *integrals.Engine,
 	src := cfg.source(eng)
 	acc := linalg.NewSquare(n)
 	var stats Stats
+	tel := dx.Comm.Telemetry()
+	rank := dx.Comm.Rank()
 
 	dx.DLBReset()
 	next := dx.DLBNext() // first pair index this rank owns
@@ -40,6 +42,11 @@ func MPIOnlyBuild(dx *ddi.Context, eng *integrals.Engine,
 			ij++
 			next = dx.DLBNext()
 			stats.DLBGrabs++
+			var endTask func()
+			if tel != nil {
+				endTask = tel.Span("fock.task", "pair", rank, 0,
+					map[string]any{"i": i, "j": j})
+			}
 			for k := 0; k <= i; k++ {
 				lmax := quartetLoopBounds(i, j, k)
 				for l := 0; l <= lmax; l++ {
@@ -52,6 +59,9 @@ func MPIOnlyBuild(dx *ddi.Context, eng *integrals.Engine,
 					applyQuartet(d, buf, shells, i, j, k, l,
 						func(x, y int, v float64) { addLower(acc, x, y, v) })
 				}
+			}
+			if endTask != nil {
+				endTask()
 			}
 		}
 	}

@@ -33,6 +33,8 @@ func PrivateFockBuild(dx *ddi.Context, eng *integrals.Engine,
 		priv[t] = linalg.NewSquare(n)
 	}
 	threadStats := make([]Stats, nthreads)
+	tel := dx.Comm.Telemetry()
+	rank := dx.Comm.Rank()
 
 	dx.DLBReset()
 	team := omp.NewTeam(nthreads)
@@ -54,7 +56,14 @@ func PrivateFockBuild(dx *ddi.Context, eng *integrals.Engine,
 			if i >= ns {
 				break
 			}
-			// OpenMP over collapsed (j, k), j <= i, k <= i (line 7).
+			// OpenMP over collapsed (j, k), j <= i, k <= i (line 7). Each
+			// thread's span covers its share of the collapsed loops, so the
+			// trace shows intra-team imbalance per i-task.
+			var endTask func()
+			if tel != nil {
+				endTask = tel.Span("fock.task", "i-task", rank, me+1,
+					map[string]any{"i": i})
+			}
 			tc.Collapse2(i+1, i+1, sched, func(j, k int) {
 				lmax := quartetLoopBounds(i, j, k)
 				for l := 0; l <= lmax; l++ {
@@ -68,6 +77,9 @@ func PrivateFockBuild(dx *ddi.Context, eng *integrals.Engine,
 						func(x, y int, v float64) { addLower(acc, x, y, v) })
 				}
 			})
+			if endTask != nil {
+				endTask()
+			}
 		}
 		// reduction(+:Fock) over threads: chunked reduction of the private
 		// replicas into thread 0's copy (paper Figure 1(B) access pattern).

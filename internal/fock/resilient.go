@@ -36,6 +36,8 @@ func ResilientBuild(dx *ddi.Context, eng *integrals.Engine,
 	tau := cfg.tau()
 	src := cfg.source(eng)
 	var stats Stats
+	tel := dx.Comm.Telemetry()
+	rank := dx.Comm.Rank()
 
 	lease := dx.NewLeaseDLB(NumPairs(ns))
 	win := fmt.Sprintf("fock.resilient.%d", lease.Cycle())
@@ -49,6 +51,10 @@ func ResilientBuild(dx *ddi.Context, eng *integrals.Engine,
 
 	computePair := func(ij int) {
 		i, j := PairDecode(ij)
+		if tel != nil {
+			defer tel.Span("fock.task", "pair", rank, 0,
+				map[string]any{"i": i, "j": j})()
+		}
 		for k := 0; k <= i; k++ {
 			lmax := quartetLoopBounds(i, j, k)
 			for l := 0; l <= lmax; l++ {
@@ -109,6 +115,11 @@ func ResilientBuild(dx *ddi.Context, eng *integrals.Engine,
 		if ij, ok := lease.Steal(); ok {
 			stats.TasksReissued++
 			stats.DLBGrabs++
+			if tel != nil {
+				tel.Counter("fock.tasks_reissued").Add(1)
+				tel.Instant("recovery.reissue", "task-reissue", rank, 0,
+					map[string]any{"ij": ij})
+			}
 			computePair(ij)
 			flush()
 			start = time.Now()

@@ -46,6 +46,8 @@ func SharedFockBuild(dx *ddi.Context, eng *integrals.Engine,
 		fj[t] = make([]float64, maxSz*n)
 	}
 	threadStats := make([]Stats, nthreads)
+	tel := dx.Comm.Telemetry()
+	rank := dx.Comm.Rank()
 
 	dx.DLBReset()
 	team := omp.NewTeam(nthreads)
@@ -118,7 +120,13 @@ func SharedFockBuild(dx *ddi.Context, eng *integrals.Engine,
 			si, sj := &shells[i], &shells[j]
 			oi, oj := si.BFOffset, sj.BFOffset
 			// Inner kl loop, kl = 0..ij (Algorithm 3 lines 19-30).
-			// tc.For carries the `omp end do` implicit barrier.
+			// tc.For carries the `omp end do` implicit barrier. Per-thread
+			// spans expose intra-team imbalance per ij-task in the trace.
+			var endTask func()
+			if tel != nil {
+				endTask = tel.Span("fock.task", "ij-task", rank, me+1,
+					map[string]any{"i": i, "j": j})
+			}
 			tc.For(ij+1, sched, func(kl int) {
 				k, l := PairDecode(kl)
 				if sch.Screened(i, j, k, l, tau) {
@@ -130,6 +138,9 @@ func SharedFockBuild(dx *ddi.Context, eng *integrals.Engine,
 				applyQuartetRouted(d, buf, shells, i, j, k, l,
 					oi, oj, n, fiBuf, fjBuf, acc)
 			})
+			if endTask != nil {
+				endTask()
+			}
 			// Flush FJ after every kl loop (Algorithm 3 line 31).
 			flush(tc, fj, j)
 			st.Flushes++

@@ -44,6 +44,17 @@ func (c *Comm) nextCollTag() int {
 	return internalTagBase + int(seq%(1<<20))
 }
 
+// collOp opens a telemetry span for one collective call and records its
+// payload size; the returned func closes the span. Point-to-point spans
+// emitted by the collective's internal sends/recvs nest inside it.
+func (c *Comm) collOp(name string, floats int) func() {
+	tel := c.world.root.telemetry
+	if tel != nil {
+		tel.Histogram("mpi." + name + ".bytes").Observe(int64(8 * floats))
+	}
+	return tel.TimedOp("mpi.op", name, c.rank, 0)
+}
+
 // relRank maps a rank into the tree rooted at root.
 func relRank(rank, root, size int) int { return (rank - root + size) % size }
 
@@ -53,6 +64,7 @@ func absRank(rel, root, size int) int { return (rel + root) % size }
 // tree.
 func (c *Comm) Bcast(root int, buf []float64) {
 	c.checkPeer(root)
+	defer c.collOp("bcast", len(buf))()
 	tag := c.nextCollTag()
 	rel := relRank(c.rank, root, c.size)
 	// Receive from parent (clear lowest set bit).
@@ -78,6 +90,7 @@ func (c *Comm) Bcast(root int, buf []float64) {
 // written on root (it may be nil elsewhere). buf is not modified.
 func (c *Comm) Reduce(root int, op Op, buf []float64, out []float64) {
 	c.checkPeer(root)
+	defer c.collOp("reduce", len(buf))()
 	tag := c.nextCollTag()
 	rel := relRank(c.rank, root, c.size)
 	acc := append([]float64(nil), buf...)
@@ -104,6 +117,7 @@ func (c *Comm) Reduce(root int, op Op, buf []float64, out []float64) {
 // Allreduce combines buf across all ranks with op; every rank receives the
 // result in out (which may alias buf).
 func (c *Comm) Allreduce(op Op, buf []float64, out []float64) {
+	defer c.collOp("allreduce", len(buf))()
 	tmp := make([]float64, len(buf))
 	c.Reduce(0, op, buf, tmp)
 	c.Bcast(0, tmp)
@@ -119,6 +133,7 @@ func (c *Comm) AllreduceSumInPlace(buf []float64) {
 // must have len == size*len(buf) on root (ignored elsewhere).
 func (c *Comm) Gather(root int, buf []float64, out []float64) {
 	c.checkPeer(root)
+	defer c.collOp("gather", len(buf))()
 	tag := c.nextCollTag()
 	if c.rank == root {
 		copy(out[root*len(buf):(root+1)*len(buf)], buf)
@@ -141,6 +156,7 @@ func (c *Comm) Allgather(buf []float64, out []float64) {
 // receives its chunk in out; len(in) == size*len(out) on root.
 func (c *Comm) Scatter(root int, in []float64, out []float64) {
 	c.checkPeer(root)
+	defer c.collOp("scatter", len(out))()
 	tag := c.nextCollTag()
 	if c.rank == root {
 		for r := 0; r < c.size; r++ {

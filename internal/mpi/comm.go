@@ -17,6 +17,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Wildcards for Recv matching.
@@ -113,16 +115,19 @@ type World struct {
 	// root points to the top-level world (self for the world communicator);
 	// fault injection, fencing, and failure records live only there, keyed
 	// by world rank ids.
-	root     *World
-	deadline time.Duration // per-blocking-op bound; 0 = wait forever
-	fault    *faultState   // injection schedule; nil = none
+	root      *World
+	deadline  time.Duration      // per-blocking-op bound; 0 = wait forever
+	fault     *faultState        // injection schedule; nil = none
+	telemetry *telemetry.Session // nil = telemetry disabled (root only)
 
 	poisonF   atomic.Pointer[RankFailure] // first observed failure
 	fenced    []atomic.Bool               // abandoned ranks barred from windows (root only)
 	failMu    sync.Mutex
-	failures  []RankFailure // primary failures in detection order (root only)
-	outcomes  []int8        // per-rank outcome states (root only)
-	watchStop chan struct{} // stops the deadline watchdog
+	failures  []RankFailure   // primary failures in detection order (root only)
+	outcomes  []int8          // per-rank outcome states (root only)
+	rankWall  []time.Duration // per-rank goroutine wall time (root only)
+	runStart  time.Time       // when the rank goroutines launched (root only)
+	watchStop chan struct{}   // stops the deadline watchdog
 }
 
 // newWorld builds the shared state of a communicator: the top-level world
@@ -176,6 +181,11 @@ func (c *Comm) WorldStats() (messages, floats, barriers, reduces int64) {
 	return s.Messages.Load(), s.Floats.Load(), s.Barriers.Load(), s.Reduces.Load()
 }
 
+// Telemetry returns the run's telemetry session (nil when disabled).
+// Split communicators share the top-level world's session; all layers
+// above the runtime (ddi, fock, scf) reach telemetry through this.
+func (c *Comm) Telemetry() *telemetry.Session { return c.world.root.telemetry }
+
 // Send delivers a copy of data to rank dest with the given tag. Tags must
 // be in [0, 1<<24).
 func (c *Comm) Send(dest, tag int, data []float64) {
@@ -193,6 +203,10 @@ func (c *Comm) SendInts(dest, tag int, data []int) {
 
 func (c *Comm) send(dest, tag int, data []float64, ints []int) {
 	c.faultHook(SiteSend)
+	if tel := c.world.root.telemetry; tel != nil {
+		tel.Counter("mpi.send.msgs").Add(1)
+		tel.Histogram("mpi.send.bytes").Observe(int64(8 * (len(data) + len(ints))))
+	}
 	msg := message{source: c.rank, tag: tag}
 	if data != nil {
 		msg.data = append([]float64(nil), data...)
@@ -213,14 +227,18 @@ func (c *Comm) Recv(source, tag int) (data []float64, actualSource, actualTag in
 		c.checkPeer(source)
 	}
 	c.faultHook(SiteRecv)
+	end := c.world.root.telemetry.TimedOp("mpi.op", "recv", c.rank, 0)
 	msg := c.world.boxes[c.rank].take(c, source, tag)
+	end()
 	return msg.data, msg.source, msg.tag
 }
 
 // RecvInts receives an integer payload.
 func (c *Comm) RecvInts(source, tag int) (data []int, actualSource, actualTag int) {
 	c.faultHook(SiteRecv)
+	end := c.world.root.telemetry.TimedOp("mpi.op", "recv", c.rank, 0)
 	msg := c.world.boxes[c.rank].take(c, source, tag)
+	end()
 	return msg.ints, msg.source, msg.tag
 }
 
@@ -246,6 +264,10 @@ type cyclicBarrier struct {
 	count    int
 	gen      int
 	poisoned bool
+	// firstArrival is the entry time of the current generation's first
+	// rank; the closing rank turns it into the barrier-arrival skew
+	// metric (how long the earliest rank idled waiting for the latest).
+	firstArrival time.Time
 }
 
 func newCyclicBarrier(size int) *cyclicBarrier {
@@ -260,6 +282,7 @@ func (b *cyclicBarrier) await(c *Comm) {
 	if deadline > 0 {
 		start = time.Now()
 	}
+	tel := c.world.root.telemetry
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.poisoned {
@@ -267,7 +290,13 @@ func (b *cyclicBarrier) await(c *Comm) {
 	}
 	gen := b.gen
 	b.count++
+	if tel != nil && b.count == 1 {
+		b.firstArrival = time.Now()
+	}
 	if b.count == b.size {
+		if tel != nil && b.size > 1 {
+			tel.Histogram("mpi.barrier.skew_ns").Observe(time.Since(b.firstArrival).Nanoseconds())
+		}
 		b.count = 0
 		b.gen++
 		b.cond.Broadcast()
@@ -310,7 +339,9 @@ func (b *cyclicBarrier) poison() {
 func (c *Comm) Barrier() {
 	c.faultHook(SiteBarrier)
 	c.world.stats.Barriers.Add(1)
+	end := c.world.root.telemetry.TimedOp("mpi.op", "barrier", c.rank, 0)
 	c.world.barrier.await(c)
+	end()
 }
 
 // --- shared windows (MPI-3 one-sided emulation) ---

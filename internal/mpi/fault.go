@@ -31,6 +31,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Sentinel errors for errors.Is dispatch on a failed run.
@@ -198,6 +200,9 @@ type RunOptions struct {
 	Deadline time.Duration
 	// Fault optionally injects rank deaths and delays.
 	Fault *FaultPlan
+	// Telemetry, when set, receives per-op spans, wait-time histograms,
+	// and barrier-arrival skew from every communicator of the run.
+	Telemetry *telemetry.Session
 }
 
 // rank outcome states recorded on the top-level world.
@@ -211,12 +216,65 @@ const (
 
 // RunReport describes how a run ended, rank by rank.
 type RunReport struct {
-	Size     int
-	Failures []RankFailure // primary failures (killed / panicked / timed out), in detection order
-	Unwound  []int         // survivors that observed the poison and unwound cleanly
-	Completed []int        // ranks that returned normally
-	Abandoned []int        // goroutines still blocked/stuck at grace expiry; leaked but fenced from windows
-	Err       error         // nil on a clean run
+	Size      int
+	Failures  []RankFailure   // primary failures (killed / panicked / timed out), in detection order
+	Unwound   []int           // survivors that observed the poison and unwound cleanly
+	Completed []int           // ranks that returned normally
+	Abandoned []int           // goroutines still blocked/stuck at grace expiry; leaked but fenced from windows
+	RankWall  []time.Duration // per-rank goroutine wall time (run duration for abandoned ranks)
+	Err       error           // nil on a clean run
+}
+
+// RecoveryEvents tallies a run's failure and recovery events, the counts
+// the resilience experiment reports next to per-rank wall times.
+type RecoveryEvents struct {
+	Kills     int // injected fail-stop deaths
+	Panics    int // ranks lost to panics in user code
+	Timeouts  int // ranks that gave up after Deadline blocked
+	Unwound   int // survivors unwound cleanly by the poison
+	Abandoned int // goroutines fenced off after the grace period
+}
+
+// RecoveryCounts reduces the report to event tallies.
+func (r *RunReport) RecoveryCounts() RecoveryEvents {
+	ev := RecoveryEvents{Unwound: len(r.Unwound), Abandoned: len(r.Abandoned)}
+	for _, f := range r.Failures {
+		switch f.Kind {
+		case KindKilled:
+			ev.Kills++
+		case KindTimeout:
+			ev.Timeouts++
+		default:
+			ev.Panics++
+		}
+	}
+	return ev
+}
+
+// OutcomeOf names how the given rank ended: "completed", "unwound",
+// "abandoned", or the failure kind ("killed", "panic", "timeout").
+func (r *RunReport) OutcomeOf(rank int) string {
+	for _, f := range r.Failures {
+		if f.Rank == rank {
+			return f.Kind.String()
+		}
+	}
+	for _, x := range r.Completed {
+		if x == rank {
+			return "completed"
+		}
+	}
+	for _, x := range r.Unwound {
+		if x == rank {
+			return "unwound"
+		}
+	}
+	for _, x := range r.Abandoned {
+		if x == rank {
+			return "abandoned"
+		}
+	}
+	return "unknown"
 }
 
 // DeadRanks returns the ranks that are genuinely gone — killed, panicked,
@@ -258,10 +316,13 @@ func RunWithOptions(size int, opt RunOptions, f func(c *Comm)) (*RunReport, erro
 	}
 	w := newWorld(size, nil)
 	w.deadline = opt.Deadline
+	w.telemetry = opt.Telemetry
 	if opt.Fault != nil {
 		w.fault = &faultState{plan: *opt.Fault, counts: make([]siteCounters, size)}
 	}
 	w.outcomes = make([]int8, size)
+	w.rankWall = make([]time.Duration, size)
+	w.runStart = time.Now()
 	if w.deadline > 0 {
 		w.startWatchdog()
 	}
@@ -270,8 +331,9 @@ func RunWithOptions(size int, opt RunOptions, f func(c *Comm)) (*RunReport, erro
 	wg.Add(size)
 	for r := 0; r < size; r++ {
 		go func(rank int) {
+			t0 := time.Now()
 			defer wg.Done()
-			defer func() { w.finishRank(rank, recover()) }()
+			defer func() { w.finishRank(rank, time.Since(t0), recover()) }()
 			f(&Comm{rank: rank, size: size, world: w})
 		}(r)
 	}
@@ -326,8 +388,12 @@ func (w *World) abandonStragglers() {
 	}
 }
 
-// finishRank classifies how a rank's goroutine ended and records it.
-func (w *World) finishRank(rank int, p any) {
+// finishRank classifies how a rank's goroutine ended and records it,
+// along with the goroutine's wall time.
+func (w *World) finishRank(rank int, wall time.Duration, p any) {
+	w.failMu.Lock()
+	w.rankWall[rank] = wall
+	w.failMu.Unlock()
 	switch v := p.(type) {
 	case nil:
 		w.setOutcome(rank, outcomeCompleted)
@@ -385,6 +451,14 @@ func (w *World) buildReport() *RunReport {
 	defer w.failMu.Unlock()
 	rep := &RunReport{Size: w.size}
 	rep.Failures = append(rep.Failures, w.failures...)
+	rep.RankWall = append(rep.RankWall, w.rankWall...)
+	for r, o := range w.outcomes {
+		// Abandoned (or still-running) goroutines never reported a wall
+		// time; charge them the full run duration.
+		if rep.RankWall[r] == 0 && o != outcomeCompleted {
+			rep.RankWall[r] = time.Since(w.runStart)
+		}
+	}
 	for r, o := range w.outcomes {
 		switch o {
 		case outcomeCompleted:

@@ -27,6 +27,7 @@ import (
 	"repro/internal/fock"
 	"repro/internal/integrals"
 	"repro/internal/mpi"
+	"repro/internal/telemetry"
 )
 
 // ResilientOptions configures RunRHFResilient.
@@ -49,6 +50,11 @@ type ResilientOptions struct {
 	// truncated contents are diagnosed and ignored: the run starts from
 	// the standard guess instead.
 	Checkpoint []byte
+	// Telemetry, when set, instruments every attempt (MPI ops, Fock
+	// builds, SCF iterations) and records recovery events — checkpoint
+	// restores, corrupt-checkpoint rejects, shrink-restart transitions —
+	// on the driver lane (pid telemetry.DriverPid).
+	Telemetry *telemetry.Session
 }
 
 func (o ResilientOptions) withDefaults() ResilientOptions {
@@ -63,6 +69,9 @@ func (o ResilientOptions) withDefaults() ResilientOptions {
 	}
 	if o.MaxRestarts == 0 {
 		o.MaxRestarts = 3
+	}
+	if o.Telemetry == nil {
+		o.Telemetry = o.SCF.Telemetry
 	}
 	return o
 }
@@ -132,13 +141,24 @@ func RunRHFResilient(eng *integrals.Engine, sch *integrals.Schwarz,
 		rec.RanksPerAttempt = append(rec.RanksPerAttempt, ranks)
 
 		scfOpt := opt.SCF
+		tel := opt.Telemetry
 		cp, had, err := store.load()
 		if err != nil {
 			// Corrupted/truncated checkpoint: diagnose, fall back to the
 			// standard guess (satellite-2 behavior).
 			rec.CorruptCheckpoints++
+			if tel != nil {
+				tel.Counter("recovery.corrupt_checkpoints").Add(1)
+				tel.Instant("recovery.restore", "checkpoint-corrupt", telemetry.DriverPid, 0,
+					map[string]any{"attempt": rec.Attempts})
+			}
 		} else if cp != nil {
 			scfOpt.InitialDensity = cp.DensityMatrix()
+			if tel != nil && rec.Attempts > 1 {
+				tel.Counter("recovery.checkpoint_restores").Add(1)
+				tel.Instant("recovery.restore", "checkpoint-restore", telemetry.DriverPid, 0,
+					map[string]any{"attempt": rec.Attempts, "iter": cp.Iterations})
+			}
 		}
 		if rec.Attempts > 1 {
 			if had && err == nil {
@@ -156,11 +176,13 @@ func RunRHFResilient(eng *integrals.Engine, sch *integrals.Schwarz,
 		results := make([]*Result, ranks)
 		errs := make([]error, ranks)
 		report, runErr := mpi.RunWithOptions(ranks,
-			mpi.RunOptions{Deadline: opt.Deadline, Fault: fault},
+			mpi.RunOptions{Deadline: opt.Deadline, Fault: fault, Telemetry: tel},
 			func(c *mpi.Comm) {
 				dx := ddi.New(c)
 				builder := ParallelBuilder(opt.Algorithm, dx, eng, sch, opt.Fock)
 				o := scfOpt
+				o.Telemetry = tel
+				o.TelemetryRank = c.Rank()
 				if c.Rank() == 0 {
 					// Rank 0 checkpoints every iteration; all ranks hold
 					// identical state, so one writer suffices.
@@ -213,5 +235,10 @@ func RunRHFResilient(eng *integrals.Engine, sch *integrals.Schwarz,
 			return nil, rec, fmt.Errorf("scf: restart budget (%d) exhausted: %w", opt.MaxRestarts, lastErr)
 		}
 		rec.Restarts++
+		if tel != nil {
+			tel.Counter("recovery.restarts").Add(1)
+			tel.Instant("recovery.restart", "shrink-restart", telemetry.DriverPid, 0,
+				map[string]any{"attempt": rec.Attempts, "ranks": ranks, "lost": dead})
+		}
 	}
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/fock"
 	"repro/internal/integrals"
 	"repro/internal/linalg"
+	"repro/internal/telemetry"
 )
 
 // Builder computes the two-electron Fock matrix for a density.
@@ -39,6 +40,14 @@ type Options struct {
 	// iter). The recovery driver uses it to checkpoint each iteration so
 	// a rank failure restarts from the latest density, not from scratch.
 	OnIteration func(iter int, res *Result)
+	// Telemetry, when set, receives one scf.iter span per iteration
+	// (args: energy, dE, rmsD) plus energy/convergence gauges; nil
+	// disables instrumentation. TelemetryRank is the trace lane (pid) of
+	// this SCF instance — the MPI rank for parallel runs, 0 for serial;
+	// gauges and the iteration counter are emitted from rank 0 only so a
+	// collective run does not multiply-count them.
+	Telemetry     *telemetry.Session
+	TelemetryRank int
 }
 
 func (o Options) withDefaults() Options {
@@ -146,6 +155,7 @@ func RunRHF(eng *integrals.Engine, builder Builder, opt Options) (*Result, error
 	ePrev := math.Inf(1)
 
 	for iter := 1; iter <= opt.MaxIter; iter++ {
+		endIter := opt.Telemetry.SpanArgsAtEnd("scf.iter", "iteration", opt.TelemetryRank, 0)
 		g, stats := builder(d)
 		res.TotalFockStats.Add(stats)
 		f := h.Clone()
@@ -179,6 +189,14 @@ func RunRHF(eng *integrals.Engine, builder Builder, opt Options) (*Result, error
 
 		if opt.OnIteration != nil {
 			opt.OnIteration(iter, res)
+		}
+
+		endIter(map[string]any{"iter": iter, "energy": eTot, "dE": dE, "rmsD": rms})
+		if opt.Telemetry != nil && opt.TelemetryRank == 0 {
+			opt.Telemetry.Counter("scf.iterations").Add(1)
+			opt.Telemetry.Gauge("scf.energy").Set(eTot)
+			opt.Telemetry.Gauge("scf.delta_e").Set(dE)
+			opt.Telemetry.Gauge("scf.rms_dens").Set(rms)
 		}
 
 		if rms < opt.ConvDens && math.Abs(dE) < opt.ConvEnergy {

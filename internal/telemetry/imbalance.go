@@ -1,0 +1,195 @@
+package telemetry
+
+// Load-imbalance profiling: each rank reports its share of every Fock
+// build (DLB tasks drawn, quartets computed, wall time); builds are
+// matched across ranks by per-rank sequence number (all ranks execute
+// the same build sequence collectively), and the collector reduces each
+// build to a max/mean imbalance factor — the quantity that justifies a
+// dynamic load balancer design: 1.0 is a perfectly balanced build, and
+// the paper's fine-grained ij task space exists precisely to keep this
+// factor near 1 at high rank counts.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// RankLoad is one rank's share of one build.
+type RankLoad struct {
+	Tasks    int64         // DLB task indices drawn by this rank
+	Quartets int64         // shell quartets this rank evaluated
+	Wall     time.Duration // the rank's wall time inside the build
+}
+
+// BuildImbalance is the reduction of one build across its ranks.
+type BuildImbalance struct {
+	Ranks         int
+	TaskFactor    float64 // max/mean of per-rank task counts
+	QuartetFactor float64 // max/mean of per-rank quartet counts
+	WallFactor    float64 // max/mean of per-rank wall times
+	TotalTasks    int64
+	TotalQuartets int64
+	MaxWall       time.Duration
+}
+
+// VariantImbalance aggregates a Fock builder variant's builds.
+type VariantImbalance struct {
+	Variant string
+	Builds  []BuildImbalance
+	// Mean*Factor average the per-build factors; MaxTaskFactor is the
+	// worst build observed.
+	MeanTaskFactor    float64
+	MaxTaskFactor     float64
+	MeanQuartetFactor float64
+	MeanWallFactor    float64
+}
+
+// LoadCollector gathers per-rank, per-build load records, safe for
+// concurrent use by all ranks.
+type LoadCollector struct {
+	mu       sync.Mutex
+	variants map[string]*variantLoads
+}
+
+type variantLoads struct {
+	nextSeq map[int]int        // rank -> next build sequence number
+	builds  []map[int]RankLoad // build seq -> rank -> load
+}
+
+// NewLoadCollector returns an empty collector.
+func NewLoadCollector() *LoadCollector {
+	return &LoadCollector{variants: map[string]*variantLoads{}}
+}
+
+// Record reports one rank's share of its next build of the given
+// variant. Ranks must record builds in execution order (they do: one
+// record per collective build call).
+func (lc *LoadCollector) Record(variant string, rank int, l RankLoad) {
+	if lc == nil {
+		return
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	v := lc.variants[variant]
+	if v == nil {
+		v = &variantLoads{nextSeq: map[int]int{}}
+		lc.variants[variant] = v
+	}
+	seq := v.nextSeq[rank]
+	v.nextSeq[rank] = seq + 1
+	for len(v.builds) <= seq {
+		v.builds = append(v.builds, map[int]RankLoad{})
+	}
+	v.builds[seq][rank] = l
+}
+
+// factor reduces per-rank values to max/mean (1 when the mean is 0).
+func factor(vals []float64) float64 {
+	if len(vals) == 0 {
+		return 1
+	}
+	var sum, max float64
+	for _, v := range vals {
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	mean := sum / float64(len(vals))
+	if mean == 0 {
+		return 1
+	}
+	return max / mean
+}
+
+// Imbalance reduces every recorded build to its imbalance factors,
+// grouped by variant (sorted by variant name).
+func (lc *LoadCollector) Imbalance() []VariantImbalance {
+	if lc == nil {
+		return nil
+	}
+	lc.mu.Lock()
+	defer lc.mu.Unlock()
+	names := make([]string, 0, len(lc.variants))
+	for n := range lc.variants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	out := make([]VariantImbalance, 0, len(names))
+	for _, name := range names {
+		v := lc.variants[name]
+		vi := VariantImbalance{Variant: name}
+		var sumT, sumQ, sumW float64
+		for _, ranks := range v.builds {
+			if len(ranks) == 0 {
+				continue
+			}
+			var tasks, quartets, walls []float64
+			b := BuildImbalance{Ranks: len(ranks)}
+			for _, l := range ranks {
+				tasks = append(tasks, float64(l.Tasks))
+				quartets = append(quartets, float64(l.Quartets))
+				walls = append(walls, float64(l.Wall))
+				b.TotalTasks += l.Tasks
+				b.TotalQuartets += l.Quartets
+				if l.Wall > b.MaxWall {
+					b.MaxWall = l.Wall
+				}
+			}
+			b.TaskFactor = factor(tasks)
+			b.QuartetFactor = factor(quartets)
+			b.WallFactor = factor(walls)
+			vi.Builds = append(vi.Builds, b)
+			sumT += b.TaskFactor
+			sumQ += b.QuartetFactor
+			sumW += b.WallFactor
+			if b.TaskFactor > vi.MaxTaskFactor {
+				vi.MaxTaskFactor = b.TaskFactor
+			}
+		}
+		if n := float64(len(vi.Builds)); n > 0 {
+			vi.MeanTaskFactor = sumT / n
+			vi.MeanQuartetFactor = sumQ / n
+			vi.MeanWallFactor = sumW / n
+		}
+		out = append(out, vi)
+	}
+	return out
+}
+
+// FormatImbalance renders the imbalance rows as the end-of-run report:
+// one aggregate line per variant plus a compact per-build factor list.
+func FormatImbalance(rows []VariantImbalance) string {
+	if len(rows) == 0 {
+		return "load imbalance: no builds recorded\n"
+	}
+	var b strings.Builder
+	b.WriteString("load imbalance (max/mean across ranks, averaged over builds; 1.00 = perfect):\n")
+	fmt.Fprintf(&b, "  %-16s %7s %6s %10s %10s %10s %11s\n",
+		"variant", "builds", "ranks", "task-imb", "quart-imb", "wall-imb", "worst-task")
+	for _, r := range rows {
+		ranks := 0
+		if len(r.Builds) > 0 {
+			ranks = r.Builds[0].Ranks
+		}
+		fmt.Fprintf(&b, "  %-16s %7d %6d %10.2f %10.2f %10.2f %11.2f\n",
+			r.Variant, len(r.Builds), ranks,
+			r.MeanTaskFactor, r.MeanQuartetFactor, r.MeanWallFactor, r.MaxTaskFactor)
+	}
+	for _, r := range rows {
+		const maxShown = 24
+		var parts []string
+		for i, bi := range r.Builds {
+			if i == maxShown {
+				parts = append(parts, fmt.Sprintf("… (+%d more)", len(r.Builds)-maxShown))
+				break
+			}
+			parts = append(parts, fmt.Sprintf("%.2f", bi.TaskFactor))
+		}
+		fmt.Fprintf(&b, "  %s per-build task factors: %s\n", r.Variant, strings.Join(parts, " "))
+	}
+	return b.String()
+}

@@ -1,0 +1,99 @@
+package telemetry
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestImbalancePerfectBalance(t *testing.T) {
+	lc := NewLoadCollector()
+	for rank := 0; rank < 4; rank++ {
+		lc.Record("shared-fock", rank, RankLoad{Tasks: 10, Quartets: 100, Wall: time.Millisecond})
+	}
+	rows := lc.Imbalance()
+	if len(rows) != 1 || len(rows[0].Builds) != 1 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	b := rows[0].Builds[0]
+	if b.Ranks != 4 || b.TaskFactor != 1 || b.QuartetFactor != 1 || b.WallFactor != 1 {
+		t.Fatalf("build = %+v", b)
+	}
+	if b.TotalTasks != 40 || b.TotalQuartets != 400 {
+		t.Fatalf("totals = %+v", b)
+	}
+}
+
+func TestImbalanceFactorAndSequencing(t *testing.T) {
+	lc := NewLoadCollector()
+	// Build 1: rank 0 does 30 tasks, rank 1 does 10 -> mean 20, max 30.
+	lc.Record("mpi-only", 0, RankLoad{Tasks: 30})
+	lc.Record("mpi-only", 1, RankLoad{Tasks: 10})
+	// Build 2 (each rank's second record): perfectly balanced.
+	lc.Record("mpi-only", 1, RankLoad{Tasks: 20})
+	lc.Record("mpi-only", 0, RankLoad{Tasks: 20})
+	rows := lc.Imbalance()
+	if len(rows) != 1 || len(rows[0].Builds) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if got := rows[0].Builds[0].TaskFactor; math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("build 1 factor = %v, want 1.5", got)
+	}
+	if got := rows[0].Builds[1].TaskFactor; got != 1 {
+		t.Fatalf("build 2 factor = %v, want 1", got)
+	}
+	if got := rows[0].MeanTaskFactor; math.Abs(got-1.25) > 1e-12 {
+		t.Fatalf("mean factor = %v, want 1.25", got)
+	}
+	if got := rows[0].MaxTaskFactor; math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("max factor = %v, want 1.5", got)
+	}
+}
+
+func TestImbalanceMultipleVariantsSorted(t *testing.T) {
+	lc := NewLoadCollector()
+	lc.Record("shared-fock", 0, RankLoad{Tasks: 1})
+	lc.Record("mpi-only", 0, RankLoad{Tasks: 1})
+	rows := lc.Imbalance()
+	if len(rows) != 2 || rows[0].Variant != "mpi-only" || rows[1].Variant != "shared-fock" {
+		t.Fatalf("variants not sorted: %+v", rows)
+	}
+}
+
+func TestFormatImbalance(t *testing.T) {
+	lc := NewLoadCollector()
+	lc.Record("shared-fock", 0, RankLoad{Tasks: 30, Quartets: 300, Wall: 3 * time.Millisecond})
+	lc.Record("shared-fock", 1, RankLoad{Tasks: 10, Quartets: 100, Wall: time.Millisecond})
+	out := FormatImbalance(lc.Imbalance())
+	for _, want := range []string{"shared-fock", "task-imb", "1.50"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	if got := FormatImbalance(nil); !strings.Contains(got, "no builds") {
+		t.Errorf("empty report = %q", got)
+	}
+}
+
+func TestSessionSummaryIncludesEverything(t *testing.T) {
+	s := NewSession()
+	s.Counter("ddi.dlb.draws").Add(42)
+	s.Histogram("mpi.op.recv_ns").Observe(1500)
+	s.Histogram("mpi.send.bytes").Observe(4096)
+	s.RecordLoad("mpi-only", 0, RankLoad{Tasks: 5, Quartets: 50, Wall: time.Millisecond})
+	s.RecordLoad("mpi-only", 1, RankLoad{Tasks: 5, Quartets: 50, Wall: time.Millisecond})
+	sum := s.Summary()
+	for _, want := range []string{
+		"telemetry summary", "load imbalance", "mpi-only",
+		"ddi.dlb.draws", "42", "mpi.op.recv_ns", "mpi.send.bytes", "4,096",
+	} {
+		if !strings.Contains(sum, want) {
+			t.Errorf("summary missing %q:\n%s", want, sum)
+		}
+	}
+	// Duration-valued histograms render as durations, byte ones as counts.
+	if !strings.Contains(sum, "1.5µs") {
+		t.Errorf("ns histogram not rendered as duration:\n%s", sum)
+	}
+}

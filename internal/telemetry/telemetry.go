@@ -1,0 +1,235 @@
+// Package telemetry is the unified observability layer of the HF
+// runtime: a concurrency-safe metrics registry (counters, gauges,
+// log-scale histograms), a per-rank/per-thread event recorder emitting
+// Chrome trace-event JSON (loadable in chrome://tracing and Perfetto),
+// and a load-imbalance collector reducing per-rank Fock-build shares to
+// max/mean factors.
+//
+// Span taxonomy (the `cat` field of trace events):
+//
+//	scf.iter          one SCF iteration (args: energy, dE, rmsD)
+//	fock.build        one collective Fock build, named by variant
+//	fock.task         one DLB task's work on one rank/thread
+//	mpi.op            a blocking MPI operation (recv, barrier, bcast, ...)
+//	dlb.draw          one dynamic-load-balancer index draw
+//	recovery.reissue  a task lease stolen from a failed rank
+//	recovery.restore  a checkpoint restore (or corrupt-checkpoint reject)
+//	recovery.restart  a shrink-and-restart transition
+//
+// Lanes: pid = MPI rank (DriverPid for events outside any rank), tid = 0
+// for the rank's main goroutine, 1..T for OpenMP team threads.
+//
+// Everything is nil-safe: a nil *Session (telemetry disabled) makes every
+// instrumentation call a cheap no-op, so the runtime carries the hooks
+// unconditionally.
+package telemetry
+
+import (
+	"io"
+	"strings"
+	"time"
+)
+
+// DriverPid labels events emitted outside any MPI rank (e.g. the SCF
+// recovery driver between attempts).
+const DriverPid = -1
+
+// Session bundles the three collectors for one run.
+type Session struct {
+	Registry *Registry
+	Recorder *Recorder
+	Loads    *LoadCollector
+}
+
+// NewSession returns a session recording wall-clock events.
+func NewSession() *Session {
+	return &Session{Registry: NewRegistry(), Recorder: NewRecorder(), Loads: NewLoadCollector()}
+}
+
+// noop is the shared end function returned by spans on a nil session.
+var noop = func() {}
+
+// noopArgs is the shared args-accepting end function for a nil session.
+var noopArgs = func(map[string]any) {}
+
+// Span starts a span on lane (pid, tid) and returns its end function.
+// args (may be nil) are attached to the recorded event.
+func (s *Session) Span(cat, name string, pid, tid int, args map[string]any) func() {
+	if s == nil || s.Recorder == nil {
+		return noop
+	}
+	start := s.Recorder.Now()
+	return func() {
+		s.Recorder.Complete(cat, name, pid, tid, start, s.Recorder.Now(), args)
+	}
+}
+
+// SpanArgsAtEnd is Span for call sites whose args are only known when
+// the span closes (e.g. the energy of an SCF iteration).
+func (s *Session) SpanArgsAtEnd(cat, name string, pid, tid int) func(args map[string]any) {
+	if s == nil || s.Recorder == nil {
+		return noopArgs
+	}
+	start := s.Recorder.Now()
+	return func(args map[string]any) {
+		s.Recorder.Complete(cat, name, pid, tid, start, s.Recorder.Now(), args)
+	}
+}
+
+// TimedOp starts a span that also feeds the histogram "<cat>.<name>_ns"
+// with the operation's duration — the shape used for per-op wait-time
+// metrics (recv wait, barrier wait, DLB draw latency).
+func (s *Session) TimedOp(cat, name string, pid, tid int) func() {
+	if s == nil || s.Recorder == nil {
+		return noop
+	}
+	hist := s.Histogram(cat + "." + name + "_ns")
+	start := s.Recorder.Now()
+	return func() {
+		end := s.Recorder.Now()
+		s.Recorder.Complete(cat, name, pid, tid, start, end, nil)
+		hist.Observe(end.Sub(start).Nanoseconds())
+	}
+}
+
+// Instant records a point event.
+func (s *Session) Instant(cat, name string, pid, tid int, args map[string]any) {
+	if s == nil {
+		return
+	}
+	s.Recorder.Instant(cat, name, pid, tid, args)
+}
+
+// Counter returns the named counter (nil, a no-op handle, when the
+// session is nil).
+func (s *Session) Counter(name string) *Counter {
+	if s == nil {
+		return nil
+	}
+	return s.Registry.Counter(name)
+}
+
+// Gauge returns the named gauge.
+func (s *Session) Gauge(name string) *Gauge {
+	if s == nil {
+		return nil
+	}
+	return s.Registry.Gauge(name)
+}
+
+// Histogram returns the named histogram.
+func (s *Session) Histogram(name string) *Histogram {
+	if s == nil {
+		return nil
+	}
+	return s.Registry.Histogram(name)
+}
+
+// RecordLoad reports one rank's share of a Fock build for the imbalance
+// report.
+func (s *Session) RecordLoad(variant string, rank int, l RankLoad) {
+	if s == nil {
+		return
+	}
+	s.Loads.Record(variant, rank, l)
+}
+
+// WriteTrace writes the Chrome trace JSON.
+func (s *Session) WriteTrace(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	return s.Recorder.WriteJSON(w)
+}
+
+// WriteMetrics writes the metrics snapshot JSON.
+func (s *Session) WriteMetrics(w io.Writer) error {
+	if s == nil {
+		return nil
+	}
+	return s.Registry.WriteJSON(w)
+}
+
+// Summary renders the human-readable end-of-run report: the per-variant
+// load-imbalance table plus headline counters and wait-time histograms.
+func (s *Session) Summary() string {
+	if s == nil {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteString("== telemetry summary ==\n")
+	b.WriteString(FormatImbalance(s.Loads.Imbalance()))
+	if names := s.Registry.CounterNames(); len(names) > 0 {
+		b.WriteString("counters:\n")
+		for _, n := range names {
+			writePadded(&b, "  "+n, s.Registry.Counter(n).Value())
+		}
+	}
+	if names := s.Registry.HistogramNames(); len(names) > 0 {
+		b.WriteString("histograms (count / mean / max):\n")
+		for _, n := range names {
+			h := s.Registry.Histogram(n)
+			if h.Count() == 0 {
+				continue
+			}
+			if strings.HasSuffix(n, "_ns") {
+				writeHistLine(&b, n, h.Count(),
+					time.Duration(int64(h.Mean())).String(), time.Duration(h.Max()).String())
+			} else {
+				writeHistLine(&b, n, h.Count(),
+					formatInt(int64(h.Mean())), formatInt(h.Max()))
+			}
+		}
+	}
+	if d := s.Recorder.Dropped(); d > 0 {
+		writePadded(&b, "trace events dropped at cap", d)
+	}
+	return b.String()
+}
+
+func writePadded(b *strings.Builder, label string, v int64) {
+	b.WriteString(padTo(label, 36))
+	b.WriteString(formatInt(v))
+	b.WriteByte('\n')
+}
+
+func writeHistLine(b *strings.Builder, name string, count int64, mean, max string) {
+	b.WriteString(padTo("  "+name, 36))
+	b.WriteString(padTo(formatInt(count), 12))
+	b.WriteString(padTo(mean, 12))
+	b.WriteString(max)
+	b.WriteByte('\n')
+}
+
+func padTo(s string, n int) string {
+	if len(s) >= n {
+		return s + " "
+	}
+	return s + strings.Repeat(" ", n-len(s))
+}
+
+func formatInt(v int64) string {
+	// Group thousands for readability: 1234567 -> "1,234,567".
+	neg := v < 0
+	if neg {
+		v = -v
+	}
+	digits := []byte{}
+	for i := 0; ; i++ {
+		if i > 0 && i%3 == 0 {
+			digits = append(digits, ',')
+		}
+		digits = append(digits, byte('0'+v%10))
+		v /= 10
+		if v == 0 {
+			break
+		}
+	}
+	if neg {
+		digits = append(digits, '-')
+	}
+	for i, j := 0, len(digits)-1; i < j; i, j = i+1, j-1 {
+		digits[i], digits[j] = digits[j], digits[i]
+	}
+	return string(digits)
+}

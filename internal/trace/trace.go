@@ -31,18 +31,20 @@ func NewTimer() *Timer { return &Timer{sections: map[string]*section{}} }
 // section ends. Sections may run concurrently and repeatedly.
 func (t *Timer) Start(name string) (stop func()) {
 	begin := time.Now()
-	return func() {
-		d := time.Since(begin)
-		t.mu.Lock()
-		defer t.mu.Unlock()
-		s, ok := t.sections[name]
-		if !ok {
-			s = &section{}
-			t.sections[name] = s
-		}
-		s.total += d
-		s.count++
+	return func() { t.add(name, time.Since(begin)) }
+}
+
+// add accumulates one run of the named section.
+func (t *Timer) add(name string, d time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s, ok := t.sections[name]
+	if !ok {
+		s = &section{}
+		t.sections[name] = s
 	}
+	s.total += d
+	s.count++
 }
 
 // Time runs f inside the named section.
@@ -73,7 +75,8 @@ func (t *Timer) Count(name string) int {
 }
 
 // Report renders the sections sorted by descending total time, in the
-// spirit of GAMESS's "TIME TO FORM FOCK" log lines.
+// spirit of GAMESS's "TIME TO FORM FOCK" log lines. Ties break by name
+// ascending, so the output is deterministic for any set of inputs.
 func (t *Timer) Report() string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -82,7 +85,11 @@ func (t *Timer) Report() string {
 		names = append(names, n)
 	}
 	sort.Slice(names, func(i, j int) bool {
-		return t.sections[names[i]].total > t.sections[names[j]].total
+		ti, tj := t.sections[names[i]].total, t.sections[names[j]].total
+		if ti != tj {
+			return ti > tj
+		}
+		return names[i] < names[j]
 	})
 	var b strings.Builder
 	for _, n := range names {

@@ -57,3 +57,26 @@ func TestReportOrdering(t *testing.T) {
 		t.Fatal("report not sorted by total time")
 	}
 }
+
+func TestReportDeterministicOnTies(t *testing.T) {
+	// Sections with exactly equal totals must order by name, so repeated
+	// reports (and reports built from different insertion orders) agree.
+	build := func(names []string) string {
+		tm := NewTimer()
+		for _, n := range names {
+			tm.add(n, 5*time.Millisecond)
+		}
+		return tm.Report()
+	}
+	want := build([]string{"alpha", "beta", "gamma"})
+	for i := 0; i < 10; i++ {
+		got := build([]string{"gamma", "alpha", "beta"})
+		if got != want {
+			t.Fatalf("tied report not deterministic:\n%q\nvs\n%q", got, want)
+		}
+	}
+	if strings.Index(want, "alpha") > strings.Index(want, "beta") ||
+		strings.Index(want, "beta") > strings.Index(want, "gamma") {
+		t.Fatalf("tied sections not sorted by name:\n%s", want)
+	}
+}
