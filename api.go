@@ -112,6 +112,13 @@ type ParallelConfig struct {
 	Algorithm Algorithm // defaults to SharedFock
 	Ranks     int       // MPI ranks (goroutines); defaults to 2
 	Threads   int       // OpenMP threads per rank; defaults to 2
+	// Deadline bounds every blocking runtime operation; 0 disables the
+	// runtime watchdog (see mpi.RunOptions.Deadline).
+	Deadline time.Duration
+	// Grace is the unwind window granted to surviving ranks past the
+	// deadline before stragglers are abandoned; 0 takes the runtime
+	// default (see mpi.RunOptions.Grace).
+	Grace time.Duration
 }
 
 // RunParallelRHF runs a restricted Hartree-Fock calculation with one of
@@ -140,7 +147,7 @@ func RunParallelRHF(mol *Molecule, basisName string, cfg ParallelConfig, opt SCF
 	results := make([]*Result, cfg.Ranks)
 	errs := make([]error, cfg.Ranks)
 	_, runErr := mpi.RunWithOptions(cfg.Ranks,
-		mpi.RunOptions{Telemetry: opt.Telemetry},
+		mpi.RunOptions{Deadline: cfg.Deadline, Grace: cfg.Grace, Telemetry: opt.Telemetry},
 		func(c *mpi.Comm) {
 			dx := ddi.New(c)
 			builder := scf.ParallelBuilder(cfg.Algorithm, dx, eng, sch,
@@ -167,6 +174,7 @@ type ResilientConfig struct {
 	Ranks       int            // MPI ranks; defaults to 2
 	Algorithm   Algorithm      // defaults to ResilientFock
 	Deadline    time.Duration  // per-blocking-op bound; defaults to 30s
+	Grace       time.Duration  // unwind window past the deadline; 0 = runtime default
 	MaxRestarts int            // shrink-and-restart budget; defaults to 3
 	Fault       *mpi.FaultPlan // optional failure injection (first attempt only)
 	Checkpoint  []byte         // optional prior checkpoint to warm-start from
@@ -195,6 +203,7 @@ func RunResilientRHF(mol *Molecule, basisName string, cfg ResilientConfig, opt S
 		Fock:        fock.Config{Quartets: cache},
 		SCF:         opt,
 		Deadline:    cfg.Deadline,
+		Grace:       cfg.Grace,
 		MaxRestarts: cfg.MaxRestarts,
 		Fault:       cfg.Fault,
 		Checkpoint:  cfg.Checkpoint,

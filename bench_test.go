@@ -191,6 +191,64 @@ func BenchmarkAllreduce(b *testing.B) {
 	}
 }
 
+// BenchmarkVerifiedTransport compares the same 4-rank allreduce with
+// payload checksumming on (the default: every message framed with a
+// Fletcher-64 checksum, verified at receive) and off (RunOptions
+// Unverified). This is the worst case — pure communication, zero
+// compute to amortize against — so the gap is the absolute price of a
+// checksummed message, not the integrity layer's share of a real run
+// (see BenchmarkVerifiedFockBuild for that).
+func BenchmarkVerifiedTransport(b *testing.B) {
+	for _, mode := range []struct {
+		name       string
+		unverified bool
+	}{
+		{"verified", false},
+		{"unverified", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			buf := make([]float64, 1830)
+			for n := 0; n < b.N; n++ {
+				_, err := mpi.RunWithOptions(4, mpi.RunOptions{Unverified: mode.unverified}, func(c *mpi.Comm) {
+					local := make([]float64, len(buf))
+					c.AllreduceSumInPlace(local)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkVerifiedFockBuild measures the end-to-end cost of verified
+// transport on a real mpi-only Fock build (2 ranks), where checksum
+// work is amortized against ERI evaluation — the realistic view of the
+// integrity layer's overhead, and the one the <5% injection-off
+// acceptance bar applies to (measured ~4%).
+func BenchmarkVerifiedFockBuild(b *testing.B) {
+	f := benzeneFixture(b)
+	cfg := fock.Config{Threads: 1}
+	for _, mode := range []struct {
+		name       string
+		unverified bool
+	}{
+		{"verified", false},
+		{"unverified", true},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			for n := 0; n < b.N; n++ {
+				_, err := mpi.RunWithOptions(2, mpi.RunOptions{Unverified: mode.unverified}, func(c *mpi.Comm) {
+					fock.MPIOnlyBuild(ddi.New(c), f.eng, f.sch, f.d, cfg)
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // --- paper artifacts: Tables 2-3, Figures 3-7 (EXP-T2..EXP-F7) ---
 
 // BenchmarkTable2MemoryFootprint regenerates Table 2.

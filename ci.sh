@@ -13,6 +13,13 @@
 # the full span taxonomy (scf.iter, fock.build, fock.task, mpi.op,
 # dlb.draw).
 #
+# Tier 4 (chaos gate): `scaling -exp sdc` — the silent-data-corruption
+# sweep plus the live detection gate: one corruption driven through each
+# integrity site (transport bit-flip and NaN, Fock-task NaN, checkpoint
+# bit-flip) on real fault-injected runs, requiring 100% detection
+# (sdc.detected == sdc.injected) and a converged energy within 1e-8 Ha
+# of the clean reference. The command exits non-zero on any miss.
+#
 # Usage: ./ci.sh [-short]   (-short skips the slow simulator sweeps)
 set -eu
 
@@ -24,8 +31,8 @@ go vet ./...
 go build ./...
 go test $short ./...
 
-echo "== tier 2: race detector (mpi, ddi, fock, scf, telemetry) =="
-go test $short -race ./internal/mpi/ ./internal/ddi/ ./internal/fock/ ./internal/scf/ ./internal/telemetry/
+echo "== tier 2: race detector (mpi, ddi, fock, scf, integrity, telemetry) =="
+go test $short -race ./internal/mpi/ ./internal/ddi/ ./internal/fock/ ./internal/scf/ ./internal/integrity/ ./internal/telemetry/
 
 echo "== tier 3: trace gate (hfrun -trace -> tracecheck) =="
 tracedir=$(mktemp -d)
@@ -34,5 +41,8 @@ go run ./cmd/hfrun -mol water -basis sto-3g -alg shared-fock -ranks 2 -threads 2
 	-trace "$tracedir/ci_trace.json" -metrics "$tracedir/ci_metrics.json" >/dev/null
 go run ./cmd/tracecheck -q \
 	-require scf.iter,fock.build,fock.task,mpi.op,dlb.draw "$tracedir/ci_trace.json"
+
+echo "== tier 4: chaos gate (scaling -exp sdc: 100% SDC detection) =="
+go run ./cmd/scaling -exp sdc
 
 echo "ci: all green"

@@ -24,22 +24,24 @@ import (
 
 func main() {
 	var (
-		molName = flag.String("mol", "water", "builtin molecule (h2, heh+, water, methane, ammonia, benzene)")
-		flakeN  = flag.Int("flake", 0, "run a graphene flake with N carbon atoms instead of -mol")
-		xyzPath = flag.String("xyz", "", "read geometry from an XYZ file instead of -mol")
-		basis   = flag.String("basis", "sto-3g", "basis set: sto-3g, 6-31g, 6-31g(d)")
-		alg     = flag.String("alg", "", "parallel algorithm: mpi-only, private-fock, shared-fock (empty = serial)")
-		ranks   = flag.Int("ranks", 2, "MPI ranks for parallel runs")
-		threads = flag.Int("threads", 2, "OpenMP threads per rank for parallel runs")
-		maxIter = flag.Int("maxiter", 100, "maximum SCF iterations")
-		verbose = flag.Bool("v", false, "print per-iteration convergence history")
-		mult    = flag.Int("uhf", 0, "run UHF with this spin multiplicity (2S+1) instead of RHF")
-		mp2     = flag.Bool("mp2", false, "add the MP2 correlation energy after a serial RHF")
-		guess   = flag.String("guess", "core", "initial guess: core or gwh")
-		doOpt   = flag.Bool("opt", false, "optimize the geometry before reporting (serial RHF)")
-		traceF  = flag.String("trace", "", "write a Chrome trace-event JSON (load in chrome://tracing or Perfetto) to this file")
-		metricF = flag.String("metrics", "", "write the metrics snapshot JSON to this file")
-		pprofA  = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
+		molName  = flag.String("mol", "water", "builtin molecule (h2, heh+, water, methane, ammonia, benzene)")
+		flakeN   = flag.Int("flake", 0, "run a graphene flake with N carbon atoms instead of -mol")
+		xyzPath  = flag.String("xyz", "", "read geometry from an XYZ file instead of -mol")
+		basis    = flag.String("basis", "sto-3g", "basis set: sto-3g, 6-31g, 6-31g(d)")
+		alg      = flag.String("alg", "", "parallel algorithm: mpi-only, private-fock, shared-fock (empty = serial)")
+		ranks    = flag.Int("ranks", 2, "MPI ranks for parallel runs")
+		threads  = flag.Int("threads", 2, "OpenMP threads per rank for parallel runs")
+		deadline = flag.Duration("deadline", 0, "bound on every blocking runtime operation in parallel runs (0 = no watchdog)")
+		grace    = flag.Duration("grace", 0, "unwind window past -deadline before stragglers are abandoned (0 = runtime default)")
+		maxIter  = flag.Int("maxiter", 100, "maximum SCF iterations")
+		verbose  = flag.Bool("v", false, "print per-iteration convergence history")
+		mult     = flag.Int("uhf", 0, "run UHF with this spin multiplicity (2S+1) instead of RHF")
+		mp2      = flag.Bool("mp2", false, "add the MP2 correlation energy after a serial RHF")
+		guess    = flag.String("guess", "core", "initial guess: core or gwh")
+		doOpt    = flag.Bool("opt", false, "optimize the geometry before reporting (serial RHF)")
+		traceF   = flag.String("trace", "", "write a Chrome trace-event JSON (load in chrome://tracing or Perfetto) to this file")
+		metricF  = flag.String("metrics", "", "write the metrics snapshot JSON to this file")
+		pprofA   = flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	)
 	flag.Parse()
 
@@ -113,6 +115,7 @@ func main() {
 		fmt.Printf("mode:     %s, %d ranks x %d threads\n", *alg, *ranks, *threads)
 		res, err = repro.RunParallelRHF(mol, *basis, repro.ParallelConfig{
 			Algorithm: repro.Algorithm(*alg), Ranks: *ranks, Threads: *threads,
+			Deadline: *deadline, Grace: *grace,
 		}, opt)
 	}
 	if err != nil {

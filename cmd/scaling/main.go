@@ -9,12 +9,14 @@
 //	scaling -exp fig7     # 5.0 nm on up to 3,000 Theta nodes (Figure 7)
 //	scaling -exp ablation # DLB contention and task-granularity ablations
 //	scaling -exp resilience # MTBF failure model: restart vs. lease re-issue
+//	scaling -exp sdc      # silent-data-corruption model + live detection gate
 //	scaling -exp all
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"net/http"
 	_ "net/http/pprof"
 	"os"
@@ -27,8 +29,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table2, table3, fig3, fig4, fig5, fig7, sweep, breakdown, ablation, resilience, all")
+	exp := flag.String("exp", "all", "experiment id: table2, table3, fig3, fig4, fig5, fig7, sweep, breakdown, ablation, resilience, sdc, all")
 	csvDir := flag.String("csv", "", "also write <experiment>.csv files into this directory")
+	grace := flag.Duration("grace", 0, "unwind grace past the deadline for fault-injected live runs (0 = runtime default)")
 	pprofA := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
@@ -108,7 +111,17 @@ func main() {
 			check(err)
 			fmt.Println(simulate.FormatResilience(rows))
 			writeCSV(id, simulate.CSVResilience(rows))
-			liveResilience()
+			liveResilience(*grace)
+		case "sdc":
+			fmt.Println("== SDC model: silent-corruption risk vs. verified-run overhead (5.0 nm, Figure 7 config) ==")
+			rows, err := simulate.RunSDC(pc)
+			check(err)
+			fmt.Println(simulate.FormatSDC(rows))
+			writeCSV(id, simulate.CSVSDC(rows))
+			if !liveSDC(*grace) {
+				fmt.Fprintln(os.Stderr, "scaling: live SDC detection gate FAILED")
+				os.Exit(1)
+			}
 		case "ablation":
 			fmt.Println("== Ablation: DLB contention coefficient (MPI-only, 512 nodes) ==")
 			rows, err := simulate.RunDLBContentionAblation(pc)
@@ -131,7 +144,7 @@ func main() {
 	}
 
 	if *exp == "all" {
-		for _, id := range []string{"table2", "table3", "fig3", "fig4", "fig5", "fig7", "sweep", "breakdown", "ablation", "resilience"} {
+		for _, id := range []string{"table2", "table3", "fig3", "fig4", "fig5", "fig7", "sweep", "breakdown", "ablation", "resilience", "sdc"} {
 			run(id)
 		}
 		return
@@ -145,13 +158,14 @@ func main() {
 // per-rank wall times and recovery-event counts from each attempt's
 // mpi.RunReport — the measured counterpart of the model's restart
 // overhead columns.
-func liveResilience() {
+func liveResilience(grace time.Duration) {
 	fmt.Println("== Live fault injection: water/STO-3G, 4 ranks, rank 1 killed at DLB draw #3 ==")
 	mol, err := repro.BuiltinMolecule("water")
 	check(err)
 	res, rec, err := repro.RunResilientRHF(mol, "sto-3g", repro.ResilientConfig{
 		Ranks:    4,
 		Deadline: 10 * time.Second,
+		Grace:    grace,
 		Fault:    &mpi.FaultPlan{Kills: []mpi.Kill{{Rank: 1, Site: mpi.SiteDLB, After: 3}}},
 	}, repro.SCFOptions{})
 	check(err)
@@ -174,6 +188,79 @@ func liveResilience() {
 		}
 	}
 	fmt.Println()
+}
+
+// liveSDC is the measured counterpart of the SDC model — and a hard
+// gate. It drives one corruption through each injection site of the
+// integrity layer (in-flight payload bit-flip, in-flight NaN, Fock-task
+// NaN, checkpoint bit-flip) on real fault-injected runs and requires,
+// for every case: 100% detection (sdc.detected == sdc.injected, with at
+// least one injection landed), graceful recovery, and a converged energy
+// within 1e-8 hartree of the clean reference. Returns false on any miss.
+func liveSDC(grace time.Duration) bool {
+	fmt.Println("== Live SDC gate: water/STO-3G, one corruption per integrity site ==")
+	mol, err := repro.BuiltinMolecule("water")
+	check(err)
+	clean, err := repro.RunRHF(mol, "sto-3g", repro.SCFOptions{})
+	check(err)
+
+	cases := []struct {
+		name  string
+		ranks int
+		plan  mpi.FaultPlan
+	}{
+		{"transport bit-flip", 2, mpi.FaultPlan{Corrupts: []mpi.Corrupt{
+			{Rank: 1, Site: mpi.SiteSend, After: 3, Kind: mpi.CorruptBitFlip, Index: 2, Bit: 17}}}},
+		{"transport nan-poison", 2, mpi.FaultPlan{Corrupts: []mpi.Corrupt{
+			{Rank: 1, Site: mpi.SiteSend, After: 5, Kind: mpi.CorruptNaN, Index: 4}}}},
+		{"fock-task nan-poison", 2, mpi.FaultPlan{Corrupts: []mpi.Corrupt{
+			{Rank: 1, Site: mpi.SiteFock, After: 2, Kind: mpi.CorruptNaN, Index: 0}}}},
+		// A checkpoint flip is only observed on restart, so pair it with a
+		// rank kill at the start of iteration 3 (the fifth barrier — the
+		// DLB resets barrier twice per build).
+		{"checkpoint bit-flip", 3, mpi.FaultPlan{
+			Kills:    []mpi.Kill{{Rank: 1, Site: mpi.SiteBarrier, After: 5}},
+			Corrupts: []mpi.Corrupt{{Rank: 0, Site: mpi.SiteCheckpoint, After: 2, Kind: mpi.CorruptBitFlip, Index: 120, Bit: 4}}}},
+	}
+
+	ok := true
+	fmt.Printf("  %-22s %8s %8s %9s %10s   %s\n",
+		"case", "injected", "detected", "recovered", "|dE| Ha", "verdict")
+	for _, tc := range cases {
+		tel := repro.NewTelemetry()
+		res, _, err := repro.RunResilientRHF(mol, "sto-3g", repro.ResilientConfig{
+			Ranks:     tc.ranks,
+			Algorithm: repro.MPIOnly,
+			Deadline:  20 * time.Second,
+			Grace:     grace,
+			Fault:     &tc.plan,
+			Telemetry: tel,
+		}, repro.SCFOptions{})
+		snap := tel.Registry.Snapshot()
+		injected := snap.Counters["sdc.injected"]
+		detected := snap.Counters["sdc.detected"]
+		recovered := snap.Counters["sdc.recovered"]
+		dE := math.Inf(1)
+		if err == nil && res != nil && res.Converged {
+			dE = math.Abs(res.Energy - clean.Energy)
+		}
+		pass := err == nil && injected >= 1 && detected == injected && dE <= 1e-8
+		verdict := "PASS"
+		if !pass {
+			verdict = "FAIL"
+			ok = false
+		}
+		fmt.Printf("  %-22s %8d %8d %9d %10.1e   %s\n",
+			tc.name, injected, detected, recovered, dE, verdict)
+		if err != nil {
+			fmt.Printf("    error: %v\n", err)
+		}
+	}
+	if ok {
+		fmt.Println("  all sites detected and recovered: gate PASS")
+	}
+	fmt.Println()
+	return ok
 }
 
 func check(err error) {

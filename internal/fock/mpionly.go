@@ -4,6 +4,7 @@ import (
 	"repro/internal/ddi"
 	"repro/internal/integrals"
 	"repro/internal/linalg"
+	"repro/internal/mpi"
 )
 
 // MPIOnlyBuild is the paper's Algorithm 1, the stock GAMESS SCF
@@ -34,6 +35,15 @@ func MPIOnlyBuild(dx *ddi.Context, eng *integrals.Engine,
 	ij := int64(0)
 	for i := 0; i < ns; i++ {
 		for j := 0; j <= i; j++ {
+			// SDC hook: one corruption opportunity per scanned shell pair.
+			// Every rank scans all pairs in the same order regardless of
+			// which rank the DLB hands each one to, so scheduled injections
+			// are deterministic per rank; and the private accumulator always
+			// rides the closing gsumf, so a landed NaN-poison or bit-flip
+			// reaches every rank's Fock. Transport checksums cannot catch it
+			// (the payload is "validly" wrong at send time) — the SCF-side
+			// matrix validators must.
+			dx.Comm.InjectSDC(mpi.SiteFock, acc.Data)
 			// MPI DLB over the combined ij index (Algorithm 1 line 3).
 			if ij != next {
 				ij++

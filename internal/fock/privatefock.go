@@ -4,6 +4,7 @@ import (
 	"repro/internal/ddi"
 	"repro/internal/integrals"
 	"repro/internal/linalg"
+	"repro/internal/mpi"
 	"repro/internal/omp"
 )
 
@@ -45,10 +46,15 @@ func PrivateFockBuild(dx *ddi.Context, eng *integrals.Engine,
 		st := &threadStats[me]
 		var buf []float64
 		for {
-			// Master fetches the next i index (Algorithm 2 lines 3-6).
+			// Master fetches the next i index (Algorithm 2 lines 3-6). The
+			// SDC hook fires here — one corruption opportunity per claimed
+			// task, into the master thread's private replica — because the
+			// whole team is fenced at the barrier below, so no thread races
+			// the injected write.
 			tc.Master(func() {
 				iShared = dx.DLBNext()
 				st.DLBGrabs++
+				dx.Comm.InjectSDC(mpi.SiteFock, acc.Data)
 			})
 			tc.Barrier()
 			i := int(iShared)

@@ -7,6 +7,7 @@ import (
 	"repro/internal/ddi"
 	"repro/internal/integrals"
 	"repro/internal/linalg"
+	"repro/internal/mpi"
 )
 
 // ResilientBuild is the fault-aware Fock construction: Algorithm 1's
@@ -68,6 +69,12 @@ func ResilientBuild(dx *ddi.Context, eng *integrals.Engine,
 					func(x, y int, v float64) { addLower(batch, x, y, v) })
 			}
 		}
+		// SDC hook: one corruption opportunity per completed task, applied
+		// to the still-local batch — outside the push-then-mark critical
+		// section in flush, so the exactly-once guarantee is untouched. The
+		// poison reaches the shared window on the next WinAcc and must be
+		// caught by the SCF-side validators after WinGet.
+		dx.Comm.InjectSDC(mpi.SiteFock, batch.Data)
 		pending = append(pending, ij)
 	}
 

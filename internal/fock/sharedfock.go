@@ -5,6 +5,7 @@ import (
 	"repro/internal/ddi"
 	"repro/internal/integrals"
 	"repro/internal/linalg"
+	"repro/internal/mpi"
 	"repro/internal/omp"
 )
 
@@ -90,9 +91,14 @@ func SharedFockBuild(dx *ddi.Context, eng *integrals.Engine,
 		var buf []float64
 		iold := -1
 		for {
+			// The SDC hook fires inside the master section — one corruption
+			// opportunity per claimed task, into the shared accumulator —
+			// because the team is fenced at the barrier below, so the
+			// injected write races nothing.
 			tc.Master(func() {
 				ijShared = dx.DLBNext()
 				st.DLBGrabs++
+				dx.Comm.InjectSDC(mpi.SiteFock, acc.Data)
 			})
 			tc.Barrier()
 			ij := int(ijShared)

@@ -1,0 +1,111 @@
+package integrity
+
+// Matrix validators: cheap per-iteration sanity checks on the SCF's two
+// central matrices. Each costs O(n^2) against the O(n^4) Fock build, so
+// running all of them every iteration is effectively free, yet together
+// they catch the corruption classes transport checksums cannot see —
+// NaN poison produced inside a Fock task, asymmetric writes from a
+// fenced-off zombie rank, and density drift after a bad restart.
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/linalg"
+)
+
+// CheckKind classifies what a validator rejected.
+type CheckKind string
+
+// Validator rejection classes.
+const (
+	CheckNonFinite  CheckKind = "non-finite"  // NaN or Inf entry
+	CheckAsymmetric CheckKind = "asymmetric"  // symmetry drift beyond tolerance
+	CheckTraceDrift CheckKind = "trace-drift" // electron count Tr(D*S) off
+)
+
+// ValidationError reports a failed matrix check with enough detail to log
+// and act on (quarantine-and-recompute, ladder escalation).
+type ValidationError struct {
+	Kind   CheckKind
+	Matrix string  // which matrix failed ("fock", "density")
+	Detail string  // human-readable specifics
+	Drift  float64 // the measured drift for asymmetry/trace checks
+}
+
+// Error implements error.
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("integrity: %s matrix %s: %s", e.Matrix, e.Kind, e.Detail)
+}
+
+// CheckFinite verifies every entry of m is finite. The scan touches
+// m.Data linearly, so it vectorizes and costs one pass over the matrix.
+func CheckFinite(name string, m *linalg.Matrix) error {
+	for i, v := range m.Data {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return &ValidationError{Kind: CheckNonFinite, Matrix: name,
+				Detail: fmt.Sprintf("element %d (row %d, col %d) = %v", i, i/m.Cols, i%m.Cols, v)}
+		}
+	}
+	return nil
+}
+
+// CheckSymmetric verifies max |m_ij - m_ji| <= tol * (1 + max |m_ij|).
+// The Fock and density matrices are symmetric by construction; drift
+// means a one-sided write landed on only one triangle.
+func CheckSymmetric(name string, m *linalg.Matrix, tol float64) error {
+	maxAbs, maxAsym := 0.0, 0.0
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < i; j++ {
+			a, b := m.At(i, j), m.At(j, i)
+			if d := math.Abs(a - b); d > maxAsym {
+				maxAsym = d
+			}
+			if v := math.Abs(a); v > maxAbs {
+				maxAbs = v
+			}
+		}
+		if v := math.Abs(m.At(i, i)); v > maxAbs {
+			maxAbs = v
+		}
+	}
+	if maxAsym > tol*(1+maxAbs) {
+		return &ValidationError{Kind: CheckAsymmetric, Matrix: name, Drift: maxAsym,
+			Detail: fmt.Sprintf("symmetry drift %.3e exceeds %.3e", maxAsym, tol*(1+maxAbs))}
+	}
+	return nil
+}
+
+// CheckElectronCount verifies the density's electron count: for a
+// closed-shell density Tr(D*S) must equal the electron count. S is
+// symmetric, so Tr(D*S) = sum_ij D_ij S_ij, one fused pass over both.
+func CheckElectronCount(d, s *linalg.Matrix, nelec int, tol float64) error {
+	tr := linalg.Dot(d, s)
+	if math.IsNaN(tr) || math.Abs(tr-float64(nelec)) > tol {
+		return &ValidationError{Kind: CheckTraceDrift, Matrix: "density",
+			Drift:  tr - float64(nelec),
+			Detail: fmt.Sprintf("Tr(D*S) = %.6f, want %d electrons (tol %.1e)", tr, nelec, tol)}
+	}
+	return nil
+}
+
+// CheckFock runs the Fock-matrix validator set: finite entries and
+// symmetry. Returns the first failure.
+func CheckFock(g *linalg.Matrix, symTol float64) error {
+	if err := CheckFinite("fock", g); err != nil {
+		return err
+	}
+	return CheckSymmetric("fock", g, symTol)
+}
+
+// CheckDensity runs the density validator set: finite entries, symmetry,
+// and the electron-count trace.
+func CheckDensity(d, s *linalg.Matrix, nelec int, symTol, traceTol float64) error {
+	if err := CheckFinite("density", d); err != nil {
+		return err
+	}
+	if err := CheckSymmetric("density", d, symTol); err != nil {
+		return err
+	}
+	return CheckElectronCount(d, s, nelec, traceTol)
+}

@@ -18,6 +18,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/integrity"
 	"repro/internal/telemetry"
 )
 
@@ -31,12 +32,25 @@ const (
 // must be small non-negative integers.
 const internalTagBase = 1 << 24
 
-// message is one point-to-point payload in flight.
+// message is one point-to-point payload in flight. Every message is
+// framed with a Fletcher-64 checksum of its clean payload (sum); the
+// receiver verifies it after matching and, on mismatch, "retransmits"
+// from the sender-side retransmit buffer (origin/originInts — retained
+// only when an injected corruption actually fired, since that is the
+// only way a payload can differ from its checksum in-process). corrupt/
+// corruptLeft let a Corrupt{Repeat: n} schedule re-corrupt n
+// retransmissions, driving the bounded retry to exhaustion.
 type message struct {
 	source int
 	tag    int
 	data   []float64
 	ints   []int
+
+	sum         uint64    // checksum of the clean payload (verified transport)
+	origin      []float64 // clean retransmit copy, set only when corruption fired
+	originInts  []int
+	corrupt     *Corrupt // schedule entry to re-apply on retransmission
+	corruptLeft int      // retransmissions still to corrupt
 }
 
 // mailbox is a rank's unordered-arrival, ordered-matching receive queue.
@@ -117,6 +131,9 @@ type World struct {
 	// by world rank ids.
 	root      *World
 	deadline  time.Duration      // per-blocking-op bound; 0 = wait forever
+	grace     time.Duration      // unwind window past deadline before abandoning (root only)
+	watchTick time.Duration      // watchdog wakeup override; 0 = derived from deadline (root only)
+	noVerify  bool               // disables payload checksum verification (root only)
 	fault     *faultState        // injection schedule; nil = none
 	telemetry *telemetry.Session // nil = telemetry disabled (root only)
 
@@ -202,7 +219,7 @@ func (c *Comm) SendInts(dest, tag int, data []int) {
 }
 
 func (c *Comm) send(dest, tag int, data []float64, ints []int) {
-	c.faultHook(SiteSend)
+	cr := c.faultHook(SiteSend)
 	if tel := c.world.root.telemetry; tel != nil {
 		tel.Counter("mpi.send.msgs").Add(1)
 		tel.Histogram("mpi.send.bytes").Observe(int64(8 * (len(data) + len(ints))))
@@ -214,9 +231,119 @@ func (c *Comm) send(dest, tag int, data []float64, ints []int) {
 	if ints != nil {
 		msg.ints = append([]int(nil), ints...)
 	}
+	c.frameAndDeliver(dest, msg, cr)
+}
+
+// frameAndDeliver checksums the (clean) payload, applies any scheduled
+// corruption to the in-flight copy, and delivers. Because every
+// collective is built on this point-to-point path, Bcast/Reduce/
+// Allreduce/Gather/Scatter all inherit verified framing for free.
+func (c *Comm) frameAndDeliver(dest int, msg message, cr *Corrupt) {
+	w := c.world.root
+	if !w.noVerify {
+		msg.sum = integrity.ChecksumPayload(msg.data, msg.ints)
+	}
+	if cr != nil {
+		// Keep a clean copy for retransmission, then corrupt what flies.
+		msg.origin = append([]float64(nil), msg.data...)
+		msg.originInts = append([]int(nil), msg.ints...)
+		msg.corrupt = cr
+		msg.corruptLeft = cr.Repeat
+		applyCorruptPayload(cr, msg.data, msg.ints)
+		if tel := w.telemetry; tel != nil {
+			tel.Counter("sdc.injected").Add(1)
+			tel.Counter("sdc.injected." + string(cr.Site)).Add(1)
+		}
+	}
 	c.world.stats.Messages.Add(1)
-	c.world.stats.Floats.Add(int64(len(data)))
+	c.world.stats.Floats.Add(int64(len(msg.data)))
 	c.world.boxes[dest].deliver(msg)
+}
+
+// applyCorruptPayload mutates a payload per the corruption schedule:
+// NaN-poison or bit-flip for float payloads, bit-flip for int payloads.
+func applyCorruptPayload(cr *Corrupt, floats []float64, ints []int) {
+	switch {
+	case len(floats) > 0 && cr.Kind == CorruptNaN:
+		integrity.PoisonNaN(floats, cr.Index)
+	case len(floats) > 0:
+		integrity.FlipFloatBit(floats, cr.Index, cr.Bit)
+	case len(ints) > 0:
+		i := cr.Index
+		if i < 0 {
+			i = 0
+		}
+		if i >= len(ints) {
+			i = len(ints) - 1
+		}
+		ints[i] ^= 1 << uint(cr.Bit&63)
+	}
+}
+
+// Verification retry policy: a corrupted payload gets maxRetransmits
+// chances to arrive clean, with exponential backoff starting at
+// retryBackoff0, before the receiver escalates to a KindCorrupted
+// RankFailure (persistent corruption is a sick node, not a soft error).
+const (
+	maxRetransmits = 3
+	retryBackoff0  = 50 * time.Microsecond
+)
+
+// verifyMsg checks the payload against its checksum frame and drives the
+// retry/backoff/escalation ladder. It runs OUTSIDE the mailbox lock, on
+// the receiving rank, so exactly one rank observes each corruption —
+// which is what keeps the sdc.detected counter equal to sdc.injected.
+func (c *Comm) verifyMsg(msg message) message {
+	w := c.world.root
+	if w.noVerify {
+		return msg
+	}
+	tel := w.telemetry
+	backoff := retryBackoff0
+	for attempt := 0; ; attempt++ {
+		if integrity.ChecksumPayload(msg.data, msg.ints) == msg.sum {
+			if attempt > 0 && tel != nil {
+				tel.Counter("sdc.recovered").Add(1)
+			}
+			return msg
+		}
+		if attempt == 0 && tel != nil {
+			// Count detection once per corrupted message, not per retry.
+			tel.Counter("sdc.detected").Add(1)
+			tel.Counter("sdc.detected.transport").Add(1)
+		}
+		if attempt >= maxRetransmits {
+			if tel != nil {
+				tel.Counter("sdc.escalated").Add(1)
+			}
+			panic(corruptionPanic{rank: c.rank, site: "recv",
+				err: fmt.Errorf("payload from rank %d (tag %d, %d floats, %d ints) failed checksum verification %d times",
+					msg.source, msg.tag, len(msg.data), len(msg.ints), attempt+1)})
+		}
+		if tel != nil {
+			tel.Counter("sdc.retries").Add(1)
+		}
+		time.Sleep(backoff)
+		backoff *= 2
+		msg.retransmit()
+	}
+}
+
+// retransmit restores the payload from the sender-side clean copy,
+// re-corrupting it while the schedule's Repeat budget lasts. Without a
+// clean copy (corruption was not injected — impossible in-process, but
+// the defensive path is kept) the same bytes are retried and the ladder
+// runs to escalation.
+func (msg *message) retransmit() {
+	if msg.origin == nil && msg.originInts == nil {
+		return
+	}
+	msg.data = append([]float64(nil), msg.origin...)
+	msg.ints = append([]int(nil), msg.originInts...)
+	if msg.corruptLeft > 0 {
+		msg.corruptLeft--
+		applyCorruptPayload(msg.corrupt, msg.data, msg.ints)
+	}
 }
 
 // Recv blocks until a message matching source and tag arrives and returns
@@ -230,6 +357,7 @@ func (c *Comm) Recv(source, tag int) (data []float64, actualSource, actualTag in
 	end := c.world.root.telemetry.TimedOp("mpi.op", "recv", c.rank, 0)
 	msg := c.world.boxes[c.rank].take(c, source, tag)
 	end()
+	msg = c.verifyMsg(msg)
 	return msg.data, msg.source, msg.tag
 }
 
@@ -239,7 +367,41 @@ func (c *Comm) RecvInts(source, tag int) (data []int, actualSource, actualTag in
 	end := c.world.root.telemetry.TimedOp("mpi.op", "recv", c.rank, 0)
 	msg := c.world.boxes[c.rank].take(c, source, tag)
 	end()
+	msg = c.verifyMsg(msg)
 	return msg.ints, msg.source, msg.tag
+}
+
+// InjectSDC fires the fault hook for a corruption-only site (SiteFock)
+// and applies any scheduled corruption to the given buffer in place,
+// reporting whether one landed. The owning layer (the Fock task loops)
+// calls it once per task; telemetry counts the injection here so
+// detection layers can be audited against it.
+func (c *Comm) InjectSDC(site FaultSite, floats []float64) bool {
+	cr := c.faultHook(site)
+	if cr == nil {
+		return false
+	}
+	applyCorruptPayload(cr, floats, nil)
+	if tel := c.world.root.telemetry; tel != nil {
+		tel.Counter("sdc.injected").Add(1)
+		tel.Counter("sdc.injected." + string(site)).Add(1)
+	}
+	return true
+}
+
+// InjectSDCBytes is InjectSDC for serialized byte payloads (SiteCheckpoint):
+// it flips one bit of one byte per the schedule.
+func (c *Comm) InjectSDCBytes(site FaultSite, data []byte) bool {
+	cr := c.faultHook(site)
+	if cr == nil {
+		return false
+	}
+	integrity.FlipByteBit(data, cr.Index, cr.Bit)
+	if tel := c.world.root.telemetry; tel != nil {
+		tel.Counter("sdc.injected").Add(1)
+		tel.Counter("sdc.injected." + string(site)).Add(1)
+	}
+	return true
 }
 
 func (c *Comm) checkPeer(r int) {

@@ -51,9 +51,10 @@ type FailureKind int
 
 // Failure kinds.
 const (
-	KindPanic   FailureKind = iota // the rank's code panicked
-	KindKilled                     // an injected FaultPlan kill fired
-	KindTimeout                    // the rank gave up after Deadline blocked
+	KindPanic     FailureKind = iota // the rank's code panicked
+	KindKilled                       // an injected FaultPlan kill fired
+	KindTimeout                      // the rank gave up after Deadline blocked
+	KindCorrupted                    // payload checksum verification failed beyond the retry budget
 )
 
 func (k FailureKind) String() string {
@@ -62,6 +63,8 @@ func (k FailureKind) String() string {
 		return "killed"
 	case KindTimeout:
 		return "timeout"
+	case KindCorrupted:
+		return "corrupted"
 	default:
 		return "panic"
 	}
@@ -84,6 +87,8 @@ func (f *RankFailure) Error() string {
 		return fmt.Sprintf("mpi: rank %d timed out after %v blocked at %s", f.Rank, f.Elapsed.Round(time.Millisecond), f.Site)
 	case KindKilled:
 		return fmt.Sprintf("mpi: rank %d killed at %s (injected fault)", f.Rank, f.Site)
+	case KindCorrupted:
+		return fmt.Sprintf("mpi: rank %d gave up at %s: %v", f.Rank, f.Site, f.Cause)
 	default:
 		return fmt.Sprintf("mpi: rank %d panicked at %s: %v", f.Rank, f.Site, f.Cause)
 	}
@@ -104,12 +109,18 @@ func (f *RankFailure) Unwrap() error {
 type FaultSite string
 
 // Injectable runtime events. SiteDLB is the one-sided fetch-and-add under
-// ddi.DLBNext — the paper's dynamic load balancer draw.
+// ddi.DLBNext — the paper's dynamic load balancer draw. SiteFock is one
+// Fock-build task (corruption there models a bad FMA or memory error
+// inside the quartet loops) and SiteCheckpoint is one checkpoint write;
+// both are corruption-only sites counted by the layers that own them
+// (internal/fock task loops, the SCF recovery driver).
 const (
-	SiteBarrier FaultSite = "barrier"
-	SiteSend    FaultSite = "send"
-	SiteRecv    FaultSite = "recv"
-	SiteDLB     FaultSite = "dlb"
+	SiteBarrier    FaultSite = "barrier"
+	SiteSend       FaultSite = "send"
+	SiteRecv       FaultSite = "recv"
+	SiteDLB        FaultSite = "dlb"
+	SiteFock       FaultSite = "fock"
+	SiteCheckpoint FaultSite = "checkpoint"
 )
 
 func siteIndex(s FaultSite) int {
@@ -120,6 +131,10 @@ func siteIndex(s FaultSite) int {
 		return 1
 	case SiteRecv:
 		return 2
+	case SiteFock:
+		return 4
+	case SiteCheckpoint:
+		return 5
 	default:
 		return 3
 	}
@@ -144,14 +159,54 @@ type Delay struct {
 	Sleep time.Duration
 }
 
+// CorruptionKind selects how an injected silent-data-corruption event
+// mutates its target.
+type CorruptionKind int
+
+// Corruption kinds.
+const (
+	// CorruptBitFlip flips a single bit of one float64 (or one byte of a
+	// serialized checkpoint) — the canonical single-event-upset model.
+	CorruptBitFlip CorruptionKind = iota
+	// CorruptNaN overwrites one float64 with a quiet NaN — the shape a
+	// faulty functional unit produces inside a Fock task.
+	CorruptNaN
+)
+
+func (k CorruptionKind) String() string {
+	if k == CorruptNaN {
+		return "nan-poison"
+	}
+	return "bit-flip"
+}
+
+// Corrupt schedules a silent-data-corruption event: on rank Rank's
+// After-th event (1-based) at Site, the payload in flight is mutated per
+// Kind. Unlike Kill, nothing crashes — the corruption must be *detected*
+// by the integrity layer (checksum verification at receives, matrix
+// validators in the SCF, the checkpoint CRC) or it silently poisons the
+// run. Index/Bit select the flipped element and bit (clamped to range).
+// Repeat > 0 corrupts that many retransmissions too, driving the bounded
+// retry to exhaustion so escalation to the RankFailure path is testable.
+type Corrupt struct {
+	Rank   int
+	Site   FaultSite
+	After  int
+	Kind   CorruptionKind
+	Index  int // element (float64/byte) to corrupt within the payload
+	Bit    int // bit to flip for CorruptBitFlip
+	Repeat int // additional retransmissions to re-corrupt (escalation testing)
+}
+
 // FaultPlan is an injection schedule for one run. The zero value injects
 // nothing.
 type FaultPlan struct {
-	Kills  []Kill
-	Delays []Delay
+	Kills    []Kill
+	Delays   []Delay
+	Corrupts []Corrupt
 }
 
-type siteCounters [4]atomic.Int64
+type siteCounters [6]atomic.Int64
 
 // faultState tracks per-rank, per-site event counts against the plan.
 type faultState struct {
@@ -159,8 +214,10 @@ type faultState struct {
 	counts []siteCounters
 }
 
-// hit records one event and fires any matching delay/kill.
-func (fs *faultState) hit(rank int, site FaultSite) {
+// hit records one event, fires any matching delay/kill, and returns the
+// matching corruption (nil for none) for the caller to apply to the
+// payload in flight.
+func (fs *faultState) hit(rank int, site FaultSite) *Corrupt {
 	n := fs.counts[rank][siteIndex(site)].Add(1)
 	for _, d := range fs.plan.Delays {
 		if d.Rank == rank && d.Site == site && int64(d.After) == n {
@@ -172,6 +229,13 @@ func (fs *faultState) hit(rank int, site FaultSite) {
 			panic(injectedKill{rank: rank, site: site, n: int(n)})
 		}
 	}
+	for i := range fs.plan.Corrupts {
+		c := &fs.plan.Corrupts[i]
+		if c.Rank == rank && c.Site == site && int64(c.After) == n {
+			return c
+		}
+	}
+	return nil
 }
 
 // Panic payload types used to classify unwinding in the rank runner.
@@ -189,6 +253,16 @@ type timeoutPanic struct {
 	elapsed time.Duration
 }
 
+// corruptionPanic unwinds a receiver whose payload failed checksum
+// verification beyond the retry budget — persistent corruption that
+// retransmission cannot cure, escalated to the RankFailure path so the
+// shrink-restart recovery above takes over.
+type corruptionPanic struct {
+	rank int
+	site string
+	err  error
+}
+
 // --- run options and report ---
 
 // RunOptions configures a fault-aware run.
@@ -198,8 +272,21 @@ type RunOptions struct {
 	// waits forever (classic MPI semantics). When a wait exceeds the
 	// deadline the waiting rank unwinds with a KindTimeout RankFailure.
 	Deadline time.Duration
-	// Fault optionally injects rank deaths and delays.
+	// Fault optionally injects rank deaths, delays, and silent data
+	// corruption.
 	Fault *FaultPlan
+	// Grace is how long, past the deadline, poisoned survivors get to
+	// unwind before the run abandons (and fences) whatever is left.
+	// 0 means the default 500ms; it only matters when Deadline > 0.
+	Grace time.Duration
+	// WatchTick overrides the watchdog wakeup period that lets blocked
+	// waiters re-check poison and deadline state. 0 derives it from the
+	// deadline (deadline/8, clamped to [1ms, 20ms]).
+	WatchTick time.Duration
+	// Unverified disables checksum verification of message payloads —
+	// the pre-integrity transport, kept for measuring checksum overhead
+	// (bench_test.go) and for experiments that want corruption to land.
+	Unverified bool
 	// Telemetry, when set, receives per-op spans, wait-time histograms,
 	// and barrier-arrival skew from every communicator of the run.
 	Telemetry *telemetry.Session
@@ -231,6 +318,7 @@ type RecoveryEvents struct {
 	Kills     int // injected fail-stop deaths
 	Panics    int // ranks lost to panics in user code
 	Timeouts  int // ranks that gave up after Deadline blocked
+	Corrupted int // ranks that gave up on persistently corrupt payloads
 	Unwound   int // survivors unwound cleanly by the poison
 	Abandoned int // goroutines fenced off after the grace period
 }
@@ -244,6 +332,8 @@ func (r *RunReport) RecoveryCounts() RecoveryEvents {
 			ev.Kills++
 		case KindTimeout:
 			ev.Timeouts++
+		case KindCorrupted:
+			ev.Corrupted++
 		default:
 			ev.Panics++
 		}
@@ -316,6 +406,12 @@ func RunWithOptions(size int, opt RunOptions, f func(c *Comm)) (*RunReport, erro
 	}
 	w := newWorld(size, nil)
 	w.deadline = opt.Deadline
+	w.grace = opt.Grace
+	if w.grace <= 0 {
+		w.grace = 500 * time.Millisecond
+	}
+	w.watchTick = opt.WatchTick
+	w.noVerify = opt.Unverified
 	w.telemetry = opt.Telemetry
 	if opt.Fault != nil {
 		w.fault = &faultState{plan: *opt.Fault, counts: make([]siteCounters, size)}
@@ -365,7 +461,7 @@ func (w *World) waitWithGrace(done chan struct{}) {
 			return
 		case <-ticker.C:
 			if graceTimer == nil && w.poisonF.Load() != nil {
-				graceTimer = time.After(w.deadline + 500*time.Millisecond)
+				graceTimer = time.After(w.deadline + w.grace)
 			}
 		case <-graceTimer:
 			w.abandonStragglers()
@@ -401,6 +497,8 @@ func (w *World) finishRank(rank int, wall time.Duration, p any) {
 		w.setOutcome(rank, outcomeUnwound)
 	case timeoutPanic:
 		w.recordFailure(RankFailure{Rank: v.rank, Site: v.site, Kind: KindTimeout, Elapsed: v.elapsed})
+	case corruptionPanic:
+		w.recordFailure(RankFailure{Rank: v.rank, Site: v.site, Kind: KindCorrupted, Cause: v.err})
 	case injectedKill:
 		w.recordFailure(RankFailure{Rank: v.rank, Site: fmt.Sprintf("%s #%d", v.site, v.n), Kind: KindKilled})
 	default:
@@ -480,12 +578,15 @@ func (w *World) buildReport() *RunReport {
 
 func (w *World) startWatchdog() {
 	w.watchStop = make(chan struct{})
-	tick := w.deadline / 8
-	if tick < time.Millisecond {
-		tick = time.Millisecond
-	}
-	if tick > 20*time.Millisecond {
-		tick = 20 * time.Millisecond
+	tick := w.watchTick
+	if tick <= 0 {
+		tick = w.deadline / 8
+		if tick < time.Millisecond {
+			tick = time.Millisecond
+		}
+		if tick > 20*time.Millisecond {
+			tick = 20 * time.Millisecond
+		}
 	}
 	go func() {
 		t := time.NewTicker(tick)
@@ -516,14 +617,16 @@ func (w *World) broadcastAll() {
 
 // --- per-comm fault hooks and queries ---
 
-// faultHook records one runtime event for fault injection. Injection
-// targets world ranks, so events on split communicators are not counted.
-func (c *Comm) faultHook(site FaultSite) {
+// faultHook records one runtime event for fault injection and returns
+// the corruption scheduled for it, if any, so the caller can apply it to
+// the payload in flight. Injection targets world ranks, so events on
+// split communicators are not counted.
+func (c *Comm) faultHook(site FaultSite) *Corrupt {
 	w := c.world
 	if w != w.root || w.root.fault == nil {
-		return
+		return nil
 	}
-	w.root.fault.hit(c.rank, site)
+	return w.root.fault.hit(c.rank, site)
 }
 
 // checkFenced bars an abandoned rank from mutating shared windows. The

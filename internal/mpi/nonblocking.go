@@ -42,6 +42,8 @@ func (r *Request) WaitErr() (data []float64, source, tag int, err error) {
 		return nil, 0, 0, v.f
 	case timeoutPanic:
 		return nil, 0, 0, &RankFailure{Rank: v.rank, Site: v.site, Kind: KindTimeout, Elapsed: v.elapsed}
+	case corruptionPanic:
+		return nil, 0, 0, &RankFailure{Rank: v.rank, Site: v.site, Kind: KindCorrupted, Cause: v.err}
 	default:
 		panic(v) // not a failure: a genuine bug, keep crashing
 	}
@@ -65,13 +67,11 @@ func (r *Request) Test() bool {
 func (c *Comm) Isend(dest, tag int, data []float64) *Request {
 	c.checkPeer(dest)
 	c.checkTag(tag)
-	c.faultHook(SiteSend)
+	cr := c.faultHook(SiteSend)
 	r := &Request{done: make(chan struct{})}
 	payload := append([]float64(nil), data...)
 	go func() {
-		c.world.stats.Messages.Add(1)
-		c.world.stats.Floats.Add(int64(len(payload)))
-		c.world.boxes[dest].deliver(message{source: c.rank, tag: tag, data: payload})
+		c.frameAndDeliver(dest, message{source: c.rank, tag: tag, data: payload}, cr)
 		close(r.done)
 	}()
 	return r
@@ -93,6 +93,7 @@ func (c *Comm) Irecv(source, tag int) *Request {
 			close(r.done)
 		}()
 		msg := c.world.boxes[c.rank].take(c, source, tag)
+		msg = c.verifyMsg(msg)
 		r.data = msg.data
 		r.src = msg.source
 		r.tag = msg.tag

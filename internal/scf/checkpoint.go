@@ -1,10 +1,13 @@
 package scf
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
+	"strings"
 
 	"repro/internal/linalg"
 )
@@ -13,6 +16,14 @@ import (
 // from it — the role GAMESS's PUNCH/restart files play. A production SCF
 // on thousands of nodes checkpoints between jobs; here the same mechanism
 // also accelerates repeated runs on perturbed geometries.
+//
+// Format (version 1): an ASCII header line "HFCKPT v1 len=N", N bytes of
+// JSON body, and a trailer line "crc32=XXXXXXXX" carrying the IEEE
+// CRC-32 of the body. The header length makes truncation detectable
+// before parsing; the CRC catches any bit-flip in the body (a checkpoint
+// sits on disk through exactly the window a node is most likely to fail
+// in, so it is the SDC target with the longest exposure). Version-0
+// files — bare JSON, as the seed wrote — are still read.
 
 // Checkpoint is the serialized SCF state.
 type Checkpoint struct {
@@ -26,10 +37,15 @@ type Checkpoint struct {
 	Density         []float64 `json:"density"` // row-major NumBF x NumBF
 }
 
-// SaveCheckpoint writes the result's restartable state as JSON.
-func SaveCheckpoint(w io.Writer, molName, basisName string, res *Result) error {
+// checkpointMagic opens every framed (version >= 1) checkpoint.
+const checkpointMagic = "HFCKPT"
+
+// EncodeCheckpoint serializes the result's restartable state in the
+// current (version 1) framed format and returns the complete file bytes.
+// Drivers that inject or audit corruption work on these bytes directly.
+func EncodeCheckpoint(molName, basisName string, res *Result) ([]byte, error) {
 	if res.D == nil {
-		return fmt.Errorf("scf: result has no density to checkpoint")
+		return nil, fmt.Errorf("scf: result has no density to checkpoint")
 	}
 	cp := Checkpoint{
 		Molecule:        molName,
@@ -41,8 +57,26 @@ func SaveCheckpoint(w io.Writer, molName, basisName string, res *Result) error {
 		OrbitalEnergies: res.OrbitalEnergies,
 		Density:         res.D.Data,
 	}
-	enc := json.NewEncoder(w)
-	return enc.Encode(&cp)
+	body, err := json.Marshal(&cp)
+	if err != nil {
+		return nil, fmt.Errorf("scf: encoding checkpoint: %w", err)
+	}
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "%s v1 len=%d\n", checkpointMagic, len(body))
+	b.Write(body)
+	fmt.Fprintf(&b, "\ncrc32=%08x\n", crc32.ChecksumIEEE(body))
+	return b.Bytes(), nil
+}
+
+// SaveCheckpoint writes the result's restartable state in the framed
+// version-1 format (see the file comment).
+func SaveCheckpoint(w io.Writer, molName, basisName string, res *Result) error {
+	data, err := EncodeCheckpoint(molName, basisName, res)
+	if err != nil {
+		return err
+	}
+	_, err = w.Write(data)
+	return err
 }
 
 // maxCheckpointBF bounds the basis size a checkpoint may claim; beyond it
@@ -50,12 +84,25 @@ func SaveCheckpoint(w io.Writer, molName, basisName string, res *Result) error {
 const maxCheckpointBF = 1 << 17
 
 // LoadCheckpoint reads and validates a checkpoint written by
-// SaveCheckpoint. A truncated, corrupted, or inconsistent file yields a
-// descriptive error — never a panic — so drivers can fall back to a
-// standard initial guess.
+// SaveCheckpoint. A truncated, bit-flipped, or inconsistent file yields
+// a descriptive error — never a panic — so drivers can fall back to a
+// standard initial guess. Both the framed version-1 format and bare
+// version-0 JSON (seed files) are accepted; only version 1 carries the
+// CRC that makes single-bit corruption detectable.
 func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
+	raw, err := io.ReadAll(r)
+	if err != nil {
+		return nil, fmt.Errorf("scf: reading checkpoint: %w", err)
+	}
+	body := raw
+	if bytes.HasPrefix(raw, []byte(checkpointMagic)) {
+		body, err = verifyCheckpointFrame(raw)
+		if err != nil {
+			return nil, err
+		}
+	}
 	var cp Checkpoint
-	if err := json.NewDecoder(r).Decode(&cp); err != nil {
+	if err := json.Unmarshal(body, &cp); err != nil {
 		return nil, fmt.Errorf("scf: checkpoint truncated or corrupted: %w", err)
 	}
 	if cp.NumBF <= 0 || cp.NumBF > maxCheckpointBF {
@@ -72,6 +119,43 @@ func LoadCheckpoint(r io.Reader) (*Checkpoint, error) {
 		}
 	}
 	return &cp, nil
+}
+
+// verifyCheckpointFrame parses and verifies the v1 framing, returning
+// the JSON body. Every failure mode is named: a garbled header, an
+// unsupported (future) version, a body shorter than the header claims,
+// a missing trailer, and a CRC mismatch are distinct diagnostics.
+func verifyCheckpointFrame(raw []byte) ([]byte, error) {
+	nl := bytes.IndexByte(raw, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("scf: checkpoint header truncated")
+	}
+	header := string(raw[:nl])
+	var version, bodyLen int
+	if _, err := fmt.Sscanf(header, checkpointMagic+" v%d len=%d", &version, &bodyLen); err != nil {
+		return nil, fmt.Errorf("scf: malformed checkpoint header %q", header)
+	}
+	if version != 1 {
+		return nil, fmt.Errorf("scf: unsupported checkpoint version %d (this build reads v0 and v1)", version)
+	}
+	rest := raw[nl+1:]
+	if bodyLen < 0 || bodyLen > len(rest) {
+		return nil, fmt.Errorf("scf: checkpoint truncated or corrupted: header claims %d body bytes, %d present", bodyLen, len(rest))
+	}
+	body := rest[:bodyLen]
+	// The trailer is matched byte-for-byte ("\ncrc32=" + 8 lowercase hex
+	// digits + "\n", nothing else): scanning it leniently would let a
+	// bit flip in the framing itself (whitespace, hex case) slip by.
+	trailer := string(rest[bodyLen:])
+	const tprefix = "\ncrc32="
+	if len(trailer) != len(tprefix)+9 || !strings.HasPrefix(trailer, tprefix) || trailer[len(trailer)-1] != '\n' {
+		return nil, fmt.Errorf("scf: checkpoint CRC trailer missing or malformed (%q)", trailer)
+	}
+	stored := trailer[len(tprefix) : len(tprefix)+8]
+	if expect := fmt.Sprintf("%08x", crc32.ChecksumIEEE(body)); stored != expect {
+		return nil, fmt.Errorf("scf: checkpoint CRC mismatch: stored %s, computed %s (bit-flipped on disk?)", stored, expect)
+	}
+	return body, nil
 }
 
 // DensityMatrix reconstructs the checkpointed density.

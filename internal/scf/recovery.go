@@ -39,6 +39,10 @@ type ResilientOptions struct {
 	// Deadline bounds every blocking runtime operation (see
 	// mpi.RunOptions.Deadline); default 30s.
 	Deadline time.Duration
+	// Grace is the unwind window granted to poisoned survivors past the
+	// deadline before stragglers are abandoned and fenced (see
+	// mpi.RunOptions.Grace); 0 takes the runtime default (500ms).
+	Grace time.Duration
 	// MaxRestarts caps shrink-and-restart attempts after the first run;
 	// default 3.
 	MaxRestarts int
@@ -96,13 +100,9 @@ type ckptStore struct {
 	buf []byte
 }
 
-func (s *ckptStore) save(molName, basisName string, res *Result) {
-	var b bytes.Buffer
-	if err := SaveCheckpoint(&b, molName, basisName, res); err != nil {
-		return // a result without a density is not checkpointable; keep the old one
-	}
+func (s *ckptStore) put(data []byte) {
 	s.mu.Lock()
-	s.buf = b.Bytes()
+	s.buf = data
 	s.mu.Unlock()
 }
 
@@ -149,8 +149,10 @@ func RunRHFResilient(eng *integrals.Engine, sch *integrals.Schwarz,
 			rec.CorruptCheckpoints++
 			if tel != nil {
 				tel.Counter("recovery.corrupt_checkpoints").Add(1)
+				tel.Counter("sdc.detected").Add(1)
+				tel.Counter("sdc.detected.checkpoint").Add(1)
 				tel.Instant("recovery.restore", "checkpoint-corrupt", telemetry.DriverPid, 0,
-					map[string]any{"attempt": rec.Attempts})
+					map[string]any{"attempt": rec.Attempts, "cause": err.Error()})
 			}
 		} else if cp != nil {
 			scfOpt.InitialDensity = cp.DensityMatrix()
@@ -176,7 +178,7 @@ func RunRHFResilient(eng *integrals.Engine, sch *integrals.Schwarz,
 		results := make([]*Result, ranks)
 		errs := make([]error, ranks)
 		report, runErr := mpi.RunWithOptions(ranks,
-			mpi.RunOptions{Deadline: opt.Deadline, Fault: fault, Telemetry: tel},
+			mpi.RunOptions{Deadline: opt.Deadline, Grace: opt.Grace, Fault: fault, Telemetry: tel},
 			func(c *mpi.Comm) {
 				dx := ddi.New(c)
 				builder := ParallelBuilder(opt.Algorithm, dx, eng, sch, opt.Fock)
@@ -185,8 +187,19 @@ func RunRHFResilient(eng *integrals.Engine, sch *integrals.Schwarz,
 				o.TelemetryRank = c.Rank()
 				if c.Rank() == 0 {
 					// Rank 0 checkpoints every iteration; all ranks hold
-					// identical state, so one writer suffices.
-					o.OnIteration = func(_ int, r *Result) { store.save(molName, basisName, r) }
+					// identical state, so one writer suffices. The write
+					// passes through the SiteCheckpoint injection hook, so
+					// a scheduled corruption lands on the serialized bytes
+					// — exactly where a disk or DMA bit-flip would — and
+					// must be caught by the CRC at the next restore.
+					o.OnIteration = func(_ int, r *Result) {
+						data, err := EncodeCheckpoint(molName, basisName, r)
+						if err != nil {
+							return // no density yet; keep the old checkpoint
+						}
+						c.InjectSDCBytes(mpi.SiteCheckpoint, data)
+						store.put(data)
+					}
 				}
 				res, err := RunRHF(eng, builder, o)
 				results[c.Rank()] = res

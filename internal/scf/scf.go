@@ -13,8 +13,21 @@ import (
 
 	"repro/internal/fock"
 	"repro/internal/integrals"
+	"repro/internal/integrity"
 	"repro/internal/linalg"
 	"repro/internal/telemetry"
+)
+
+// Integrity validation tolerances. Fock and density matrices are
+// symmetric by construction; parallel summation order perturbs them at
+// roundoff (~1e-14 relative), so 1e-8 catches real one-sided corruption
+// with a six-decade margin. The electron-count trace is exact to
+// diagonalization roundoff; 1e-6 absolute keeps false positives at zero
+// for any basis this code handles.
+const (
+	fockSymTol   = 1e-8
+	densSymTol   = 1e-8
+	densTraceTol = 1e-6
 )
 
 // Builder computes the two-electron Fock matrix for a density.
@@ -48,6 +61,16 @@ type Options struct {
 	// collective run does not multiply-count them.
 	Telemetry     *telemetry.Session
 	TelemetryRank int
+	// DisableWatchdog turns off the convergence watchdog (watchdog.go).
+	// Enabled by default: a converging run never trips it, while a
+	// diverging or oscillating one is walked down the degradation ladder
+	// instead of burning MaxIter iterations or returning NaN.
+	DisableWatchdog bool
+	// DisableValidation turns off the per-iteration matrix integrity
+	// checks (finite entries, symmetry, electron count) and the
+	// quarantine-and-recompute of a corrupted Fock build. Enabled by
+	// default; the O(n^2) checks are free next to the O(n^4) build.
+	DisableValidation bool
 }
 
 func (o Options) withDefaults() Options {
@@ -76,6 +99,13 @@ type IterInfo struct {
 	RMSDens  float64
 	DIISErr  float64
 	FockStat fock.Stats
+	// Degrade names the watchdog rung escalated to during this iteration
+	// ("damping", "level-shift", "diis-reset", "roothaan"); empty for a
+	// healthy iteration.
+	Degrade string
+	// Recomputed reports that this iteration's Fock build failed
+	// integrity validation and was quarantined and rebuilt.
+	Recomputed bool
 }
 
 // Result is a converged (or exhausted) SCF calculation.
@@ -153,11 +183,40 @@ func RunRHF(eng *integrals.Engine, builder Builder, opt Options) (*Result, error
 	res := &Result{NuclearRepulsion: mol.NuclearRepulsion()}
 	diis := newDIIS(opt.DIISSize)
 	ePrev := math.Inf(1)
+	var wd *watchdogState
+	if !opt.DisableWatchdog {
+		wd = &watchdogState{}
+	}
 
 	for iter := 1; iter <= opt.MaxIter; iter++ {
 		endIter := opt.Telemetry.SpanArgsAtEnd("scf.iter", "iteration", opt.TelemetryRank, 0)
 		g, stats := builder(d)
 		res.TotalFockStats.Add(stats)
+
+		// Integrity gate: a Fock replica that fails validation is
+		// quarantined and rebuilt once. Every rank sees the identical
+		// (allreduced) matrix, so the recompute decision is collective
+		// without communication; telemetry counts it once, from rank 0.
+		recomputed := false
+		if !opt.DisableValidation {
+			if verr := integrity.CheckFock(g, fockSymTol); verr != nil {
+				recomputed = true
+				if opt.Telemetry != nil && opt.TelemetryRank == 0 {
+					opt.Telemetry.Counter("sdc.detected").Add(1)
+					opt.Telemetry.Counter("sdc.detected.fock").Add(1)
+					opt.Telemetry.Counter("integrity.fock.recomputed").Add(1)
+					opt.Telemetry.Instant("integrity", "fock-quarantine", opt.TelemetryRank, 0,
+						map[string]any{"iter": iter, "cause": verr.Error()})
+				}
+				g2, stats2 := builder(d)
+				res.TotalFockStats.Add(stats2)
+				if verr2 := integrity.CheckFock(g2, fockSymTol); verr2 != nil {
+					return nil, fmt.Errorf("scf: Fock build failed validation twice in iteration %d (persistent corruption): %w", iter, verr2)
+				}
+				g = g2
+			}
+		}
+
 		f := h.Clone()
 		f.AxpyFrom(1, g)
 
@@ -166,19 +225,62 @@ func RunRHF(eng *integrals.Engine, builder Builder, opt Options) (*Result, error
 		eTot := eElec + res.NuclearRepulsion
 
 		diisErr := 0.0
-		if !opt.DisableDI {
+		if !opt.DisableDI && (wd == nil || !wd.diisOff()) {
 			var errNorm float64
 			f, errNorm = diis.extrapolate(f, d, s, x)
 			diisErr = errNorm
 		}
+		if wd != nil {
+			if gamma := wd.shift(); gamma > 0 {
+				applyLevelShift(f, s, d, gamma)
+			}
+		}
 
 		eps, c = diagonalizeFock(f, x)
 		dNew := DensityFromC(c, nocc)
+		if wd != nil {
+			if a := wd.damping(); a > 0 {
+				for i := range dNew.Data {
+					dNew.Data[i] = (1-a)*dNew.Data[i] + a*d.Data[i]
+				}
+			}
+		}
 		rms := dNew.RMSDiff(d)
 		dE := eTot - ePrev
 
+		degrade := ""
+		if wd != nil {
+			degrade = wd.observe(dE, rms)
+		}
+		if !opt.DisableValidation {
+			if verr := integrity.CheckDensity(dNew, s, nelec, densSymTol, densTraceTol); verr != nil {
+				// A bad density past a verified Fock: no cheap recompute
+				// exists, so force the ladder a rung instead.
+				if opt.Telemetry != nil && opt.TelemetryRank == 0 {
+					opt.Telemetry.Counter("sdc.detected").Add(1)
+					opt.Telemetry.Counter("sdc.detected.density").Add(1)
+					opt.Telemetry.Instant("integrity", "density-invalid", opt.TelemetryRank, 0,
+						map[string]any{"iter": iter, "cause": verr.Error()})
+				}
+				if wd != nil && degrade == "" {
+					degrade = wd.escalate()
+				}
+			}
+		}
+		if degrade != "" {
+			if degrade == wdLevelNames[wdDIISReset] {
+				diis.reset()
+			}
+			if opt.Telemetry != nil && opt.TelemetryRank == 0 {
+				opt.Telemetry.Counter("integrity.watchdog.escalations").Add(1)
+				opt.Telemetry.Instant("integrity", "watchdog-"+degrade, opt.TelemetryRank, 0,
+					map[string]any{"iter": iter, "dE": dE, "rmsD": rms})
+			}
+		}
+
 		res.History = append(res.History, IterInfo{
 			Energy: eTot, DeltaE: dE, RMSDens: rms, DIISErr: diisErr, FockStat: stats,
+			Degrade: degrade, Recomputed: recomputed,
 		})
 		res.Iterations = iter
 		res.Energy = eTot
@@ -250,6 +352,17 @@ func sumMatrices(a, b *linalg.Matrix) *linalg.Matrix {
 	return out
 }
 
+// applyLevelShift adds gamma * (S - S D S / 2) to f in place. In the
+// orthonormal basis this is gamma times the virtual-space projector
+// (S D S / 2 maps to the occupied projector), so every virtual orbital
+// energy rises by gamma while occupied ones stay put — widening the
+// effective gap that drives SCF oscillation.
+func applyLevelShift(f, s, d *linalg.Matrix, gamma float64) {
+	sds := linalg.Mul(s, linalg.Mul(d, s))
+	f.AxpyFrom(gamma, s)
+	f.AxpyFrom(-gamma/2, sds)
+}
+
 // --- DIIS (Pulay convergence acceleration) ---
 
 type diisState struct {
@@ -259,6 +372,14 @@ type diisState struct {
 }
 
 func newDIIS(size int) *diisState { return &diisState{size: size} }
+
+// reset drops the extrapolation history — the watchdog's "diis-reset"
+// rung, discarding Fock/error pairs poisoned by a corrupted or
+// oscillating stretch of iterations.
+func (st *diisState) reset() {
+	st.focks = st.focks[:0]
+	st.errors = st.errors[:0]
+}
 
 // extrapolate records (F, error) with error = X^T (FDS - SDF) X and
 // returns the DIIS-combined Fock along with the max-abs error element.

@@ -15,6 +15,22 @@
 //	recovery.reissue  a task lease stolen from a failed rank
 //	recovery.restore  a checkpoint restore (or corrupt-checkpoint reject)
 //	recovery.restart  a shrink-and-restart transition
+//	integrity         instant: a data-integrity event (fock-quarantine,
+//	                  density-invalid, watchdog-<rung>)
+//
+// Counter taxonomy of the data-integrity layer (audited against each
+// other by tests and the `scaling -exp sdc` gate — every injected
+// corruption must show up as detected):
+//
+//	sdc.injected[.<site>]    corruptions landed by fault injection, by
+//	                         site (send, fock, checkpoint)
+//	sdc.detected[.<layer>]   corruptions caught, by detection layer
+//	                         (transport, fock, density, checkpoint)
+//	sdc.retries              transport retransmits requested
+//	sdc.recovered            corrupted messages repaired by retransmit
+//	sdc.escalated            persistent corruption escalated to RankFailure
+//	integrity.fock.recomputed     quarantined Fock builds rebuilt clean
+//	integrity.watchdog.escalations  convergence-watchdog ladder steps
 //
 // Lanes: pid = MPI rank (DriverPid for events outside any rank), tid = 0
 // for the rank's main goroutine, 1..T for OpenMP team threads.
