@@ -15,7 +15,9 @@
 package repro
 
 import (
+	"context"
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/basis"
@@ -47,27 +49,49 @@ const (
 	ResilientFock = scf.AlgResilientFock
 )
 
-// BuiltinMolecule returns a named test system: "h2", "heh+", "water",
-// "methane", "ammonia", "benzene", a graphene flake "flake:N" is
-// available through GrapheneFlake, and the paper's bilayer systems
-// through PaperSystem.
-func BuiltinMolecule(name string) (*Molecule, error) {
-	switch name {
-	case "h2":
-		return molecule.H2(), nil
-	case "heh+":
-		return molecule.HeHPlus(), nil
-	case "water", "h2o":
-		return molecule.Water(), nil
-	case "methane", "ch4":
-		return molecule.Methane(), nil
-	case "ammonia", "nh3":
-		return molecule.Ammonia(), nil
-	case "benzene", "c6h6":
-		return molecule.Benzene(), nil
-	default:
-		return nil, fmt.Errorf("repro: unknown builtin molecule %q", name)
+// builtinMolecules maps every accepted name (canonical first, formula
+// aliases after) to its constructor. BuiltinMoleculeNames and the
+// unknown-name error are derived from it so the advertised list can never
+// drift from what BuiltinMolecule actually accepts.
+var builtinMolecules = []struct {
+	canonical string
+	aliases   []string
+	build     func() *molecule.Molecule
+}{
+	{"h2", nil, molecule.H2},
+	{"heh+", nil, molecule.HeHPlus},
+	{"water", []string{"h2o"}, molecule.Water},
+	{"methane", []string{"ch4"}, molecule.Methane},
+	{"ammonia", []string{"nh3"}, molecule.Ammonia},
+	{"benzene", []string{"c6h6"}, molecule.Benzene},
+}
+
+// BuiltinMoleculeNames lists the canonical names BuiltinMolecule accepts.
+func BuiltinMoleculeNames() []string {
+	names := make([]string, len(builtinMolecules))
+	for i, b := range builtinMolecules {
+		names[i] = b.canonical
 	}
+	return names
+}
+
+// BuiltinMolecule returns a named test system: "h2", "heh+", "water",
+// "methane", "ammonia", "benzene" (formula aliases like "h2o" work too).
+// A graphene flake is available through GrapheneFlake, and the paper's
+// bilayer systems through PaperSystem.
+func BuiltinMolecule(name string) (*Molecule, error) {
+	for _, b := range builtinMolecules {
+		if name == b.canonical {
+			return b.build(), nil
+		}
+		for _, a := range b.aliases {
+			if name == a {
+				return b.build(), nil
+			}
+		}
+	}
+	return nil, fmt.Errorf("repro: unknown builtin molecule %q (available: %s)",
+		name, strings.Join(BuiltinMoleculeNames(), ", "))
 }
 
 // GrapheneFlake returns a single-layer flake with n carbon atoms.
@@ -76,6 +100,9 @@ func GrapheneFlake(n int) *Molecule { return molecule.GrapheneFlake(n) }
 // PaperSystem returns one of the paper's Table 4 graphene bilayers
 // ("0.5nm", "1.0nm", "1.5nm", "2.0nm", "5.0nm").
 func PaperSystem(name string) (*Molecule, error) { return molecule.PaperSystem(name) }
+
+// PaperSystemNames lists the names PaperSystem accepts.
+func PaperSystemNames() []string { return molecule.PaperSystemNames() }
 
 // ParseXYZ parses a molecule in XYZ format (angstrom).
 func ParseXYZ(text string) (*Molecule, error) { return molecule.ParseXYZ(text) }
@@ -94,12 +121,29 @@ type Telemetry = telemetry.Session
 // NewTelemetry returns a fresh telemetry session.
 func NewTelemetry() *Telemetry { return telemetry.NewSession() }
 
+// ErrCanceled is reported (via errors.Is) when a Run*Ctx calculation is
+// stopped by context cancellation or deadline expiry. The returned error
+// also unwraps to the context cause, so errors.Is(err,
+// context.DeadlineExceeded) distinguishes a timeout from a cancel.
+var ErrCanceled = scf.ErrCanceled
+
 // RunRHF runs a serial restricted Hartree-Fock calculation on mol with
 // the named basis set ("sto-3g", "6-31g", or the paper's "6-31g(d)").
 func RunRHF(mol *Molecule, basisName string, opt SCFOptions) (*Result, error) {
+	return RunRHFCtx(context.Background(), mol, basisName, opt)
+}
+
+// RunRHFCtx is RunRHF under a context: cancellation or deadline expiry
+// stops the SCF loop at the next iteration boundary with ErrCanceled
+// (alongside the partial Result accumulated so far). A background/TODO
+// context disables the per-iteration poll entirely.
+func RunRHFCtx(ctx context.Context, mol *Molecule, basisName string, opt SCFOptions) (*Result, error) {
 	b, err := basis.Build(mol, basisName)
 	if err != nil {
 		return nil, err
+	}
+	if ctx != nil && ctx.Done() != nil {
+		opt.Context = ctx
 	}
 	eng := integrals.NewEngine(b)
 	sch := integrals.ComputeSchwarz(eng)
@@ -126,6 +170,15 @@ type ParallelConfig struct {
 // runtimes. All ranks compute the identical result; the returned Result
 // is rank 0's.
 func RunParallelRHF(mol *Molecule, basisName string, cfg ParallelConfig, opt SCFOptions) (*Result, error) {
+	return RunParallelRHFCtx(context.Background(), mol, basisName, cfg, opt)
+}
+
+// RunParallelRHFCtx is RunParallelRHF under a context. Cancellation is
+// decided collectively — every rank folds its local context observation
+// into a one-element allreduce each iteration — so all ranks stop at the
+// identical iteration boundary and no rank is left blocked in a
+// collective. A background/TODO context disables the check.
+func RunParallelRHFCtx(ctx context.Context, mol *Molecule, basisName string, cfg ParallelConfig, opt SCFOptions) (*Result, error) {
 	if cfg.Algorithm == "" {
 		cfg.Algorithm = SharedFock
 	}
@@ -154,6 +207,10 @@ func RunParallelRHF(mol *Molecule, basisName string, cfg ParallelConfig, opt SCF
 				fock.Config{Threads: cfg.Threads, Quartets: cache})
 			o := opt
 			o.TelemetryRank = c.Rank()
+			if ctx != nil && ctx.Done() != nil {
+				o.Context = ctx
+				o.CancelAgree = scf.CollectiveCancel(c)
+			}
 			res, err := scf.RunRHF(eng, builder, o)
 			results[c.Rank()] = res
 			errs[c.Rank()] = err
@@ -190,9 +247,20 @@ type RecoveryInfo = scf.Recovery
 // leases; otherwise the driver shrinks to the survivors and restarts the
 // current iteration from the last per-iteration checkpoint.
 func RunResilientRHF(mol *Molecule, basisName string, cfg ResilientConfig, opt SCFOptions) (*Result, *RecoveryInfo, error) {
+	return RunResilientRHFCtx(context.Background(), mol, basisName, cfg, opt)
+}
+
+// RunResilientRHFCtx is RunResilientRHF under a context: a canceled or
+// expired context stops the SCF collectively at the next iteration
+// boundary and stops the driver from spending restart budget, returning
+// ErrCanceled. A background/TODO context disables the check.
+func RunResilientRHFCtx(ctx context.Context, mol *Molecule, basisName string, cfg ResilientConfig, opt SCFOptions) (*Result, *RecoveryInfo, error) {
 	b, err := basis.Build(mol, basisName)
 	if err != nil {
 		return nil, nil, err
+	}
+	if ctx != nil && ctx.Done() != nil {
+		opt.Context = ctx
 	}
 	eng := integrals.NewEngine(b)
 	sch := integrals.ComputeSchwarz(eng)

@@ -1,8 +1,12 @@
 package repro
 
 import (
+	"context"
+	"errors"
 	"math"
+	"strings"
 	"testing"
+	"time"
 )
 
 func TestBuiltinMolecules(t *testing.T) {
@@ -183,6 +187,126 @@ func TestFacadeOptimize(t *testing.T) {
 	}
 	if math.Abs(res.Energy-(-1.1175)) > 2e-3 {
 		t.Fatalf("optimized H2 energy = %v", res.Energy)
+	}
+}
+
+func TestBuiltinMoleculeErrorListsNames(t *testing.T) {
+	_, err := BuiltinMolecule("unobtainium")
+	if err == nil {
+		t.Fatal("expected unknown-molecule error")
+	}
+	for _, name := range BuiltinMoleculeNames() {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not advertise %q", err, name)
+		}
+	}
+	if !strings.Contains(err.Error(), "unobtainium") {
+		t.Fatalf("error %q does not echo the bad name", err)
+	}
+}
+
+func TestBuiltinMoleculeAliases(t *testing.T) {
+	for alias, canonical := range map[string]string{
+		"h2o": "water", "ch4": "methane", "nh3": "ammonia", "c6h6": "benzene",
+	} {
+		a, err := BuiltinMolecule(alias)
+		if err != nil {
+			t.Fatalf("%s: %v", alias, err)
+		}
+		c, _ := BuiltinMolecule(canonical)
+		if a.NumAtoms() != c.NumAtoms() {
+			t.Fatalf("%s != %s", alias, canonical)
+		}
+	}
+}
+
+func TestPaperSystemErrorListsNames(t *testing.T) {
+	_, err := PaperSystem("9.9nm")
+	if err == nil {
+		t.Fatal("expected unknown-system error")
+	}
+	names := PaperSystemNames()
+	if len(names) == 0 {
+		t.Fatal("no paper systems advertised")
+	}
+	for _, name := range names {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("error %q does not advertise %q", err, name)
+		}
+	}
+}
+
+func TestRunRHFInvalidGuess(t *testing.T) {
+	mol, _ := BuiltinMolecule("h2")
+	_, err := RunRHF(mol, "sto-3g", SCFOptions{Guess: "psychic"})
+	if err == nil {
+		t.Fatal("expected unknown-guess error")
+	}
+	if !strings.Contains(err.Error(), "psychic") || !strings.Contains(err.Error(), "gwh") {
+		t.Fatalf("guess error %q should echo the bad name and list the valid ones", err)
+	}
+}
+
+func TestRunRHFCtxCanceled(t *testing.T) {
+	mol, _ := BuiltinMolecule("water")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunRHFCtx(ctx, mol, "sto-3g", SCFOptions{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancel cause not exposed: %v", err)
+	}
+	if errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("cancel misreported as deadline: %v", err)
+	}
+	if res == nil {
+		t.Fatal("partial result should accompany ErrCanceled")
+	}
+	if res.Converged {
+		t.Fatal("canceled run cannot be converged")
+	}
+}
+
+func TestRunRHFCtxDeadline(t *testing.T) {
+	mol, _ := BuiltinMolecule("water")
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	_, err := RunRHFCtx(ctx, mol, "sto-3g", SCFOptions{})
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want ErrCanceled + DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestRunParallelRHFCtxCanceled(t *testing.T) {
+	mol, _ := BuiltinMolecule("water")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunParallelRHFCtx(ctx, mol, "sto-3g",
+		ParallelConfig{Algorithm: SharedFock, Ranks: 2, Threads: 2}, SCFOptions{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+func TestRunResilientRHFCtxCanceled(t *testing.T) {
+	mol, _ := BuiltinMolecule("water")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, _, err := RunResilientRHFCtx(ctx, mol, "sto-3g", ResilientConfig{Ranks: 2}, SCFOptions{})
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+}
+
+func TestRunRHFCtxBackgroundUnaffected(t *testing.T) {
+	// A background context must not perturb a normal run (the poll is
+	// disabled entirely, not just never firing).
+	mol, _ := BuiltinMolecule("h2")
+	res, err := RunRHFCtx(context.Background(), mol, "sto-3g", SCFOptions{})
+	if err != nil || !res.Converged {
+		t.Fatalf("background-ctx run failed: %v", err)
 	}
 }
 

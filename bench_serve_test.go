@@ -1,0 +1,151 @@
+package repro_test
+
+// Serving-layer benchmarks, alongside the paper benchmarks in
+// bench_test.go. These live in package repro_test because the jobs and
+// service packages sit above the repro facade, which bench_test.go's
+// in-package tests cannot import without a cycle.
+//
+//	BenchmarkJobQueue     submit/claim throughput of the bounded priority queue
+//	BenchmarkServeCached  end-to-end latency of a cache-hit POST /v1/jobs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"testing"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/service"
+)
+
+// BenchmarkJobQueue measures the queue's submit/claim cycle: the
+// per-job scheduling overhead a worker pool pays on top of the SCF work
+// itself (nanoseconds against the milliseconds-to-minutes of a run).
+func BenchmarkJobQueue(b *testing.B) {
+	spec := jobs.Spec{Molecule: "h2"}
+
+	b.Run("submit-claim", func(b *testing.B) {
+		q := jobs.NewQueue(4)
+		j := jobs.NewJob("job-000001", "hash", spec, time.Time{})
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := q.Submit(j); err != nil {
+				b.Fatal(err)
+			}
+			if q.TryClaim() == nil {
+				b.Fatal("claim missed")
+			}
+		}
+	})
+
+	b.Run("contended", func(b *testing.B) {
+		// Many goroutines hammering one queue — the shape of a busy server
+		// where HTTP handlers submit while the worker pool claims.
+		q := jobs.NewQueue(1 << 20)
+		j := jobs.NewJob("job-000001", "hash", spec, time.Time{})
+		b.ResetTimer()
+		b.RunParallel(func(pb *testing.PB) {
+			for pb.Next() {
+				if err := q.Submit(j); err != nil {
+					b.Fatal(err)
+				}
+				q.TryClaim()
+			}
+		})
+	})
+
+	b.Run("priority-mix", func(b *testing.B) {
+		// Heap-ordered claims across 8 priority levels.
+		q := jobs.NewQueue(1 << 20)
+		specs := make([]jobs.Spec, 8)
+		for p := range specs {
+			specs[p] = jobs.Spec{Molecule: "h2", Priority: p}
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			s := specs[i%len(specs)]
+			if err := q.Submit(jobs.NewJob("j", "h", s, time.Time{})); err != nil {
+				b.Fatal(err)
+			}
+			if i%4 == 3 { // drain in bursts so the heap holds a few levels
+				for k := 0; k < 4; k++ {
+					q.TryClaim()
+				}
+			}
+		}
+	})
+}
+
+// BenchmarkServeCached measures the full HTTP round-trip of a cache hit:
+// POST /v1/jobs for content the server has already computed — JSON
+// decode, spec validation, canonical hashing, LRU lookup, JSON encode —
+// without any SCF work. This is the latency a duplicate submission pays.
+func BenchmarkServeCached(b *testing.B) {
+	srv := service.New(service.Config{Workers: 1, QueueCap: 8})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		b.Fatal(err)
+	}
+	base := "http://" + addr
+	client := &http.Client{Timeout: 30 * time.Second}
+	body, _ := json.Marshal(jobs.Spec{Molecule: "h2", Basis: "sto-3g", Mode: jobs.ModeSerial})
+
+	post := func() (id, state string, cached bool) {
+		resp, err := client.Post(base+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var out struct {
+			ID     string `json:"id"`
+			State  string `json:"state"`
+			Cached bool   `json:"cached"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+			b.Fatal(err)
+		}
+		return out.ID, out.State, out.Cached
+	}
+
+	// Prime: run the job once for real and wait for the cache entry.
+	id, _, _ := post()
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := client.Get(base + "/v1/jobs/" + id)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var st jobs.Status
+		err = json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		if err != nil {
+			b.Fatal(err)
+		}
+		if st.State == jobs.StateDone {
+			break
+		}
+		if st.State.Terminal() {
+			b.Fatalf("prime job ended %s: %s", st.State, st.Error)
+		}
+		if time.Now().After(deadline) {
+			b.Fatal("prime job did not finish")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, cached := post(); !cached {
+			b.Fatal("resubmission missed the cache")
+		}
+	}
+	b.StopTimer()
+
+	drainCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -20,6 +20,14 @@
 # (sdc.detected == sdc.injected) and a converged energy within 1e-8 Ha
 # of the clean reference. The command exits non-zero on any miss.
 #
+# Tier 5 (serve gate): build hfserve, start it on an ephemeral port with
+# a deliberately tiny cluster budget (1 worker, queue cap 1), and drive
+# the serving contract over real HTTP: submit a job and poll it to
+# completion, verify an identical resubmission is served from the result
+# cache instantly (HTTP 200 + cached:true, no queue round-trip), force a
+# 429 + Retry-After backpressure rejection by filling the worker and the
+# queue, cancel the backlog via DELETE, and drain cleanly on SIGTERM.
+#
 # Usage: ./ci.sh [-short]   (-short skips the slow simulator sweeps)
 set -eu
 
@@ -31,8 +39,8 @@ go vet ./...
 go build ./...
 go test $short ./...
 
-echo "== tier 2: race detector (mpi, ddi, fock, scf, integrity, telemetry) =="
-go test $short -race ./internal/mpi/ ./internal/ddi/ ./internal/fock/ ./internal/scf/ ./internal/integrity/ ./internal/telemetry/
+echo "== tier 2: race detector (mpi, ddi, fock, scf, integrity, telemetry, jobs, service) =="
+go test $short -race ./internal/mpi/ ./internal/ddi/ ./internal/fock/ ./internal/scf/ ./internal/integrity/ ./internal/telemetry/ ./internal/jobs/ ./internal/service/
 
 echo "== tier 3: trace gate (hfrun -trace -> tracecheck) =="
 tracedir=$(mktemp -d)
@@ -44,5 +52,76 @@ go run ./cmd/tracecheck -q \
 
 echo "== tier 4: chaos gate (scaling -exp sdc: 100% SDC detection) =="
 go run ./cmd/scaling -exp sdc
+
+echo "== tier 5: serve gate (hfserve HTTP round-trip, cache hit, 429 backpressure) =="
+servedir=$(mktemp -d)
+go build -o "$servedir/hfserve" ./cmd/hfserve
+"$servedir/hfserve" -addr 127.0.0.1:0 -portfile "$servedir/port" \
+	-workers 1 -queue-cap 1 -drain-timeout 30s >"$servedir/serve.log" 2>&1 &
+servepid=$!
+trap 'rm -rf "$tracedir" "$servedir"; kill "$servepid" 2>/dev/null || true' EXIT
+
+i=0
+while [ ! -s "$servedir/port" ]; do
+	i=$((i + 1))
+	[ "$i" -gt 100 ] && { echo "serve gate: server never bound"; cat "$servedir/serve.log"; exit 1; }
+	sleep 0.1
+done
+base="http://$(cat "$servedir/port")"
+
+# Submit a job and poll it to a terminal state.
+id=$(curl -sf -X POST "$base/v1/jobs" \
+	-d '{"molecule":"water","basis":"sto-3g","mode":"serial"}' | jq -r .id)
+state=queued
+i=0
+while [ "$state" != "done" ]; do
+	i=$((i + 1))
+	[ "$i" -gt 300 ] && { echo "serve gate: job $id stuck in $state"; exit 1; }
+	state=$(curl -sf "$base/v1/jobs/$id" | jq -r .state)
+	[ "$state" = "failed" ] || [ "$state" = "canceled" ] && { echo "serve gate: job $id ended $state"; exit 1; }
+	sleep 0.1
+done
+echo "serve gate: job $id done"
+
+# The identical resubmission must be a synchronous cache hit: state done
+# and a result in the POST response itself, no polling needed.
+resub=$(curl -sf -X POST "$base/v1/jobs" \
+	-d '{"molecule":"water","basis":"sto-3g","mode":"serial"}')
+[ "$(echo "$resub" | jq -r .cached)" = "true" ] || { echo "serve gate: resubmission missed the cache: $resub"; exit 1; }
+[ "$(echo "$resub" | jq -r .state)" = "done" ] || { echo "serve gate: cached resubmission not instantly done: $resub"; exit 1; }
+echo "serve gate: cached resubmission served instantly"
+
+# Backpressure: benzene occupies the only worker for ~20s; a distinct
+# quick job fills the queue (cap 1); the next distinct submission must
+# bounce with 429 + Retry-After.
+slow=$(curl -sf -X POST "$base/v1/jobs" -d '{"molecule":"benzene","basis":"sto-3g","mode":"serial"}' | jq -r .id)
+# Fill the queue slot once the worker has claimed benzene (retry the
+# harmless 429 window between submit and claim).
+q1=""
+i=0
+while [ -z "$q1" ]; do
+	i=$((i + 1))
+	[ "$i" -gt 50 ] && { echo "serve gate: queue slot never freed"; exit 1; }
+	q1=$(curl -s -X POST "$base/v1/jobs" \
+		-d '{"molecule":"water","basis":"sto-3g","mode":"serial","max_iter":99}' | jq -r '.id // empty')
+	[ -z "$q1" ] && sleep 0.1
+done
+code=$(curl -s -o "$servedir/resp429" -w '%{http_code}' -X POST "$base/v1/jobs" \
+	-d '{"molecule":"water","basis":"sto-3g","mode":"serial","max_iter":98}')
+[ "$code" = "429" ] || { echo "serve gate: expected 429, got $code: $(cat "$servedir/resp429")"; exit 1; }
+retry_after=$(curl -s -D - -o /dev/null -X POST "$base/v1/jobs" \
+	-d '{"molecule":"water","basis":"sto-3g","mode":"serial","max_iter":98}' | tr -d '\r' | awk 'tolower($1)=="retry-after:"{print $2}')
+[ -n "$retry_after" ] || { echo "serve gate: 429 carried no Retry-After"; exit 1; }
+echo "serve gate: backpressure 429 observed (Retry-After ${retry_after}s)"
+
+# Cancel the backlog (DELETE must stop both the running benzene and the
+# queued water) so the drain below is quick.
+curl -sf -X DELETE "$base/v1/jobs/$slow" >/dev/null
+curl -sf -X DELETE "$base/v1/jobs/$q1" >/dev/null
+
+kill -TERM "$servepid"
+wait "$servepid" || { echo "serve gate: drain failed"; cat "$servedir/serve.log"; exit 1; }
+grep -q "drained cleanly" "$servedir/serve.log" || { echo "serve gate: no clean-drain confirmation"; cat "$servedir/serve.log"; exit 1; }
+echo "serve gate: drained cleanly"
 
 echo "ci: all green"

@@ -1,0 +1,126 @@
+// Command hfserve runs the HF-as-a-service layer: an HTTP JSON API in
+// front of a bounded priority job queue, a worker pool executing jobs
+// through the resilient SCF runner, an LRU result cache keyed by
+// canonical content hash, and graceful drain on SIGINT/SIGTERM.
+//
+// Examples:
+//
+//	hfserve -addr :8080
+//	hfserve -addr 127.0.0.1:0 -portfile /tmp/hfserve.port -workers 2 -queue-cap 4
+//	hfserve -loadgen -jobs 60
+//
+// With -loadgen no external server is contacted: the process starts its
+// own server on an ephemeral loopback port, drives a mixed workload of
+// duplicate and distinct jobs through it over real HTTP, drains it, and
+// reports throughput, cache-hit rate, queue-depth percentiles, and tail
+// latency, exiting non-zero if the EXP-SERVE gates fail.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:8080", "listen address (port 0 picks an ephemeral port)")
+		portfile = flag.String("portfile", "", "write the bound host:port to this file once listening")
+		workers  = flag.Int("workers", 4, "worker pool size — the simulated-cluster budget")
+		queueCap = flag.Int("queue-cap", 64, "queued-job bound before 429 backpressure")
+		cacheN   = flag.Int("cache", 256, "LRU result-cache entries")
+		timeout  = flag.Duration("timeout", 5*time.Minute, "default per-job deadline (specs may override)")
+		retries  = flag.Int("retries", 1, "default retry budget for failed runs (specs may override)")
+		drainT   = flag.Duration("drain-timeout", 2*time.Minute, "bound on graceful drain before in-flight jobs are canceled")
+		loadgen  = flag.Bool("loadgen", false, "run the built-in load generator instead of serving")
+		lgJobs   = flag.Int("jobs", 60, "loadgen: total jobs (duplicate + distinct streams)")
+		lgCli    = flag.Int("clients", 8, "loadgen: concurrent submitting clients")
+		lgSeed   = flag.Int64("seed", 1, "loadgen: workload shuffle seed")
+	)
+	flag.Parse()
+
+	if *loadgen {
+		// The serve-mode defaults (4 workers, queue cap 64) would swallow
+		// the burst without ever rejecting; the loadgen's own defaults (2
+		// workers, cap 4) are sized so backpressure is observable. Forward
+		// -workers/-queue-cap only when the user explicitly set them.
+		lgWorkers, lgQueueCap := 0, 0
+		flag.Visit(func(f *flag.Flag) {
+			switch f.Name {
+			case "workers":
+				lgWorkers = *workers
+			case "queue-cap":
+				lgQueueCap = *queueCap
+			}
+		})
+		runLoadgen(*lgJobs, *lgCli, lgWorkers, lgQueueCap, *timeout, *lgSeed)
+		return
+	}
+
+	srv := service.New(service.Config{
+		Workers:        *workers,
+		QueueCap:       *queueCap,
+		CacheSize:      *cacheN,
+		DefaultTimeout: *timeout,
+		MaxRetries:     *retries,
+	})
+	bound, err := srv.Start(*addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hfserve:", err)
+		os.Exit(1)
+	}
+	if *portfile != "" {
+		if err := os.WriteFile(*portfile, []byte(bound+"\n"), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "hfserve: portfile:", err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("hfserve: listening on %s (%d workers, queue cap %d, cache %d)\n",
+		bound, *workers, *queueCap, *cacheN)
+	fmt.Printf("hfserve: POST http://%s/v1/jobs to submit; SIGINT/SIGTERM drains\n", bound)
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	got := <-sig
+	fmt.Printf("hfserve: %s — draining (finishing backlog, %v bound)\n", got, *drainT)
+	ctx, cancel := context.WithTimeout(context.Background(), *drainT)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		fmt.Fprintln(os.Stderr, "hfserve: drain:", err)
+		os.Exit(1)
+	}
+	fmt.Println("hfserve: drained cleanly, no jobs lost")
+}
+
+func runLoadgen(jobs, clients, workers, queueCap int, timeout time.Duration, seed int64) {
+	rep, err := service.RunLoadgen(service.LoadgenOptions{
+		Jobs:     jobs,
+		Clients:  clients,
+		Workers:  workers,
+		QueueCap: queueCap,
+		Timeout:  timeout,
+		Seed:     seed,
+		Out:      os.Stdout,
+	})
+	if rep != nil {
+		fmt.Println()
+		fmt.Print(rep.Format())
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hfserve: loadgen:", err)
+		os.Exit(1)
+	}
+	if err := rep.Gates(); err != nil {
+		fmt.Fprintln(os.Stderr, "hfserve: loadgen gate FAILED:", err)
+		os.Exit(1)
+	}
+	fmt.Println(strings.Repeat("-", 40))
+	fmt.Println("loadgen gates: all passed (≥50 jobs, ≥40% dup cache-hit, ≥1 backpressure 429, 0 lost/stuck)")
+}

@@ -1,0 +1,81 @@
+package jobs
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a concurrency-safe LRU result cache keyed by the canonical
+// content hash. A converged SCF result is deterministic for a given
+// canonical spec, so cache entries never expire — only capacity evicts.
+type Cache struct {
+	mu    sync.Mutex
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+	hits  int64
+	miss  int64
+}
+
+type cacheEntry struct {
+	hash string
+	out  *Outcome
+}
+
+// NewCache returns an LRU cache holding at most capacity outcomes
+// (capacity <= 0 means 256).
+func NewCache(capacity int) *Cache {
+	if capacity <= 0 {
+		capacity = 256
+	}
+	return &Cache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// Get returns the cached outcome for hash, refreshing its recency.
+func (c *Cache) Get(hash string) (*Outcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[hash]
+	if !ok {
+		c.miss++
+		return nil, false
+	}
+	c.hits++
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).out, true
+}
+
+// Put stores out under hash, evicting the least recently used entry past
+// capacity.
+func (c *Cache) Put(hash string, out *Outcome) {
+	if out == nil {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.items[hash]; ok {
+		el.Value.(*cacheEntry).out = out
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.items[hash] = c.ll.PushFront(&cacheEntry{hash: hash, out: out})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).hash)
+	}
+}
+
+// Len returns the number of cached outcomes.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns lifetime hit/miss counts.
+func (c *Cache) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.miss
+}

@@ -1,0 +1,149 @@
+package jobs
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// waterXYZLines is a water geometry as individual atom lines, permuted
+// and re-spaced by the property test below.
+var waterXYZLines = []string{
+	"O 0.000000 0.000000 0.117300",
+	"H 0.000000 0.757200 -0.469200",
+	"H 0.000000 -0.757200 -0.469200",
+}
+
+func xyzFrom(lines []string, comment string) string {
+	return fmt.Sprintf("%d\n%s\n%s\n", len(lines), comment, strings.Join(lines, "\n"))
+}
+
+// injectWhitespace perturbs an atom line without changing its content:
+// extra interior runs of spaces/tabs and trailing blanks.
+func injectWhitespace(rng *rand.Rand, line string) string {
+	fields := strings.Fields(line)
+	seps := []string{" ", "  ", "\t", " \t ", "    "}
+	var b strings.Builder
+	if rng.Intn(2) == 0 {
+		b.WriteString(seps[rng.Intn(len(seps))])
+	}
+	for i, f := range fields {
+		if i > 0 {
+			b.WriteString(seps[rng.Intn(len(seps))])
+		}
+		b.WriteString(f)
+	}
+	if rng.Intn(2) == 0 {
+		b.WriteString(seps[rng.Intn(len(seps))])
+	}
+	return b.String()
+}
+
+// TestCanonicalHashInvariance is the property test promised by
+// Spec.CanonicalHash: for N random atom permutations with random
+// whitespace injected into every line, the hash is bit-identical.
+func TestCanonicalHashInvariance(t *testing.T) {
+	ref, err := Spec{XYZ: xyzFrom(waterXYZLines, "water"), Basis: "sto-3g"}.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 60; trial++ {
+		lines := append([]string(nil), waterXYZLines...)
+		rng.Shuffle(len(lines), func(i, j int) { lines[i], lines[j] = lines[j], lines[i] })
+		for i := range lines {
+			lines[i] = injectWhitespace(rng, lines[i])
+		}
+		// The comment line and execution-shape fields must not matter either.
+		s := Spec{
+			XYZ:   xyzFrom(lines, fmt.Sprintf("perturbed %d", trial)),
+			Basis: "STO-3G", // case-insensitive
+			Mode:  []string{"", ModeSerial, ModeParallel, ModeResilient}[trial%4],
+			Ranks: trial % 5, Threads: trial % 3, Priority: trial % 7,
+			TimeoutMS: int64(trial), MaxRetries: trial % 2,
+		}
+		h, err := s.CanonicalHash()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if h != ref {
+			t.Fatalf("trial %d: hash diverged\nxyz:\n%s\ngot  %s\nwant %s",
+				trial, s.XYZ, h, ref)
+		}
+	}
+}
+
+func TestCanonicalHashSeparatesContent(t *testing.T) {
+	base := Spec{Molecule: "water", Basis: "sto-3g"}
+	ref, err := base.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	distinct := []Spec{
+		{Molecule: "methane", Basis: "sto-3g"},           // different molecule
+		{Molecule: "water", Basis: "6-31g"},              // different basis
+		{Molecule: "water", Basis: "sto-3g", MaxIter: 7}, // different iteration cap
+		{Molecule: "water", Basis: "sto-3g", ConvDens: 1e-6},
+		{Molecule: "water", Basis: "sto-3g", Guess: "gwh"},
+		{XYZ: "3\nshifted water\nO 0 0 0.2\nH 0 0.7572 -0.4692\nH 0 -0.7572 -0.4692\n"},
+	}
+	seen := map[string]int{ref: -1}
+	for i, s := range distinct {
+		h, err := s.CanonicalHash()
+		if err != nil {
+			t.Fatalf("spec %d: %v", i, err)
+		}
+		if prev, dup := seen[h]; dup {
+			t.Fatalf("spec %d collides with spec %d (hash %s)", i, prev, h)
+		}
+		seen[h] = i
+	}
+}
+
+func TestCanonicalHashMatchesBuiltin(t *testing.T) {
+	// An inline XYZ of the builtin water must hash identically to naming
+	// it — the geometry round-trips through Molecule.XYZ().
+	mol, err := Spec{Molecule: "water"}.ResolveMolecule()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName, err := Spec{Molecule: "water"}.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	byXYZ, err := Spec{XYZ: mol.XYZ()}.CanonicalHash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if byName != byXYZ {
+		t.Fatalf("builtin vs round-tripped XYZ hash mismatch:\n%s\n%s", byName, byXYZ)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	if _, err := (Spec{Molecule: "water"}).Validate(); err != nil {
+		t.Fatalf("default spec should validate: %v", err)
+	}
+	bad := []Spec{
+		{},                                    // no molecule
+		{Molecule: "unobtainium"},             // unknown molecule
+		{Molecule: "water", Basis: "nope"},    // unknown basis
+		{Molecule: "water", Mode: "quantum"},  // unknown mode
+		{Molecule: "water", Guess: "psychic"}, // unknown guess
+		{Molecule: "water", TimeoutMS: -1},    // negative timeout
+		{XYZ: "1\nbroken\nXx 0 0 0\n"},        // unknown element
+	}
+	for i, s := range bad {
+		if _, err := s.Validate(); err == nil {
+			t.Fatalf("spec %d (%+v) should fail validation", i, s)
+		}
+	}
+	// The unknown-molecule error must teach the caller what exists.
+	_, err := (Spec{Molecule: "unobtainium"}).Validate()
+	for _, want := range []string{"water", "benzene", "0.5nm", "5.0nm"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("unknown-molecule error should list %q, got: %v", want, err)
+		}
+	}
+}

@@ -1,0 +1,234 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// State is a job lifecycle state.
+type State string
+
+// The job lifecycle FSM. Legal transitions:
+//
+//	Queued  → Running   (claimed by a worker)
+//	Queued  → Canceled  (canceled while waiting)
+//	Running → Done      (run succeeded)
+//	Running → Failed    (run failed, retry budget exhausted)
+//	Running → Canceled  (context canceled mid-run)
+//	Running → Queued    (retryable failure, budget remaining)
+const (
+	StateQueued   State = "queued"
+	StateRunning  State = "running"
+	StateDone     State = "done"
+	StateFailed   State = "failed"
+	StateCanceled State = "canceled"
+)
+
+// Terminal reports whether a job in state s will never change state again.
+func (s State) Terminal() bool {
+	return s == StateDone || s == StateFailed || s == StateCanceled
+}
+
+// legalTransitions enumerates the FSM edges; transition() rejects
+// anything not listed, so an illegal edge is a bug surfaced loudly
+// rather than a silently corrupted lifecycle.
+var legalTransitions = map[State][]State{
+	StateQueued:  {StateRunning, StateCanceled},
+	StateRunning: {StateDone, StateFailed, StateCanceled, StateQueued},
+}
+
+// Outcome is the result payload of a completed job — the subset of an
+// SCF Result that serializes compactly and caches safely.
+type Outcome struct {
+	Energy     float64 `json:"energy"`              // total energy, hartree
+	Converged  bool    `json:"converged"`           // SCF convergence flag
+	Iterations int     `json:"iterations"`          // SCF iterations spent
+	NumBF      int     `json:"num_basis_functions"` // basis dimension
+	Restarts   int     `json:"restarts,omitempty"`  // resilient-driver shrink-restarts
+	WallMS     float64 `json:"wall_ms"`             // run wall time (excludes queue wait)
+	Mode       string  `json:"mode"`                // mode that produced the result
+}
+
+// Job is one tracked calculation flowing through the queue and worker
+// pool. All mutable state is behind mu; accessors return snapshots.
+type Job struct {
+	ID   string // service-assigned, unique per server instance
+	Hash string // canonical content hash (see Spec.CanonicalHash)
+	Spec Spec   // normalized spec
+
+	mu        sync.Mutex
+	state     State
+	attempts  int  // run attempts started (1 = first try)
+	cached    bool // outcome served from the result cache
+	outcome   *Outcome
+	errMsg    string
+	cancel    context.CancelFunc // live only while Running
+	submitted time.Time
+	started   time.Time // first MarkRunning
+	finished  time.Time // terminal transition
+}
+
+// NewJob returns a Queued job.
+func NewJob(id, hash string, spec Spec, now time.Time) *Job {
+	return &Job{ID: id, Hash: hash, Spec: spec, state: StateQueued, submitted: now}
+}
+
+// NewCachedJob returns a job born Done with a cache-served outcome, so a
+// cache hit still yields a GET-able record.
+func NewCachedJob(id, hash string, spec Spec, out *Outcome, now time.Time) *Job {
+	return &Job{ID: id, Hash: hash, Spec: spec, state: StateDone, cached: true,
+		outcome: out, submitted: now, started: now, finished: now}
+}
+
+// State returns the current lifecycle state.
+func (j *Job) State() State {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// Attempts returns how many run attempts have started.
+func (j *Job) Attempts() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.attempts
+}
+
+// transition moves the FSM to target, enforcing the edge table. The
+// caller holds j.mu.
+func (j *Job) transition(to State) error {
+	for _, t := range legalTransitions[j.state] {
+		if t == to {
+			j.state = to
+			return nil
+		}
+	}
+	return fmt.Errorf("jobs: illegal transition %s → %s for job %s", j.state, to, j.ID)
+}
+
+// MarkRunning moves Queued → Running, recording the attempt and the
+// cancel function that aborts the in-flight run.
+func (j *Job) MarkRunning(cancel context.CancelFunc, now time.Time) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.transition(StateRunning); err != nil {
+		return err
+	}
+	j.attempts++
+	j.cancel = cancel
+	if j.started.IsZero() {
+		j.started = now
+	}
+	return nil
+}
+
+// MarkDone moves Running → Done with the outcome.
+func (j *Job) MarkDone(out *Outcome, now time.Time) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.transition(StateDone); err != nil {
+		return err
+	}
+	j.outcome = out
+	j.cancel = nil
+	j.finished = now
+	return nil
+}
+
+// MarkFailed moves Running → Failed with the error message.
+func (j *Job) MarkFailed(msg string, now time.Time) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.transition(StateFailed); err != nil {
+		return err
+	}
+	j.errMsg = msg
+	j.cancel = nil
+	j.finished = now
+	return nil
+}
+
+// MarkCanceled moves Queued/Running → Canceled. Canceling an
+// already-terminal job is a no-op reported via the bool.
+func (j *Job) MarkCanceled(msg string, now time.Time) (bool, error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return false, nil
+	}
+	if err := j.transition(StateCanceled); err != nil {
+		return false, err
+	}
+	j.errMsg = msg
+	j.cancel = nil
+	j.finished = now
+	return true, nil
+}
+
+// Requeue moves Running → Queued for a bounded retry.
+func (j *Job) Requeue() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err := j.transition(StateQueued); err != nil {
+		return err
+	}
+	j.cancel = nil
+	return nil
+}
+
+// Cancel requests cancellation: it aborts an in-flight run's context (the
+// worker then records the terminal state) and reports whether a live run
+// was signaled. Queued jobs must be canceled via MarkCanceled after
+// removal from the queue.
+func (j *Job) Cancel() bool {
+	j.mu.Lock()
+	cancel := j.cancel
+	j.mu.Unlock()
+	if cancel != nil {
+		cancel()
+		return true
+	}
+	return false
+}
+
+// Status is the JSON view of a job served by the HTTP API.
+type Status struct {
+	ID          string   `json:"id"`
+	Hash        string   `json:"hash"`
+	State       State    `json:"state"`
+	Cached      bool     `json:"cached,omitempty"`
+	Attempts    int      `json:"attempts,omitempty"`
+	Error       string   `json:"error,omitempty"`
+	Result      *Outcome `json:"result,omitempty"`
+	SubmittedAt string   `json:"submitted_at,omitempty"`
+	QueueWaitMS float64  `json:"queue_wait_ms,omitempty"`
+	TotalMS     float64  `json:"total_ms,omitempty"`
+	Priority    int      `json:"priority,omitempty"`
+	Molecule    string   `json:"molecule,omitempty"`
+	Basis       string   `json:"basis,omitempty"`
+	Mode        string   `json:"mode,omitempty"`
+}
+
+// Snapshot returns a point-in-time Status.
+func (j *Job) Snapshot() Status {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := Status{
+		ID: j.ID, Hash: j.Hash, State: j.state, Cached: j.cached,
+		Attempts: j.attempts, Error: j.errMsg, Result: j.outcome,
+		Priority: j.Spec.Priority, Molecule: j.Spec.Molecule,
+		Basis: j.Spec.Basis, Mode: j.Spec.Mode,
+	}
+	if !j.submitted.IsZero() {
+		st.SubmittedAt = j.submitted.UTC().Format(time.RFC3339Nano)
+		if !j.started.IsZero() {
+			st.QueueWaitMS = float64(j.started.Sub(j.submitted)) / float64(time.Millisecond)
+		}
+		if !j.finished.IsZero() {
+			st.TotalMS = float64(j.finished.Sub(j.submitted)) / float64(time.Millisecond)
+		}
+	}
+	return st
+}

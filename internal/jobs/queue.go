@@ -1,0 +1,168 @@
+package jobs
+
+import (
+	"container/heap"
+	"errors"
+	"sync"
+)
+
+// Queue errors surfaced to admission control.
+var (
+	// ErrQueueFull reports a Submit rejected by the capacity bound — the
+	// service maps it to HTTP 429 with a Retry-After hint.
+	ErrQueueFull = errors.New("jobs: queue full")
+	// ErrQueueClosed reports a Submit after Close — the drain path.
+	ErrQueueClosed = errors.New("jobs: queue closed")
+)
+
+// Queue is a bounded, concurrency-safe priority queue of jobs. Higher
+// Spec.Priority runs first; within one priority, submission order (FIFO)
+// is preserved via a monotonic sequence number. Claim blocks until an
+// item is available or the queue is closed and empty — the worker-pool
+// idiom mirroring the paper's dynamic load balancer, where idle workers
+// pull the next task instead of being assigned a static share.
+type Queue struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  pqHeap
+	cap    int
+	seq    uint64
+	closed bool
+}
+
+// NewQueue returns a queue admitting at most capacity queued jobs
+// (capacity <= 0 means 64).
+func NewQueue(capacity int) *Queue {
+	if capacity <= 0 {
+		capacity = 64
+	}
+	q := &Queue{cap: capacity}
+	q.cond = sync.NewCond(&q.mu)
+	return q
+}
+
+// Submit enqueues j, rejecting with ErrQueueFull past capacity and
+// ErrQueueClosed after Close.
+func (q *Queue) Submit(j *Job) error {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return ErrQueueClosed
+	}
+	if q.items.Len() >= q.cap {
+		return ErrQueueFull
+	}
+	q.seq++
+	heap.Push(&q.items, &pqItem{job: j, prio: j.Spec.Priority, seq: q.seq})
+	q.cond.Signal()
+	return nil
+}
+
+// Claim blocks until a job is available and returns the
+// highest-priority, oldest one. It returns nil once the queue is closed
+// and drained — the worker's signal to exit.
+func (q *Queue) Claim() *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if q.items.Len() > 0 {
+			return heap.Pop(&q.items).(*pqItem).job
+		}
+		if q.closed {
+			return nil
+		}
+		q.cond.Wait()
+	}
+}
+
+// TryClaim is Claim without blocking: nil when nothing is queued.
+func (q *Queue) TryClaim() *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.items.Len() == 0 {
+		return nil
+	}
+	return heap.Pop(&q.items).(*pqItem).job
+}
+
+// Remove drops the queued job with the given ID (cancellation support).
+// It reports whether the job was found; a job already claimed by a
+// worker is not in the queue and returns false.
+func (q *Queue) Remove(id string) bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for i, it := range q.items {
+		if it.job.ID == id {
+			heap.Remove(&q.items, i)
+			return true
+		}
+	}
+	return false
+}
+
+// Len returns the number of queued (unclaimed) jobs.
+func (q *Queue) Len() int {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.items.Len()
+}
+
+// Cap returns the admission capacity.
+func (q *Queue) Cap() int { return q.cap }
+
+// Closed reports whether Close has been called.
+func (q *Queue) Closed() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// Close stops admissions and wakes every blocked Claim. Already-queued
+// jobs remain claimable, so a drain finishes the backlog rather than
+// dropping it.
+func (q *Queue) Close() {
+	q.mu.Lock()
+	q.closed = true
+	q.mu.Unlock()
+	q.cond.Broadcast()
+}
+
+// pqItem is one heap entry; seq breaks priority ties FIFO.
+type pqItem struct {
+	job   *Job
+	prio  int
+	seq   uint64
+	index int
+}
+
+type pqHeap []*pqItem
+
+func (h pqHeap) Len() int { return len(h) }
+
+func (h pqHeap) Less(i, j int) bool {
+	if h[i].prio != h[j].prio {
+		return h[i].prio > h[j].prio // max-heap on priority
+	}
+	return h[i].seq < h[j].seq // FIFO within a priority
+}
+
+func (h pqHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+
+func (h *pqHeap) Push(x any) {
+	it := x.(*pqItem)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+
+func (h *pqHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}

@@ -1,0 +1,83 @@
+package jobs
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro"
+)
+
+// ErrUnconverged is reported (via errors.Is) when a run completes its
+// iteration budget without reaching the convergence thresholds. It is
+// retryable: the service's bounded-retry loop gets another attempt at it.
+var ErrUnconverged = errors.New("scf did not converge")
+
+// Runner executes one attempt of a job spec through the facade. Retry
+// policy lives in the service's worker loop (it owns the FSM and the
+// queue); the runner just maps a spec to the right Run* entry point and
+// packages the outcome.
+type Runner struct{}
+
+// RunOnce executes the normalized spec under ctx and returns the
+// outcome. Cancellation and deadline expiry surface as errors matching
+// repro.ErrCanceled; everything else is a run failure.
+func (Runner) RunOnce(ctx context.Context, spec Spec) (*Outcome, error) {
+	n := spec.Normalized()
+	mol, err := n.ResolveMolecule()
+	if err != nil {
+		return nil, err
+	}
+	opt := repro.SCFOptions{
+		MaxIter:    n.MaxIter,
+		ConvDens:   n.ConvDens,
+		ConvEnergy: n.ConvEnergy,
+		Guess:      n.Guess,
+	}
+	start := time.Now()
+	var res *repro.Result
+	var rec *repro.RecoveryInfo
+	switch n.Mode {
+	case ModeSerial:
+		res, err = repro.RunRHFCtx(ctx, mol, n.Basis, opt)
+	case ModeParallel:
+		res, err = repro.RunParallelRHFCtx(ctx, mol, n.Basis, repro.ParallelConfig{
+			Algorithm: repro.Algorithm(n.Algorithm), Ranks: n.Ranks, Threads: n.Threads,
+		}, opt)
+	default: // ModeResilient — the service default: absorbs rank death
+		res, rec, err = repro.RunResilientRHFCtx(ctx, mol, n.Basis, repro.ResilientConfig{
+			Algorithm: repro.Algorithm(n.Algorithm), Ranks: n.Ranks,
+		}, opt)
+	}
+	if err != nil {
+		return nil, err
+	}
+	out := &Outcome{
+		Energy:     res.Energy,
+		Converged:  res.Converged,
+		Iterations: res.Iterations,
+		NumBF:      res.D.Rows,
+		WallMS:     float64(time.Since(start)) / float64(time.Millisecond),
+		Mode:       n.Mode,
+	}
+	if rec != nil {
+		out.Restarts = rec.Restarts
+	}
+	if !res.Converged {
+		// Exhausting MaxIter is a run failure, not a result: only converged
+		// energies are cacheable or billable as done.
+		return nil, fmt.Errorf("%w in %d iterations (rms-density > %g)",
+			ErrUnconverged, res.Iterations, n.ConvDens)
+	}
+	return out, nil
+}
+
+// Permanent reports whether err should not be retried: cancellations and
+// deadline expiries (the job's budget is spent, not the cluster's
+// health) and spec-level errors that are deterministic.
+func Permanent(err error) bool {
+	return errors.Is(err, repro.ErrCanceled) ||
+		errors.Is(err, context.Canceled) ||
+		errors.Is(err, context.DeadlineExceeded)
+}

@@ -306,8 +306,20 @@ var PaperSystems = []PaperSystemSpec{
 	{Name: "5.0nm", Atoms: 2016, Shells: 8064, BasisF: 30240},
 }
 
+// PaperSystemNames lists the benchmark systems PaperSystem accepts, in
+// Table 4 order.
+func PaperSystemNames() []string {
+	names := make([]string, len(PaperSystems))
+	for i, s := range PaperSystems {
+		names[i] = s.Name
+	}
+	return names
+}
+
 // PaperSystem builds the named benchmark system ("0.5nm" ... "5.0nm") as a
-// graphene bilayer with the exact Table 4 atom count.
+// graphene bilayer with the exact Table 4 atom count. The unknown-name
+// error lists the available systems, derived from PaperSystems so it can
+// never go stale.
 func PaperSystem(name string) (*Molecule, error) {
 	for _, s := range PaperSystems {
 		if s.Name == name {
@@ -316,7 +328,8 @@ func PaperSystem(name string) (*Molecule, error) {
 			return m, nil
 		}
 	}
-	return nil, fmt.Errorf("molecule: unknown paper system %q (want one of 0.5nm, 1.0nm, 1.5nm, 2.0nm, 5.0nm)", name)
+	return nil, fmt.Errorf("molecule: unknown paper system %q (available: %s)",
+		name, strings.Join(PaperSystemNames(), ", "))
 }
 
 // CHBond is the carbon-hydrogen bond length used for edge termination

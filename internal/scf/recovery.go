@@ -19,6 +19,7 @@ package scf
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -137,6 +138,11 @@ func RunRHFResilient(eng *integrals.Engine, sch *integrals.Schwarz,
 	ranks := opt.Ranks
 	var lastErr error
 	for {
+		// A canceled caller gets no further attempts: the restart budget is
+		// for rank failures, not for outliving the job.
+		if ctx := opt.SCF.Context; ctx != nil && ctx.Err() != nil {
+			return nil, rec, &CanceledError{Cause: context.Cause(ctx)}
+		}
 		rec.Attempts++
 		rec.RanksPerAttempt = append(rec.RanksPerAttempt, ranks)
 
@@ -185,6 +191,9 @@ func RunRHFResilient(eng *integrals.Engine, sch *integrals.Schwarz,
 				o := scfOpt
 				o.Telemetry = tel
 				o.TelemetryRank = c.Rank()
+				if o.Context != nil && o.Context.Done() != nil {
+					o.CancelAgree = CollectiveCancel(c)
+				}
 				if c.Rank() == 0 {
 					// Rank 0 checkpoints every iteration; all ranks hold
 					// identical state, so one writer suffices. The write

@@ -8,6 +8,7 @@
 package scf
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -61,6 +62,19 @@ type Options struct {
 	// collective run does not multiply-count them.
 	Telemetry     *telemetry.Session
 	TelemetryRank int
+	// Context, when non-nil with a non-nil Done channel, is polled once
+	// per iteration; a canceled or expired context stops the loop at the
+	// next iteration boundary with a *CanceledError (errors.Is
+	// ErrCanceled). The partial Result accumulated so far is returned
+	// alongside the error.
+	Context context.Context
+	// CancelAgree, when set, replaces the local Context poll with a
+	// collective agreement (see the cancel.go package comment): it is
+	// called once per iteration on every rank with the rank's local
+	// cancellation observation and must return the agreed decision. All
+	// ranks must call it the same number of times — implementations are
+	// collectives.
+	CancelAgree func(local bool) bool
 	// DisableWatchdog turns off the convergence watchdog (watchdog.go).
 	// Enabled by default: a converging run never trips it, while a
 	// diverging or oscillating one is walked down the degradation ladder
@@ -189,6 +203,29 @@ func RunRHF(eng *integrals.Engine, builder Builder, opt Options) (*Result, error
 	}
 
 	for iter := 1; iter <= opt.MaxIter; iter++ {
+		// Cancellation gate. Parallel runs agree collectively (every rank
+		// must reach this point the same number of times); serial runs
+		// trust the local poll. Checked before any work so a canceled job
+		// never starts another O(n^4) Fock build.
+		if opt.CancelAgree != nil || (opt.Context != nil && opt.Context.Done() != nil) {
+			local := opt.Context != nil && opt.Context.Err() != nil
+			stop := local
+			if opt.CancelAgree != nil {
+				stop = opt.CancelAgree(local)
+			}
+			if stop {
+				var cause error
+				if opt.Context != nil {
+					cause = context.Cause(opt.Context)
+				}
+				if opt.Telemetry != nil && opt.TelemetryRank == 0 {
+					opt.Telemetry.Counter("scf.canceled").Add(1)
+					opt.Telemetry.Instant("scf.cancel", "canceled", opt.TelemetryRank, 0,
+						map[string]any{"iter": iter})
+				}
+				return res, &CanceledError{Iter: iter, Cause: cause}
+			}
+		}
 		endIter := opt.Telemetry.SpanArgsAtEnd("scf.iter", "iteration", opt.TelemetryRank, 0)
 		g, stats := builder(d)
 		res.TotalFockStats.Add(stats)

@@ -1,0 +1,199 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// maxSpecBytes bounds a POST body — generous for inline XYZ geometries
+// (the 5.0 nm paper system is ~100 KB) while keeping admission cheap.
+const maxSpecBytes = 4 << 20
+
+// Handler returns the service's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/queue", s.handleQueue)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// submitResponse is the POST /v1/jobs body.
+type submitResponse struct {
+	ID        string        `json:"id"`
+	Hash      string        `json:"hash"`
+	State     jobs.State    `json:"state"`
+	Cached    bool          `json:"cached,omitempty"`    // served straight from the result cache
+	Coalesced bool          `json:"coalesced,omitempty"` // deduped onto an identical in-flight job
+	Result    *jobs.Outcome `json:"result,omitempty"`
+	NumBF     int           `json:"num_basis_functions,omitempty"`
+}
+
+type errorResponse struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	start := time.Now()
+	defer func() {
+		s.tel.Histogram("svc.request.post_ns").Observe(time.Since(start).Nanoseconds())
+	}()
+
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
+		return
+	}
+	var spec jobs.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad job spec: " + err.Error()})
+		return
+	}
+	info, err := spec.Validate()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	spec = spec.Normalized()
+	hash, err := spec.CanonicalHash()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+
+	// Dedup layer 1: a finished identical job serves straight from cache.
+	if out, ok := s.cache.Get(hash); ok {
+		s.tel.Counter("svc.cache.hit").Add(1)
+		j := jobs.NewCachedJob(s.newID(), hash, spec, out, time.Now())
+		s.register(j, false)
+		writeJSON(w, http.StatusOK, submitResponse{
+			ID: j.ID, Hash: hash, State: jobs.StateDone, Cached: true,
+			Result: out, NumBF: info.NumBF,
+		})
+		return
+	}
+	s.tel.Counter("svc.cache.miss").Add(1)
+
+	// Dedup layer 2: coalesce onto an identical queued/running job — the
+	// duplicate costs nothing and resolves when the original does.
+	if prior := s.activeByHash(hash); prior != nil && !prior.State().Terminal() {
+		s.tel.Counter("svc.jobs.coalesced").Add(1)
+		writeJSON(w, http.StatusAccepted, submitResponse{
+			ID: prior.ID, Hash: hash, State: prior.State(), Coalesced: true, NumBF: info.NumBF,
+		})
+		return
+	}
+
+	// Admission: the bounded queue is the backpressure valve.
+	j := jobs.NewJob(s.newID(), hash, spec, time.Now())
+	if err := s.queue.Submit(j); err != nil {
+		s.tel.Counter("svc.jobs.rejected").Add(1)
+		retryAfter := int(s.cfg.RetryAfter / time.Second)
+		if retryAfter < 1 {
+			retryAfter = 1
+		}
+		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfter))
+		status := http.StatusTooManyRequests
+		msg := "queue full, retry later"
+		if err == jobs.ErrQueueClosed {
+			status = http.StatusServiceUnavailable
+			msg = "server is draining"
+		}
+		writeJSON(w, status, errorResponse{Error: msg})
+		return
+	}
+	s.register(j, true)
+	s.tel.Counter("svc.jobs.accepted").Add(1)
+	s.observeDepth()
+	writeJSON(w, http.StatusAccepted, submitResponse{
+		ID: j.ID, Hash: hash, State: jobs.StateQueued, NumBF: info.NumBF,
+	})
+}
+
+func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job id"})
+		return
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job id"})
+		return
+	}
+	switch j.State() {
+	case jobs.StateQueued:
+		// Pull it out of the queue first so no worker claims it; if a
+		// worker won the race, fall through to the running path.
+		if s.queue.Remove(j.ID) {
+			if changed, _ := j.MarkCanceled("canceled by request", time.Now()); changed {
+				s.tel.Counter("svc.jobs.canceled").Add(1)
+			}
+			s.retireHash(j)
+			s.observeDepth()
+		} else {
+			j.Cancel()
+		}
+	case jobs.StateRunning:
+		// Signal the in-flight context; the worker records the terminal
+		// state when the SCF loop observes it at the next iteration.
+		j.Cancel()
+	}
+	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+// queueResponse is the GET /v1/queue body.
+type queueResponse struct {
+	Depth    int            `json:"depth"`
+	Capacity int            `json:"capacity"`
+	Workers  int            `json:"workers"`
+	Draining bool           `json:"draining"`
+	States   map[string]int `json:"states"`
+}
+
+func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
+	states := map[string]int{}
+	s.mu.Lock()
+	for _, j := range s.byID {
+		states[string(j.State())]++
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, queueResponse{
+		Depth:    s.queue.Len(),
+		Capacity: s.queue.Cap(),
+		Workers:  s.cfg.Workers,
+		Draining: s.Draining(),
+		States:   states,
+	})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = s.tel.Registry.WriteJSON(w)
+}

@@ -1,0 +1,364 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// LoadgenOptions shapes a self-contained load test: RunLoadgen starts a
+// real Server on a loopback ephemeral port, drives a mixed workload of
+// duplicate and distinct jobs through it over HTTP, drains it, and
+// reports throughput, cache behavior, queue-depth percentiles, and tail
+// latency. The defaults satisfy the EXP-SERVE gates.
+type LoadgenOptions struct {
+	Jobs     int           // total jobs; default 60 (≥ 50 for the gate)
+	Clients  int           // concurrent submitting clients; default 8
+	Workers  int           // server worker pool; default 2
+	QueueCap int           // server queue bound; default 4 — small, so backpressure is observable
+	Timeout  time.Duration // per-job deadline; default 60s
+	Seed     int64         // workload shuffle seed; default 1
+	Out      io.Writer     // progress log; nil = quiet
+}
+
+func (o LoadgenOptions) withDefaults() LoadgenOptions {
+	if o.Jobs <= 0 {
+		o.Jobs = 60
+	}
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueCap <= 0 {
+		o.QueueCap = 4
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 60 * time.Second
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	return o
+}
+
+// LoadgenReport is the measured result of a loadgen run.
+type LoadgenReport struct {
+	Jobs       int // requests submitted (dup + distinct), excluding 429 retries
+	DupStream  int // requests in the duplicate stream
+	Distinct   int // requests in the distinct stream
+	Completed  int // jobs that reached Done (including cached/coalesced)
+	Failed     int
+	Canceled   int
+	LostStuck  int // jobs with no terminal state after drain — must be 0
+	Rejected   int // 429 responses observed (requests were retried after)
+	CacheHits  int // duplicate-stream requests answered from the result cache
+	Coalesced  int // requests deduped onto an in-flight job
+	DupHitRate float64
+	Wall       time.Duration
+	Throughput float64 // completed jobs per second
+	LatP50     time.Duration
+	LatP95     time.Duration
+	LatMax     time.Duration
+	DepthP50   int64
+	DepthP95   int64
+	DepthMax   int64
+}
+
+// Gates verifies the EXP-SERVE acceptance criteria and returns the first
+// violation.
+func (r *LoadgenReport) Gates() error {
+	switch {
+	case r.Jobs < 50:
+		return fmt.Errorf("loadgen: only %d jobs driven, gate needs ≥ 50", r.Jobs)
+	case r.DupHitRate < 0.40:
+		return fmt.Errorf("loadgen: duplicate-stream cache-hit rate %.0f%%, gate needs ≥ 40%%", 100*r.DupHitRate)
+	case r.Rejected < 1:
+		return fmt.Errorf("loadgen: no 429 observed, gate needs ≥ 1 backpressure rejection")
+	case r.LostStuck != 0:
+		return fmt.Errorf("loadgen: %d jobs lost or stuck after drain, gate needs 0", r.LostStuck)
+	case r.Failed != 0:
+		return fmt.Errorf("loadgen: %d jobs failed", r.Failed)
+	}
+	return nil
+}
+
+// Format renders the human-readable report.
+func (r *LoadgenReport) Format() string {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "== loadgen report ==\n")
+	fmt.Fprintf(&b, "jobs submitted:        %d (%d duplicate stream, %d distinct)\n", r.Jobs, r.DupStream, r.Distinct)
+	fmt.Fprintf(&b, "completed:             %d (%d failed, %d canceled, %d lost/stuck)\n", r.Completed, r.Failed, r.Canceled, r.LostStuck)
+	fmt.Fprintf(&b, "backpressure (429):    %d rejections, all retried\n", r.Rejected)
+	fmt.Fprintf(&b, "cache hits:            %d (duplicate-stream hit rate %.0f%%), %d coalesced\n", r.CacheHits, 100*r.DupHitRate, r.Coalesced)
+	fmt.Fprintf(&b, "wall time:             %v\n", r.Wall.Round(time.Millisecond))
+	fmt.Fprintf(&b, "throughput:            %.1f jobs/s\n", r.Throughput)
+	fmt.Fprintf(&b, "completion latency:    p50 %v  p95 %v  max %v\n",
+		r.LatP50.Round(time.Millisecond), r.LatP95.Round(time.Millisecond), r.LatMax.Round(time.Millisecond))
+	fmt.Fprintf(&b, "queue depth:           p50 %d  p95 %d  max %d (cap was exercised)\n", r.DepthP50, r.DepthP95, r.DepthMax)
+	return b.String()
+}
+
+// lgClient wraps the HTTP plumbing of one loadgen run.
+type lgClient struct {
+	base   string
+	client *http.Client
+}
+
+func (c *lgClient) submit(spec jobs.Spec) (submitResponse, int, error) {
+	body, _ := json.Marshal(spec)
+	resp, err := c.client.Post(c.base+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return submitResponse{}, 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		ra, _ := strconv.Atoi(resp.Header.Get("Retry-After"))
+		return submitResponse{}, resp.StatusCode, fmt.Errorf("429 retry-after %ds", ra)
+	}
+	var out submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return submitResponse{}, resp.StatusCode, err
+	}
+	if resp.StatusCode != http.StatusOK && resp.StatusCode != http.StatusAccepted {
+		return out, resp.StatusCode, fmt.Errorf("submit: HTTP %d", resp.StatusCode)
+	}
+	return out, resp.StatusCode, nil
+}
+
+func (c *lgClient) status(id string) (jobs.Status, error) {
+	resp, err := c.client.Get(c.base + "/v1/jobs/" + id)
+	if err != nil {
+		return jobs.Status{}, err
+	}
+	defer resp.Body.Close()
+	var st jobs.Status
+	return st, json.NewDecoder(resp.Body).Decode(&st)
+}
+
+// awaitTerminal polls id until its state is terminal or the deadline
+// passes, returning the final status.
+func (c *lgClient) awaitTerminal(id string, deadline time.Time) (jobs.Status, error) {
+	for {
+		st, err := c.status(id)
+		if err != nil {
+			return st, err
+		}
+		if st.State.Terminal() {
+			return st, nil
+		}
+		if time.Now().After(deadline) {
+			return st, fmt.Errorf("job %s stuck in state %s", id, st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// submitWithRetry retries 429s (honoring a capped Retry-After) so
+// backpressure sheds load without losing it. Returns the accepted
+// response and how many 429s were absorbed.
+func (c *lgClient) submitWithRetry(spec jobs.Spec, maxAttempts int) (submitResponse, int, error) {
+	rejected := 0
+	for attempt := 0; ; attempt++ {
+		out, code, err := c.submit(spec)
+		if code == http.StatusTooManyRequests {
+			rejected++
+			if attempt >= maxAttempts {
+				return out, rejected, fmt.Errorf("still 429 after %d attempts", attempt+1)
+			}
+			time.Sleep(100 * time.Millisecond)
+			continue
+		}
+		return out, rejected, err
+	}
+}
+
+// loadgenWorkload builds the request mix: ~40% distinct specs (different
+// molecules and convergence targets → unique hashes) and ~60% duplicate
+// stream (three byte-level renderings of the same water geometry — atom
+// order permuted, whitespace injected — plus repeated named specs, all
+// collapsing to two canonical hashes).
+func loadgenWorkload(n int, rng *rand.Rand) (distinct, dups []jobs.Spec) {
+	distinctMols := []string{"h2", "heh+", "water", "methane", "ammonia"}
+	nDistinct := (n * 2) / 5
+	for i := 0; i < nDistinct; i++ {
+		distinct = append(distinct, jobs.Spec{
+			Molecule: distinctMols[i%len(distinctMols)],
+			Basis:    "sto-3g",
+			Mode:     []string{jobs.ModeSerial, jobs.ModeParallel, jobs.ModeResilient}[i%3],
+			// Vary a physical knob so every distinct spec hashes uniquely
+			// even when the molecule repeats.
+			MaxIter: 90 + i,
+		})
+	}
+	// The duplicate stream: the same physics spelled differently.
+	waterVariants := []jobs.Spec{
+		{Molecule: "water", Basis: "sto-3g", Mode: jobs.ModeSerial},
+		{Molecule: "h2o", Basis: "STO-3G", Mode: jobs.ModeParallel}, // alias + case
+		{XYZ: "3\nwater permuted\nH 0.000000  0.757200 -0.469200\nH  0.000000 -0.757200 -0.469200\nO\t0.000000 0.000000  0.117300\n"},
+		{XYZ: "3\n  water spaced \nO 0.0 0.0 0.1173\nH 0.0 0.7572 -0.4692\nH 0.0 -0.7572 -0.4692\n"},
+	}
+	h2Variants := []jobs.Spec{
+		{Molecule: "h2", Basis: "sto-3g"},
+		{XYZ: "2\nh2 inline\nH 0 0 0\nH 0 0 0.74\n", Basis: "sto-3g", Mode: jobs.ModeSerial},
+	}
+	for i := 0; nDistinct+len(dups) < n; i++ {
+		if i%3 == 0 {
+			dups = append(dups, h2Variants[rng.Intn(len(h2Variants))])
+		} else {
+			dups = append(dups, waterVariants[rng.Intn(len(waterVariants))])
+		}
+	}
+	return distinct, dups
+}
+
+// RunLoadgen executes the built-in load test. See LoadgenOptions.
+func RunLoadgen(opt LoadgenOptions) (*LoadgenReport, error) {
+	opt = opt.withDefaults()
+	srv := New(Config{
+		Workers:        opt.Workers,
+		QueueCap:       opt.QueueCap,
+		DefaultTimeout: opt.Timeout,
+		RetryAfter:     time.Second,
+	})
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(opt.Out, "loadgen: serving on %s (%d workers, queue cap %d)\n", addr, opt.Workers, opt.QueueCap)
+	cl := &lgClient{base: "http://" + addr, client: &http.Client{Timeout: 30 * time.Second}}
+
+	rng := rand.New(rand.NewSource(opt.Seed))
+	distinct, dups := loadgenWorkload(opt.Jobs, rng)
+	rep := &LoadgenReport{Jobs: len(distinct) + len(dups), Distinct: len(distinct), DupStream: len(dups)}
+	start := time.Now()
+
+	// Phase 1 — burst: the whole distinct stream plus one instance of each
+	// duplicate base, from opt.Clients concurrent clients against a queue
+	// of opt.QueueCap. The burst exceeds capacity by construction, so some
+	// submissions bounce with 429 and are retried — that is the
+	// backpressure gate.
+	warm := append(append([]jobs.Spec{}, distinct...), dups[0], dups[len(dups)-1])
+	var mu sync.Mutex
+	var ids []string
+	var latencies []time.Duration
+	var firstErr error
+	noteErr := func(err error) {
+		mu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		mu.Unlock()
+	}
+
+	runStream := func(stream []jobs.Spec, dupStream bool) {
+		sem := make(chan struct{}, opt.Clients)
+		var wg sync.WaitGroup
+		for _, spec := range stream {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(spec jobs.Spec) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				t0 := time.Now()
+				out, rejected, err := cl.submitWithRetry(spec, 200)
+				if err != nil {
+					noteErr(err)
+					return
+				}
+				mu.Lock()
+				rep.Rejected += rejected
+				if out.Cached {
+					if dupStream {
+						rep.CacheHits++
+					}
+				} else if out.Coalesced {
+					rep.Coalesced++
+				}
+				ids = append(ids, out.ID)
+				mu.Unlock()
+				st, err := cl.awaitTerminal(out.ID, time.Now().Add(opt.Timeout+30*time.Second))
+				if err != nil {
+					noteErr(err)
+					return
+				}
+				mu.Lock()
+				latencies = append(latencies, time.Since(t0))
+				switch st.State {
+				case jobs.StateDone:
+					rep.Completed++
+				case jobs.StateFailed:
+					rep.Failed++
+				case jobs.StateCanceled:
+					rep.Canceled++
+				}
+				mu.Unlock()
+			}(spec)
+		}
+		wg.Wait()
+	}
+
+	fmt.Fprintf(opt.Out, "loadgen: phase 1 — bursting %d distinct jobs (+2 warmers) to force 429s\n", len(distinct))
+	runStream(warm, false)
+	fmt.Fprintf(opt.Out, "loadgen: phase 1 done — %d rejections absorbed so far\n", rep.Rejected)
+
+	// Phase 2 — the duplicate stream: byte-different spellings of already
+	// warmed content, which should now be served from the canonical-hash
+	// cache.
+	fmt.Fprintf(opt.Out, "loadgen: phase 2 — duplicate stream of %d jobs\n", len(dups))
+	runStream(dups, true)
+
+	// Drain: stop admissions, finish the backlog, verify nothing is lost.
+	drainCtx, cancel := context.WithTimeout(context.Background(), opt.Timeout)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil && err != context.DeadlineExceeded {
+		return nil, fmt.Errorf("loadgen: drain: %w", err)
+	}
+	rep.Wall = time.Since(start)
+
+	// Post-drain audit straight off the server state (HTTP is down now).
+	for _, id := range ids {
+		if j := srv.lookup(id); j == nil || !j.State().Terminal() {
+			rep.LostStuck++
+		}
+	}
+	if srv.queue.Len() != 0 {
+		rep.LostStuck += srv.queue.Len()
+	}
+
+	if rep.DupStream > 0 {
+		rep.DupHitRate = float64(rep.CacheHits) / float64(rep.DupStream)
+	}
+	if rep.Wall > 0 {
+		rep.Throughput = float64(rep.Completed) / rep.Wall.Seconds()
+	}
+	sort.Slice(latencies, func(i, j int) bool { return latencies[i] < latencies[j] })
+	if n := len(latencies); n > 0 {
+		rep.LatP50 = latencies[n/2]
+		rep.LatP95 = latencies[(n*95)/100]
+		rep.LatMax = latencies[n-1]
+	}
+	depth := srv.tel.Histogram("svc.queue.depth")
+	rep.DepthP50 = depth.Percentile(0.50)
+	rep.DepthP95 = depth.Percentile(0.95)
+	rep.DepthMax = depth.Max()
+
+	if firstErr != nil {
+		return rep, firstErr
+	}
+	return rep, nil
+}

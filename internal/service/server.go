@@ -1,0 +1,334 @@
+// Package service is the HF-as-a-service layer: a stdlib net/http JSON
+// API in front of the internal/jobs queue, a worker pool sized to a
+// simulated-cluster budget, admission control with backpressure (bounded
+// queue → 429 + Retry-After), per-job deadlines and cancellation threaded
+// down into the SCF loop, an LRU result cache keyed by canonical content
+// hash, and graceful drain on shutdown.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs      submit a job (200 cached, 202 accepted, 400 bad
+//	                     spec, 429 queue full, 503 draining)
+//	GET    /v1/jobs/{id} job status + result
+//	DELETE /v1/jobs/{id} cancel a queued or running job
+//	GET    /v1/queue     queue depth, capacity, per-state totals
+//	GET    /healthz      liveness (503 while draining)
+//	GET    /metrics      telemetry registry snapshot (JSON)
+//
+// Counter taxonomy (on the shared telemetry registry):
+//
+//	svc.jobs.accepted / rejected / completed / failed / canceled /
+//	svc.jobs.retried / svc.jobs.coalesced    job lifecycle counts
+//	svc.cache.hit / svc.cache.miss           result-cache outcomes
+//	svc.queue.depth                          gauge + histogram (percentiles)
+//	svc.queue.wait_ns, svc.job.run_ns        latency histograms
+//	svc.request.post_ns                      POST /v1/jobs handler latency
+//
+// Spans: one "svc.job" span per run attempt on the DriverPid lane, tid =
+// worker index.
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/telemetry"
+)
+
+// Config shapes a Server. Zero values take the documented defaults.
+type Config struct {
+	Workers        int           // concurrent job runners; default 4 — the "cluster" budget
+	QueueCap       int           // queued-job bound before 429s; default 64
+	CacheSize      int           // LRU result-cache entries; default 256
+	DefaultTimeout time.Duration // per-job deadline when the spec sets none; default 5m
+	MaxRetries     int           // default retry budget when the spec sets none; default 1
+	RetryAfter     time.Duration // Retry-After hint on 429s; default 1s
+	Telemetry      *telemetry.Session
+}
+
+func (c Config) withDefaults() Config {
+	if c.Workers <= 0 {
+		c.Workers = 4
+	}
+	if c.QueueCap <= 0 {
+		c.QueueCap = 64
+	}
+	if c.CacheSize <= 0 {
+		c.CacheSize = 256
+	}
+	if c.DefaultTimeout <= 0 {
+		c.DefaultTimeout = 5 * time.Minute
+	}
+	if c.MaxRetries < 0 {
+		c.MaxRetries = 0
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.Telemetry == nil {
+		c.Telemetry = telemetry.NewSession()
+	}
+	return c
+}
+
+// Server is one HF-serving instance: registry of every job it has seen,
+// the bounded queue, the worker pool, and the result cache.
+type Server struct {
+	cfg    Config
+	tel    *telemetry.Session
+	queue  *jobs.Queue
+	cache  *jobs.Cache
+	runner jobs.Runner
+
+	mu     sync.Mutex
+	byID   map[string]*jobs.Job
+	byHash map[string]*jobs.Job // queued/running jobs, for in-flight coalescing
+	nextID uint64
+
+	draining atomic.Bool
+	workers  sync.WaitGroup
+	started  atomic.Bool
+
+	httpSrv *http.Server
+	ln      net.Listener
+}
+
+// New returns a Server with its worker pool not yet started; call
+// StartWorkers (or Start, which does both plus HTTP).
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	return &Server{
+		cfg:    cfg,
+		tel:    cfg.Telemetry,
+		queue:  jobs.NewQueue(cfg.QueueCap),
+		cache:  jobs.NewCache(cfg.CacheSize),
+		byID:   make(map[string]*jobs.Job),
+		byHash: make(map[string]*jobs.Job),
+	}
+}
+
+// Telemetry returns the server's telemetry session.
+func (s *Server) Telemetry() *telemetry.Session { return s.tel }
+
+// StartWorkers launches the worker pool. Idempotent.
+func (s *Server) StartWorkers() {
+	if s.started.Swap(true) {
+		return
+	}
+	for i := 0; i < s.cfg.Workers; i++ {
+		s.workers.Add(1)
+		go s.workerLoop(i)
+	}
+}
+
+// Start listens on addr (host:port; port 0 picks an ephemeral one),
+// starts the workers, and serves HTTP in a background goroutine. It
+// returns the bound address.
+func (s *Server) Start(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", err
+	}
+	s.ln = ln
+	s.httpSrv = &http.Server{Handler: s.Handler()}
+	s.StartWorkers()
+	go func() {
+		if err := s.httpSrv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			// Serve only fails fatally before Drain; nothing to do but record it.
+			s.tel.Counter("svc.http.serve_errors").Add(1)
+		}
+	}()
+	return ln.Addr().String(), nil
+}
+
+// Drain gracefully shuts the server down: stop accepting (healthz flips,
+// POST returns 503), let workers finish the queued backlog, and — if ctx
+// expires first — cancel in-flight jobs and wait for them to record
+// terminal states. The HTTP listener closes after the workers exit so
+// status polls keep working throughout the drain.
+func (s *Server) Drain(ctx context.Context) error {
+	s.draining.Store(true)
+	s.queue.Close()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Deadline: abort in-flight runs. Workers observe the canceled
+		// contexts at the next SCF iteration and record Canceled states,
+		// so nothing is lost — just unfinished.
+		s.mu.Lock()
+		for _, j := range s.byID {
+			if j.State() == jobs.StateRunning {
+				j.Cancel()
+			}
+		}
+		s.mu.Unlock()
+		<-done
+	}
+	if s.httpSrv != nil {
+		sdCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := s.httpSrv.Shutdown(sdCtx); err != nil {
+			return err
+		}
+	}
+	return ctx.Err()
+}
+
+// Draining reports whether Drain has begun.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// lookup returns the job with the given ID.
+func (s *Server) lookup(id string) *jobs.Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byID[id]
+}
+
+// register stores j in the ID index (and, when active, the hash index).
+func (s *Server) register(j *jobs.Job, active bool) {
+	s.mu.Lock()
+	s.byID[j.ID] = j
+	if active {
+		s.byHash[j.Hash] = j
+	}
+	s.mu.Unlock()
+}
+
+// activeByHash returns the queued/running job with this content hash.
+func (s *Server) activeByHash(hash string) *jobs.Job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.byHash[hash]
+}
+
+// retireHash drops the hash index entry once j is terminal, but only if
+// it still points at j (a newer submission may have replaced it).
+func (s *Server) retireHash(j *jobs.Job) {
+	s.mu.Lock()
+	if s.byHash[j.Hash] == j {
+		delete(s.byHash, j.Hash)
+	}
+	s.mu.Unlock()
+}
+
+// newID mints a job ID.
+func (s *Server) newID() string {
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.mu.Unlock()
+	return fmt.Sprintf("job-%06d", id)
+}
+
+// observeDepth records the queue depth into both the gauge (current
+// value for /metrics) and the histogram (percentiles for the loadgen
+// report).
+func (s *Server) observeDepth() {
+	d := int64(s.queue.Len())
+	s.tel.Gauge("svc.queue.depth").Set(float64(d))
+	s.tel.Histogram("svc.queue.depth").Observe(d)
+}
+
+// jobTimeout resolves the per-job deadline.
+func (s *Server) jobTimeout(spec jobs.Spec) time.Duration {
+	if spec.TimeoutMS > 0 {
+		return time.Duration(spec.TimeoutMS) * time.Millisecond
+	}
+	return s.cfg.DefaultTimeout
+}
+
+// jobRetries resolves the per-job retry budget.
+func (s *Server) jobRetries(spec jobs.Spec) int {
+	if spec.MaxRetries > 0 {
+		return spec.MaxRetries
+	}
+	return s.cfg.MaxRetries
+}
+
+// workerLoop claims and runs jobs until the queue closes and drains.
+func (s *Server) workerLoop(worker int) {
+	defer s.workers.Done()
+	for {
+		j := s.queue.Claim()
+		if j == nil {
+			return
+		}
+		s.observeDepth()
+		s.runJob(worker, j)
+	}
+}
+
+// runJob executes one claimed job through the FSM: one attempt, then
+// either Done, a bounded-retry requeue, or a terminal Failed/Canceled.
+func (s *Server) runJob(worker int, j *jobs.Job) {
+	now := time.Now()
+	ctx, cancel := context.WithTimeout(context.Background(), s.jobTimeout(j.Spec))
+	defer cancel()
+	if err := j.MarkRunning(cancel, now); err != nil {
+		// Canceled between Remove-miss and Claim: the job is already
+		// terminal; nothing to run.
+		s.retireHash(j)
+		return
+	}
+	st := j.Snapshot()
+	s.tel.Histogram("svc.queue.wait_ns").Observe(int64(st.QueueWaitMS * float64(time.Millisecond)))
+
+	endSpan := s.tel.Span("svc.job", j.ID, telemetry.DriverPid, worker,
+		map[string]any{"hash": j.Hash, "attempt": j.Attempts(), "mode": j.Spec.Mode})
+	runStart := time.Now()
+	out, err := s.runner.RunOnce(ctx, j.Spec)
+	runDur := time.Since(runStart)
+	endSpan()
+	s.tel.Histogram("svc.job.run_ns").Observe(runDur.Nanoseconds())
+
+	switch {
+	case err == nil:
+		if mkErr := j.MarkDone(out, time.Now()); mkErr == nil {
+			s.cache.Put(j.Hash, out)
+			s.tel.Counter("svc.jobs.completed").Add(1)
+		}
+		s.retireHash(j)
+	case jobs.Permanent(err):
+		// Cancellation vs deadline: both stop the job, but they read
+		// differently in the status record.
+		msg := "canceled"
+		if errors.Is(err, context.DeadlineExceeded) {
+			msg = fmt.Sprintf("deadline exceeded after %v", s.jobTimeout(j.Spec))
+		}
+		if _, mkErr := j.MarkCanceled(msg, time.Now()); mkErr == nil {
+			s.tel.Counter("svc.jobs.canceled").Add(1)
+		}
+		s.retireHash(j)
+	default:
+		// Run failure: bounded retry through the FSM while budget remains
+		// and the queue still accepts work.
+		if j.Attempts() <= s.jobRetries(j.Spec) && !s.queue.Closed() {
+			if rqErr := j.Requeue(); rqErr == nil {
+				if subErr := s.queue.Submit(j); subErr == nil {
+					s.tel.Counter("svc.jobs.retried").Add(1)
+					s.observeDepth()
+					return
+				}
+				// Queue full/closed: fall through to a terminal failure.
+				_ = j.MarkRunning(func() {}, time.Now())
+			}
+		}
+		if mkErr := j.MarkFailed(err.Error(), time.Now()); mkErr == nil {
+			s.tel.Counter("svc.jobs.failed").Add(1)
+		}
+		s.retireHash(j)
+	}
+}

@@ -168,6 +168,36 @@ func (h *Histogram) Max() int64 {
 	return h.max.Load()
 }
 
+// Percentile returns an upper bound on the p-quantile (0 < p <= 1) of
+// the observations: the inclusive upper bound of the first bucket whose
+// cumulative count reaches p of the total. Resolution is the log2 bucket
+// width — exact enough for tail-latency and queue-depth reporting, free
+// of per-observation storage.
+func (h *Histogram) Percentile(p float64) int64 {
+	n := h.Count()
+	if n == 0 {
+		return 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	target := int64(math.Ceil(p * float64(n)))
+	if target < 1 {
+		target = 1
+	}
+	var cum int64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		if cum >= target {
+			if upper := BucketUpperBound(i); upper < h.Max() {
+				return upper
+			}
+			return h.Max()
+		}
+	}
+	return h.Max()
+}
+
 // HistBucket is one non-empty bucket of a histogram snapshot.
 type HistBucket struct {
 	Le    int64 `json:"le"` // inclusive upper bound (2^i)

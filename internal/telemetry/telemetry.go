@@ -32,6 +32,20 @@
 //	integrity.fock.recomputed     quarantined Fock builds rebuilt clean
 //	integrity.watchdog.escalations  convergence-watchdog ladder steps
 //
+// Serving-layer taxonomy (internal/service; spans on the DriverPid lane
+// with tid = worker index, category "svc.job"):
+//
+//	svc.jobs.accepted/rejected/completed/failed/canceled  admission and
+//	                         terminal-state counts of the job queue
+//	svc.jobs.retried         bounded-retry requeues
+//	svc.jobs.coalesced       submissions deduped onto an in-flight job
+//	svc.cache.hit/miss       result-cache outcomes (canonical-hash keyed)
+//	svc.queue.depth          gauge (current) + histogram (percentiles)
+//	svc.queue.wait_ns        queued-to-claimed latency
+//	svc.job.run_ns           per-attempt run wall time
+//	svc.request.post_ns      POST /v1/jobs handler latency
+//	scf.canceled             SCF loops stopped by context cancellation
+//
 // Lanes: pid = MPI rank (DriverPid for events outside any rank), tid = 0
 // for the rank's main goroutine, 1..T for OpenMP team threads.
 //
