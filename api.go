@@ -229,6 +229,7 @@ func RunParallelRHFCtx(ctx context.Context, mol *Molecule, basisName string, cfg
 // ResilientConfig shapes a fault-tolerant parallel RHF run.
 type ResilientConfig struct {
 	Ranks       int            // MPI ranks; defaults to 2
+	Threads     int            // OpenMP threads per rank; defaults per fock.Config
 	Algorithm   Algorithm      // defaults to ResilientFock
 	Deadline    time.Duration  // per-blocking-op bound; defaults to 30s
 	Grace       time.Duration  // unwind window past the deadline; 0 = runtime default
@@ -268,7 +269,7 @@ func RunResilientRHFCtx(ctx context.Context, mol *Molecule, basisName string, cf
 	return scf.RunRHFResilient(eng, sch, scf.ResilientOptions{
 		Ranks:       cfg.Ranks,
 		Algorithm:   cfg.Algorithm,
-		Fock:        fock.Config{Quartets: cache},
+		Fock:        fock.Config{Threads: cfg.Threads, Quartets: cache},
 		SCF:         opt,
 		Deadline:    cfg.Deadline,
 		Grace:       cfg.Grace,

@@ -20,6 +20,16 @@
 # (sdc.detected == sdc.injected) and a converged energy within 1e-8 Ha
 # of the clean reference. The command exits non-zero on any miss.
 #
+# Tier 6 (performance-fault gate): `scaling -exp chaos` — live SCF under
+# the full chaos menu (4x straggler, duplicated + reordered deliveries,
+# transient partition) must match the clean energy to 1e-10 Ha with the
+# seq-number dedup provably exercised, and the synthetic lease workload
+# must hold a 4x straggler to <= 1.6x clean wall time with every task
+# pushed exactly once. The chaos property tests (duplicate/reorder
+# invariance, hedge-never-double-fires) rerun under -race, plus the
+# simulate workload smoke test (the full simulate suite is too heavy for
+# the tier-2 race sweep, so only the chaos test runs race-instrumented).
+#
 # Tier 5 (serve gate): build hfserve, start it on an ephemeral port with
 # a deliberately tiny cluster budget (1 worker, queue cap 1), and drive
 # the serving contract over real HTTP: submit a job and poll it to
@@ -123,5 +133,10 @@ kill -TERM "$servepid"
 wait "$servepid" || { echo "serve gate: drain failed"; cat "$servedir/serve.log"; exit 1; }
 grep -q "drained cleanly" "$servedir/serve.log" || { echo "serve gate: no clean-drain confirmation"; cat "$servedir/serve.log"; exit 1; }
 echo "serve gate: drained cleanly"
+
+echo "== tier 6: performance-fault gate (scaling -exp chaos + -race property tests) =="
+go run ./cmd/scaling -exp chaos
+go test -race -run 'TestChaos|TestLeaseHedge|TestLeaseExpired|TestStraggler|TestResilientHedges|TestRetryBackoffJitter' \
+	./internal/mpi/ ./internal/ddi/ ./internal/fock/ ./internal/simulate/
 
 echo "ci: all green"

@@ -10,6 +10,7 @@
 //	scaling -exp ablation # DLB contention and task-granularity ablations
 //	scaling -exp resilience # MTBF failure model: restart vs. lease re-issue
 //	scaling -exp sdc      # silent-data-corruption model + live detection gate
+//	scaling -exp chaos    # straggler/partition chaos: live mitigation gate
 //	scaling -exp all
 package main
 
@@ -21,6 +22,7 @@ import (
 	_ "net/http/pprof"
 	"os"
 	"path/filepath"
+	"strings"
 	"time"
 
 	"repro"
@@ -28,8 +30,15 @@ import (
 	"repro/internal/simulate"
 )
 
+// experiments lists every experiment id, in "all" execution order; the
+// unknown-id error advertises exactly this list so it can never drift.
+var experiments = []string{
+	"table2", "table3", "fig3", "fig4", "fig5", "fig7",
+	"sweep", "breakdown", "ablation", "resilience", "sdc", "chaos",
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment id: table2, table3, fig3, fig4, fig5, fig7, sweep, breakdown, ablation, resilience, sdc, all")
+	exp := flag.String("exp", "all", "experiment id: "+strings.Join(experiments, ", ")+", all")
 	csvDir := flag.String("csv", "", "also write <experiment>.csv files into this directory")
 	grace := flag.Duration("grace", 0, "unwind grace past the deadline for fault-injected live runs (0 = runtime default)")
 	pprofA := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
@@ -136,15 +145,21 @@ func main() {
 				fmt.Printf("  %-45s %8.1f s\n", r.Name, r.TimeSec)
 			}
 			fmt.Println()
+		case "chaos":
+			fmt.Println("== Chaos: straggler & partition tolerance (live mitigation gates) ==")
+			if !liveChaos(*grace, writeCSV) {
+				os.Exit(1)
+			}
 		default:
-			fmt.Fprintf(os.Stderr, "scaling: unknown experiment %q\n", id)
+			fmt.Fprintf(os.Stderr, "scaling: unknown experiment %q (available: %s, all)\n",
+				id, strings.Join(experiments, ", "))
 			os.Exit(2)
 		}
 		fmt.Printf("[%s done in %v]\n\n", id, time.Since(start).Round(time.Millisecond))
 	}
 
 	if *exp == "all" {
-		for _, id := range []string{"table2", "table3", "fig3", "fig4", "fig5", "fig7", "sweep", "breakdown", "ablation", "resilience", "sdc"} {
+		for _, id := range experiments {
 			run(id)
 		}
 		return

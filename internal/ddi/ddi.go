@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"repro/internal/loadbalance"
 	"repro/internal/mpi"
 )
 
@@ -23,7 +24,8 @@ import (
 type Context struct {
 	Comm       *mpi.Comm
 	epoch      int64
-	leaseCycle int64 // lease-based DLB cycle sequence (see lease.go)
+	leaseCycle int64            // lease-based DLB cycle sequence (see lease.go)
+	ewma       loadbalance.EWMA // this rank's task-latency average (see straggler.go)
 }
 
 // New wraps an MPI communicator with DDI services.

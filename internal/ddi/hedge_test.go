@@ -1,0 +1,211 @@
+package ddi
+
+// Tests for the straggler-mitigation half of the lease table: hedged
+// (speculative) re-issue with first-writer-wins commit, TTL-based early
+// lease expiry, chunked draws, and the straggler detector bridge. The
+// headline property here is the DLB half of the chaos satellite: no
+// schedule of concurrent hedged commits ever double-fires a lease.
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/mpi"
+	"repro/internal/telemetry"
+)
+
+// TestLeaseHedgeNeverDoubleFires is the property test for first-writer-
+// wins dedup: rank 0 leases EVERY task, then all ranks race to commit —
+// rank 0 through its own leases, the others through hedged speculative
+// recomputes. However the CAS races interleave, every task must be
+// committed exactly once, and the duplicate-drop count must equal the
+// hedge count (each hedged task produced exactly one loser).
+func TestLeaseHedgeNeverDoubleFires(t *testing.T) {
+	const ranks, total = 4, 64
+	rec := newLeaseRecorder()
+	tel := telemetry.NewSession()
+	_, err := mpi.RunWithOptions(ranks, mpi.RunOptions{
+		Deadline:  10 * time.Second,
+		Telemetry: tel,
+	}, func(c *mpi.Comm) {
+		l := New(c).NewLeaseDLB(total)
+		var mine []int
+		if c.Rank() == 0 {
+			mine = l.DrawChunk(total)
+			if len(mine) != total {
+				t.Errorf("DrawChunk claimed %d of %d", len(mine), total)
+			}
+		}
+		c.Barrier() // hedgers start only once every task is leased by rank 0
+		if c.Rank() == 0 {
+			for _, idx := range mine {
+				if l.Reserve(idx, 0) {
+					rec.record(0, idx) // "push"
+					l.Finish(idx)
+				}
+			}
+		} else {
+			for {
+				idx, owner, ok := l.Hedge([]int{0})
+				if !ok {
+					break
+				}
+				if owner != 0 {
+					t.Errorf("hedged owner = %d, want 0", owner)
+				}
+				if l.Reserve(idx, owner) {
+					rec.record(c.Rank(), idx) // speculative "push" won
+					l.Finish(idx)
+				}
+			}
+		}
+		c.Barrier()
+		if !l.AllComplete() {
+			t.Errorf("rank %d: tasks left undone after all commit races settled", c.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.assertExactlyOnce(t, total)
+	hedged := tel.Counter("dlb.hedged").Value()
+	dropped := tel.Counter("dlb.dedup_dropped").Value()
+	if hedged == 0 {
+		t.Fatal("no task was ever hedged")
+	}
+	// Every Reserve attempt is either the unique winner or a dropped
+	// duplicate: total attempts = total (owner) + hedged (speculative),
+	// total wins = total, so drops must equal hedges exactly.
+	if dropped != hedged {
+		t.Fatalf("dlb.dedup_dropped = %d, want %d (= dlb.hedged): a lease double-fired or a loser was not dropped", dropped, hedged)
+	}
+	if got := tel.Counter("dlb.reissued").Value(); got != hedged {
+		t.Fatalf("dlb.reissued = %d, want %d", got, hedged)
+	}
+}
+
+// TestLeaseExpiredReclaim covers deadline-based early lease expiry: a
+// lease held past the TTL by a slow (but living) rank is reclaimed and
+// committed by a peer, and the original owner's late commit loses the
+// race and is deduplicated.
+func TestLeaseExpiredReclaim(t *testing.T) {
+	const total = 3
+	rec := newLeaseRecorder()
+	tel := telemetry.NewSession()
+	_, err := mpi.RunWithOptions(2, mpi.RunOptions{
+		Deadline:  10 * time.Second,
+		Telemetry: tel,
+	}, func(c *mpi.Comm) {
+		l := New(c).NewLeaseDLB(total)
+		if c.Rank() == 1 {
+			idx, ok := l.Next()
+			if !ok {
+				t.Error("rank 1 drew nothing")
+				return
+			}
+			c.Barrier()
+			time.Sleep(200 * time.Millisecond) // unresponsive, not dead
+			if l.Complete(idx) {
+				t.Error("stale owner's late commit won despite TTL expiry")
+			}
+			return
+		}
+		c.Barrier()
+		for {
+			idx, ok := l.Next()
+			if !ok {
+				break
+			}
+			if l.Complete(idx) {
+				rec.record(0, idx)
+			}
+		}
+		start := time.Now()
+		for !l.AllComplete() {
+			if idx, ok := l.Expired(30 * time.Millisecond); ok {
+				if l.Complete(idx) {
+					rec.record(0, idx)
+				} else {
+					t.Error("reclaimed lease lost its own commit with no contender")
+				}
+				continue
+			}
+			if time.Since(start) > 5*time.Second {
+				t.Error("TTL expiry never fired")
+				return
+			}
+			time.Sleep(time.Millisecond)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec.assertExactlyOnce(t, total)
+	if got := tel.Counter("ddi.lease.expired").Value(); got < 1 {
+		t.Fatalf("ddi.lease.expired = %d, want >= 1", got)
+	}
+	if got := tel.Counter("dlb.reissued").Value(); got < 1 {
+		t.Fatalf("dlb.reissued = %d, want >= 1", got)
+	}
+	// The sleeper's failed Complete is a dropped duplicate.
+	if got := tel.Counter("dlb.dedup_dropped").Value(); got < 1 {
+		t.Fatalf("dlb.dedup_dropped = %d, want >= 1", got)
+	}
+}
+
+// TestLeaseExpiredDisabled: a zero TTL must never reclaim anything.
+func TestLeaseExpiredDisabled(t *testing.T) {
+	_, err := mpi.RunWithOptions(2, mpi.RunOptions{Deadline: 5 * time.Second}, func(c *mpi.Comm) {
+		l := New(c).NewLeaseDLB(2)
+		if c.Rank() == 1 {
+			idx, _ := l.Next()
+			c.Barrier()
+			c.Barrier()
+			if !l.Complete(idx) {
+				t.Error("own commit failed with expiry disabled")
+			}
+			return
+		}
+		c.Barrier()
+		if idx, ok := l.Expired(0); ok {
+			t.Errorf("Expired(0) reclaimed task %d", idx)
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestStragglerBridge drives the telemetry bridge end to end: ranks
+// publish task latencies through the shared window, and every rank's
+// detector read agrees on which rank is slow.
+func TestStragglerBridge(t *testing.T) {
+	const ranks, slow = 4, 2
+	var mu sync.Mutex
+	flagged := make(map[int][]int)
+	err := mpi.Run(ranks, func(c *mpi.Comm) {
+		dx := New(c)
+		lat := 10 * time.Millisecond
+		if c.Rank() == slow {
+			lat = 80 * time.Millisecond
+		}
+		for i := 0; i < 4; i++ {
+			dx.ObserveTaskLatency(lat)
+		}
+		c.Barrier()
+		got := dx.Stragglers(2, 3)
+		mu.Lock()
+		flagged[c.Rank()] = got
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < ranks; r++ {
+		if len(flagged[r]) != 1 || flagged[r][0] != slow {
+			t.Fatalf("rank %d flagged %v, want [%d]", r, flagged[r], slow)
+		}
+	}
+}

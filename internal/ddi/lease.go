@@ -9,23 +9,39 @@ package ddi
 // see PAPERS.md), a lease cycle instead tracks per-task state in a shared
 // counter window:
 //
-//	0        free  — not yet claimed by anyone
-//	rank+1   leased — claimed by that world rank, result not yet pushed
-//	-1       done  — contribution pushed to the shared result
+//	0        free       — not yet claimed by anyone
+//	rank+1   leased     — claimed by that world rank, result not pushed
+//	-(rank+2) committing — that rank won the commit race and is pushing
+//	-1       done       — contribution pushed to the shared result
 //
 // Ranks draw indices from a cursor (one-sided fetch-and-add, exactly like
-// dlbnext) and claim them with a CAS; when a rank dies, survivors re-issue
-// its leases with Steal. Exactly-once completion rests on two invariants:
+// dlbnext) and claim them with a CAS. Publication is two-phase: a rank
+// first Reserves the slot (CAS owner → committing), then pushes its
+// contribution, then Finishes (CAS committing → done). Exactly-once
+// completion rests on two invariants:
 //
-//  1. Every transition into the done state is a CAS from a unique prior
-//     owner, and a task's contribution is pushed to the shared result
-//     immediately before its done-mark with no failure point in between
-//     (fault injection fires only at runtime events: barrier, send, recv,
-//     DLB draw — and abandoned ranks are fenced from the windows), so
-//     "done" implies "pushed exactly once".
-//  2. A claim and a steal race through CAS on the same slot; the loser
-//     simply skips the task, so no index is ever processed twice.
-import "fmt"
+//  1. Only the Reserve winner may push, and the done-mark follows its
+//     push, so "done" implies "pushed exactly once" — the property
+//     AllComplete readers rely on to read the full shared result.
+//  2. Every slot transition is a CAS from a unique prior state. A
+//     straggler's own commit, a hedger's speculative commit, an expiry
+//     reclaim, and a post-failure steal all race through CAS on the same
+//     slot; exactly one wins and every loser drops its (duplicate)
+//     result. First writer wins, duplicates never double-count.
+//
+// Three re-issue paths give the lease table its straggler story
+// (performance faults, not just crash faults):
+//
+//   - Steal: re-issue leases of ranks known DEAD (crash faults, PR 1).
+//   - Expired: reclaim leases older than a TTL — deadline-based early
+//     expiry for ranks that are unresponsive but not provably dead.
+//   - Hedge: speculatively recompute a lease still held by a rank the
+//     straggler detector flagged as slow, WITHOUT taking the lease away;
+//     whoever finishes first commits, the other is deduplicated.
+import (
+	"fmt"
+	"time"
+)
 
 const (
 	leaseFree int64 = 0
@@ -34,11 +50,15 @@ const (
 
 // LeaseDLB is one rank's handle to a lease-based DLB cycle.
 type LeaseDLB struct {
-	ctx    *Context
-	cycle  int64
-	total  int
-	stateW string // per-task lease state, total slots
-	curW   string // draw cursor, 1 slot
+	ctx     *Context
+	cycle   int64
+	total   int
+	stateW  string       // per-task lease state, total slots
+	tsW     string       // per-task claim timestamps (UnixNano), total slots
+	curW    string       // draw cursor, 1 slot
+	hedgeW  string       // per-task hedge-rights claims, total slots
+	hedged  map[int]bool // task indices this rank already scanned past (local)
+	hedgeAt int          // rolling scan offset for Hedge
 }
 
 // NewLeaseDLB starts a new lease cycle over task indices [0, total).
@@ -50,9 +70,19 @@ func (d *Context) NewLeaseDLB(total int) *LeaseDLB {
 	d.leaseCycle++
 	l := &LeaseDLB{ctx: d, cycle: d.leaseCycle, total: total}
 	l.stateW = leaseWindowName(d.leaseCycle, "state")
+	l.tsW = leaseWindowName(d.leaseCycle, "ts")
 	l.curW = leaseWindowName(d.leaseCycle, "cur")
+	l.hedgeW = leaseWindowName(d.leaseCycle, "hedge")
+	l.hedged = make(map[int]bool)
+	if size := d.Comm.Size(); size > 0 {
+		// Desynchronize hedger scans so concurrent hedgers fan out over
+		// different slots instead of piling on the lowest leased index.
+		l.hedgeAt = d.Comm.Rank() * (total/size + 1)
+	}
 	if total > 0 {
 		d.Comm.WinCreateCounters(l.stateW, total)
+		d.Comm.WinCreateCounters(l.tsW, total)
+		d.Comm.WinCreateCounters(l.hedgeW, total)
 	}
 	return l
 }
@@ -68,32 +98,113 @@ func (l *LeaseDLB) Total() int { return l.total }
 // companion windows (e.g. a shared Fock accumulation buffer).
 func (l *LeaseDLB) Cycle() int64 { return l.cycle }
 
+func (l *LeaseDLB) me() int64         { return int64(l.ctx.Comm.Rank()) + 1 }
+func (l *LeaseDLB) committing() int64 { return -(int64(l.ctx.Comm.Rank()) + 2) }
+
+// stamp records the claim time of a freshly (re-)leased slot, the clock
+// the TTL expiry path reads.
+func (l *LeaseDLB) stamp(idx int) {
+	l.ctx.Comm.CounterStore(l.tsW, idx, time.Now().UnixNano())
+}
+
 // Next draws and claims the next fresh task index. ok is false once the
-// cursor is exhausted — switch to Steal then. A drawn index whose claim
-// is lost to a concurrent steal is skipped and the draw retried, so a
-// returned index is always exclusively owned by this rank.
+// cursor is exhausted — switch to Steal/Hedge then. A drawn index whose
+// claim is lost to a concurrent steal is skipped and the draw retried, so
+// a returned index is always exclusively owned by this rank.
 func (l *LeaseDLB) Next() (idx int, ok bool) {
 	tel := l.ctx.Comm.Telemetry()
 	tel.Counter("ddi.lease.draws").Add(1)
 	defer tel.TimedOp("dlb.draw", "lease-next", l.ctx.Comm.Rank(), 0)()
-	me := int64(l.ctx.Comm.Rank()) + 1
 	for {
 		v := l.ctx.Comm.FetchAdd(l.curW, 0, 1)
 		if v >= int64(l.total) {
 			return -1, false
 		}
-		if l.ctx.Comm.CounterCAS(l.stateW, int(v), leaseFree, me) {
+		if l.ctx.Comm.CounterCAS(l.stateW, int(v), leaseFree, l.me()) {
+			l.stamp(int(v))
 			return int(v), true
 		}
 	}
 }
 
-// Complete marks a task this rank owns as done. Call it immediately
-// after pushing the task's contribution to the shared result; the pair
-// forms the push-then-mark critical section invariant 1 relies on.
-func (l *LeaseDLB) Complete(idx int) {
-	me := int64(l.ctx.Comm.Rank()) + 1
-	l.ctx.Comm.CounterCAS(l.stateW, idx, me, leaseDone)
+// DrawChunk draws and claims up to n consecutive fresh indices in ONE
+// cursor fetch-and-add — the coarse-grained draw that makes straggler
+// damage visible (a slow rank holding a chunk stalls the whole tail) and
+// hedging therefore worthwhile. Returns the claimed indices; empty once
+// the cursor is exhausted.
+func (l *LeaseDLB) DrawChunk(n int) []int {
+	if n <= 0 {
+		return nil
+	}
+	tel := l.ctx.Comm.Telemetry()
+	tel.Counter("ddi.lease.draws").Add(1)
+	v := l.ctx.Comm.FetchAdd(l.curW, 0, int64(n))
+	if v >= int64(l.total) {
+		return nil
+	}
+	hi := v + int64(n)
+	if hi > int64(l.total) {
+		hi = int64(l.total)
+	}
+	idxs := make([]int, 0, hi-v)
+	for i := v; i < hi; i++ {
+		if l.ctx.Comm.CounterCAS(l.stateW, int(i), leaseFree, l.me()) {
+			l.stamp(int(i))
+			idxs = append(idxs, int(i))
+		}
+	}
+	return idxs
+}
+
+// Reserve opens the commit critical section for a task: it CASes the
+// slot from "leased by owner" to "committing by me". Only the winner may
+// push the task's contribution to the shared result; it must then call
+// Finish. owner is the world rank whose lease is being committed — the
+// caller itself for its own draws, the straggler for a hedged recompute.
+// A false return means someone else already committed (or is committing)
+// the task: the caller MUST drop its duplicate result.
+func (l *LeaseDLB) Reserve(idx, owner int) bool {
+	if l.ctx.Comm.CounterCAS(l.stateW, idx, int64(owner)+1, l.committing()) {
+		return true
+	}
+	if tel := l.ctx.Comm.Telemetry(); tel != nil {
+		tel.Counter("dlb.dedup_dropped").Add(1)
+	}
+	return false
+}
+
+// Finish closes the commit critical section opened by a successful
+// Reserve: the pushed contribution becomes visible as done.
+func (l *LeaseDLB) Finish(idx int) {
+	if !l.ctx.Comm.CounterCAS(l.stateW, idx, l.committing(), leaseDone) {
+		panic(fmt.Sprintf("ddi: lease %d finish without reserve (rank %d)", idx, l.ctx.Comm.Rank()))
+	}
+}
+
+// Complete is the one-shot Reserve+Finish for callers that pushed their
+// contribution before committing (safe only when nothing hedges the
+// task concurrently — the resilient Fock builder uses the explicit
+// Reserve → push → Finish sequence instead). Reports whether this rank
+// won the commit.
+func (l *LeaseDLB) Complete(idx int) bool {
+	if !l.Reserve(idx, l.ctx.Comm.Rank()) {
+		return false
+	}
+	l.Finish(idx)
+	return true
+}
+
+// Done reports whether the task's contribution is already committed.
+func (l *LeaseDLB) Done(idx int) bool {
+	return l.ctx.Comm.CounterLoad(l.stateW, idx) == leaseDone
+}
+
+// Mine reports whether the task's lease is still held by this rank. A
+// straggler polling it before starting each remaining task of a drawn
+// chunk can skip work a hedger has already committed (or an expiry has
+// reclaimed) instead of computing a result that would only be dropped.
+func (l *LeaseDLB) Mine(idx int) bool {
+	return l.ctx.Comm.CounterLoad(l.stateW, idx) == l.me()
 }
 
 // Steal re-issues one task abandoned by a failed rank: either still
@@ -101,7 +212,9 @@ func (l *LeaseDLB) Complete(idx int) {
 // died between its draw and its claim — such slots sit free BEHIND the
 // cursor). Returns ok=false when there is nothing to steal right now;
 // poll AllComplete to distinguish "nothing ever" from "peers still
-// working".
+// working". Committing slots are never stolen — under the fault model
+// ranks die at communication events, not inside the push critical
+// section, so a committing slot always reaches done.
 func (l *LeaseDLB) Steal() (idx int, ok bool) {
 	failed := l.ctx.Comm.FailedRanks()
 	if len(failed) == 0 {
@@ -111,7 +224,6 @@ func (l *LeaseDLB) Steal() (idx int, ok bool) {
 	for _, r := range failed {
 		dead[int64(r)+1] = true
 	}
-	me := int64(l.ctx.Comm.Rank()) + 1
 	cur := l.ctx.Comm.CounterLoad(l.curW, 0)
 	if cur > int64(l.total) {
 		cur = int64(l.total)
@@ -119,9 +231,11 @@ func (l *LeaseDLB) Steal() (idx int, ok bool) {
 	for i := int64(0); i < cur; i++ {
 		s := l.ctx.Comm.CounterLoad(l.stateW, int(i))
 		if s == leaseFree || dead[s] {
-			if l.ctx.Comm.CounterCAS(l.stateW, int(i), s, me) {
+			if l.ctx.Comm.CounterCAS(l.stateW, int(i), s, l.me()) {
+				l.stamp(int(i))
 				if tel := l.ctx.Comm.Telemetry(); tel != nil {
 					tel.Counter("ddi.lease.steals").Add(1)
+					tel.Counter("dlb.reissued").Add(1)
 					tel.Instant("recovery.reissue", "lease-steal", l.ctx.Comm.Rank(), 0,
 						map[string]any{"task": int(i), "from": s - 1})
 				}
@@ -132,10 +246,95 @@ func (l *LeaseDLB) Steal() (idx int, ok bool) {
 	return -1, false
 }
 
+// Expired reclaims one lease older than ttl held by another rank —
+// deadline-based early expiry for a peer that is unresponsive but not
+// provably dead. The lease transfers to the caller (restamped), so the
+// reclaimed task flushes through the normal own-draw path; if the
+// original owner wakes up and finishes anyway, its commit loses the
+// Reserve race and is deduplicated. ttl <= 0 disables expiry.
+func (l *LeaseDLB) Expired(ttl time.Duration) (idx int, ok bool) {
+	if ttl <= 0 {
+		return -1, false
+	}
+	now := time.Now().UnixNano()
+	for i := 0; i < l.total; i++ {
+		s := l.ctx.Comm.CounterLoad(l.stateW, i)
+		if s <= 0 || s == l.me() {
+			continue
+		}
+		ts := l.ctx.Comm.CounterLoad(l.tsW, i)
+		if ts == 0 || now-ts < ttl.Nanoseconds() {
+			continue
+		}
+		if l.ctx.Comm.CounterCAS(l.stateW, i, s, l.me()) {
+			l.stamp(i)
+			if tel := l.ctx.Comm.Telemetry(); tel != nil {
+				tel.Counter("ddi.lease.expired").Add(1)
+				tel.Counter("dlb.reissued").Add(1)
+				tel.Instant("recovery.reissue", "lease-expired", l.ctx.Comm.Rank(), 0,
+					map[string]any{"task": i, "from": s - 1})
+			}
+			return i, true
+		}
+	}
+	return -1, false
+}
+
+// Hedge picks one task still leased by a rank in slow (world ranks, from
+// the straggler detector) for speculative recomputation. The lease is
+// NOT transferred — the straggler keeps computing — so commit is a fair
+// race: whichever copy Reserves first wins, the other is deduplicated.
+// Hedge rights are claimed through a shared window CAS, so at most ONE
+// speculative copy of a task ever runs cluster-wide: concurrent hedgers
+// spread over different tasks instead of all recomputing the same ones
+// (which would trade the straggler's tail for redundant-compute tail).
+// The scan starts at a rank-dependent rolling offset so hedgers probe
+// disjoint regions first. Returns the task index and the straggler's
+// rank to pass to Reserve.
+func (l *LeaseDLB) Hedge(slow []int) (idx, owner int, ok bool) {
+	if len(slow) == 0 || l.total == 0 {
+		return -1, -1, false
+	}
+	slowSet := make(map[int64]bool, len(slow))
+	for _, r := range slow {
+		if r != l.ctx.Comm.Rank() {
+			slowSet[int64(r)+1] = true
+		}
+	}
+	if len(slowSet) == 0 {
+		return -1, -1, false
+	}
+	for n := 0; n < l.total; n++ {
+		i := (l.hedgeAt + n) % l.total
+		if l.hedged[i] {
+			continue
+		}
+		s := l.ctx.Comm.CounterLoad(l.stateW, i)
+		if !slowSet[s] {
+			continue
+		}
+		if !l.ctx.Comm.CounterCAS(l.hedgeW, i, 0, l.me()) {
+			// Another rank already holds this task's hedge rights.
+			l.hedged[i] = true
+			continue
+		}
+		l.hedged[i] = true
+		l.hedgeAt = (i + 1) % l.total
+		if tel := l.ctx.Comm.Telemetry(); tel != nil {
+			tel.Counter("dlb.hedged").Add(1)
+			tel.Counter("dlb.reissued").Add(1)
+			tel.Instant("recovery.reissue", "lease-hedge", l.ctx.Comm.Rank(), 0,
+				map[string]any{"task": i, "owner": s - 1})
+		}
+		return i, int(s - 1), true
+	}
+	return -1, -1, false
+}
+
 // AllComplete reports whether every task index has been drawn and marked
 // done — the cycle's termination condition. Because contributions are
-// pushed before their done-mark, a rank observing AllComplete may safely
-// read the full shared result.
+// pushed inside the Reserve→Finish critical section, a rank observing
+// AllComplete may safely read the full shared result.
 func (l *LeaseDLB) AllComplete() bool {
 	if l.ctx.Comm.CounterLoad(l.curW, 0) < int64(l.total) {
 		return false
@@ -148,8 +347,8 @@ func (l *LeaseDLB) AllComplete() bool {
 	return true
 }
 
-// Outstanding counts tasks not yet done — leased or unclaimed — for
-// progress reporting and tests.
+// Outstanding counts tasks not yet done — leased, committing, or
+// unclaimed — for progress reporting and tests.
 func (l *LeaseDLB) Outstanding() int {
 	n := 0
 	for i := 0; i < l.total; i++ {

@@ -48,14 +48,16 @@ func leaseWorkLoop(t *testing.T, c *mpi.Comm, l *LeaseDLB, rec *leaseRecorder) {
 		if !ok {
 			break
 		}
-		rec.record(c.Rank(), idx) // "push the contribution"
-		l.Complete(idx)
+		if l.Complete(idx) {
+			rec.record(c.Rank(), idx) // "push the contribution"
+		}
 	}
 	start := time.Now()
 	for !l.AllComplete() {
 		if idx, ok := l.Steal(); ok {
-			rec.record(c.Rank(), idx)
-			l.Complete(idx)
+			if l.Complete(idx) {
+				rec.record(c.Rank(), idx)
+			}
 			continue
 		}
 		if time.Since(start) > 10*time.Second {

@@ -1,0 +1,52 @@
+package ddi
+
+// Straggler telemetry bridge: each rank publishes its task-latency EWMA
+// into a shared counter window, and any rank can read the whole vector
+// back to run the internal/loadbalance detector. This is what connects
+// the imbalance telemetry (PR 2) to the hedged DLB: a flagged rank's
+// outstanding leases become candidates for speculative re-issue.
+
+import (
+	"time"
+
+	"repro/internal/loadbalance"
+)
+
+// stragglerWindow holds, for a communicator of size P, slots [0, P) =
+// per-rank latency EWMA in nanoseconds and slots [P, 2P) = per-rank
+// sample counts.
+const stragglerWindow = "ddi.straggler"
+
+// ObserveTaskLatency folds one completed task's wall time into this
+// rank's latency EWMA and publishes the updated (EWMA, count) pair to
+// the shared straggler window. Call it once per task, timed around the
+// real work (including any chaos stall — that is the point: a straggler
+// is whatever LOOKS slow from outside).
+func (d *Context) ObserveTaskLatency(dur time.Duration) {
+	size := d.Comm.Size()
+	d.Comm.WinCreateCounters(stragglerWindow, 2*size)
+	v := d.ewma.Observe(float64(dur.Nanoseconds()))
+	r := d.Comm.Rank()
+	d.Comm.CounterStore(stragglerWindow, r, int64(v))
+	d.Comm.CounterStore(stragglerWindow, size+r, d.ewma.Count())
+}
+
+// Stragglers reads every rank's published latency EWMA and returns the
+// ranks flagged slower than k× the median (with at least minSamples
+// observations each; see loadbalance.FlagStragglers for the exact
+// policy). The flagged count is exported as the straggler.flagged gauge.
+func (d *Context) Stragglers(k float64, minSamples int64) []int {
+	size := d.Comm.Size()
+	d.Comm.WinCreateCounters(stragglerWindow, 2*size)
+	ewma := make([]float64, size)
+	counts := make([]int64, size)
+	for r := 0; r < size; r++ {
+		ewma[r] = float64(d.Comm.CounterLoad(stragglerWindow, r))
+		counts[r] = d.Comm.CounterLoad(stragglerWindow, size+r)
+	}
+	flagged := loadbalance.FlagStragglers(ewma, counts, k, minSamples)
+	if tel := d.Comm.Telemetry(); tel != nil {
+		tel.Gauge("straggler.flagged").Set(float64(len(flagged)))
+	}
+	return flagged
+}

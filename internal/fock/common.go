@@ -16,6 +16,7 @@ package fock
 
 import (
 	"math"
+	"time"
 
 	"repro/internal/basis"
 	"repro/internal/integrals"
@@ -42,6 +43,22 @@ type Config struct {
 	// integrals.PairCache with precomputed shell-pair data); nil means
 	// direct evaluation through the engine.
 	Quartets integrals.QuartetSource
+
+	// Straggler mitigation (resilient build only). Hedging is ON by
+	// default: when the straggler detector flags a rank, its outstanding
+	// leases are speculatively recomputed by fast ranks during the drain,
+	// first writer wins. NoHedge disables it.
+	NoHedge bool
+	// HedgeK is the straggler threshold multiple over the median task
+	// latency; 0 means 2.
+	HedgeK float64
+	// HedgeMinSamples is the minimum task count per rank before it can be
+	// flagged (or contribute to the median); 0 means 3.
+	HedgeMinSamples int
+	// LeaseTTL, when positive, lets drain-phase ranks forcibly reclaim
+	// leases older than this — deadline-based early expiry for peers that
+	// are unresponsive but not provably dead. 0 disables expiry.
+	LeaseTTL time.Duration
 }
 
 func (c Config) tau() float64 {
@@ -65,6 +82,20 @@ func (c Config) source(eng *integrals.Engine) integrals.QuartetSource {
 	return eng
 }
 
+func (c Config) hedgeK() float64 {
+	if c.HedgeK <= 0 {
+		return 2
+	}
+	return c.HedgeK
+}
+
+func (c Config) hedgeMinSamples() int64 {
+	if c.HedgeMinSamples <= 0 {
+		return 3
+	}
+	return int64(c.HedgeMinSamples)
+}
+
 func (c Config) schedule() omp.Schedule {
 	if c.Schedule == (omp.Schedule{}) {
 		return omp.Schedule{Kind: omp.Dynamic, Chunk: 1}
@@ -81,6 +112,15 @@ type Stats struct {
 	DLBGrabs         int64 // dynamic load balancer fetches
 	Flushes          int64 // FI/FJ buffer flushes (shared-Fock only)
 	TasksReissued    int64 // DLB leases stolen from failed ranks (resilient-fock only)
+
+	// Speculative re-issue accounting (resilient-fock only). Under
+	// hedging a quartet may be COMPUTED more than once (straggler + one
+	// or more hedgers), but exactly one copy wins the commit race, so
+	// QuartetsCommitted — not QuartetsComputed — is the exactly-once
+	// quantity summing to the serial count across ranks.
+	QuartetsCommitted int64 // quartets whose contribution won the commit and was pushed
+	TasksHedged       int64 // leases speculatively recomputed off flagged stragglers
+	TasksDeduped      int64 // computed task results dropped after losing the commit race
 }
 
 // Add accumulates other into s.
@@ -91,6 +131,9 @@ func (s *Stats) Add(other Stats) {
 	s.DLBGrabs += other.DLBGrabs
 	s.Flushes += other.Flushes
 	s.TasksReissued += other.TasksReissued
+	s.QuartetsCommitted += other.QuartetsCommitted
+	s.TasksHedged += other.TasksHedged
+	s.TasksDeduped += other.TasksDeduped
 }
 
 // PairIndex maps i >= j to the canonical combined pair index, the "ij"

@@ -14,15 +14,19 @@ import (
 // quartet distribution re-based on the lease-granting DLB
 // (ddi.LeaseDLB), with the closing gsumf replaced by one-sided
 // accumulation into a shared window. A build survives mid-flight rank
-// death — survivors re-issue the dead rank's leases and still produce a
-// Fock matrix with every symmetry-unique shell quartet counted exactly
-// once — because:
+// death AND mitigates mid-flight rank slowness — survivors re-issue a
+// dead rank's leases (Steal), and fast ranks speculatively recompute a
+// flagged straggler's outstanding leases (Hedge) or forcibly reclaim
+// stale ones (Expired) — and still produce a Fock matrix with every
+// symmetry-unique shell quartet counted exactly once, because:
 //
-//   - Each combined (i, j) shell-pair task is claimed through a lease,
-//     and a task's contributions are pushed (WinAcc) immediately before
-//     its lease is marked done, with no failure point between — so a
-//     done-marked task has been pushed exactly once, and an undone task
-//     not at all.
+//   - Each combined (i, j) shell-pair task is claimed through a lease
+//     and committed two-phase: the committer Reserves the lease (a CAS
+//     only one contender can win), pushes its contribution (WinAcc),
+//     then marks it done. Losers of the Reserve race — the straggler
+//     whose task was hedged faster, or the hedger that lost — drop
+//     their duplicate results locally, so re-issued work never
+//     double-counts (first writer wins).
 //   - No blocking collective or barrier appears anywhere in the build;
 //     survivors never touch an operation a dead peer can poison. The
 //     only waits are bounded polls on the lease table.
@@ -44,18 +48,27 @@ func ResilientBuild(dx *ddi.Context, eng *integrals.Engine,
 	win := fmt.Sprintf("fock.resilient.%d", lease.Cycle())
 	dx.Comm.WinCreate(win, n*n)
 
-	// batch accumulates the pending (unpushed) tasks' contributions; it
-	// is zeroed after every flush so each contribution is pushed once.
-	batch := linalg.NewSquare(n)
-	var pending []int
+	// Contributions are buffered PER TASK so the flush can commit each
+	// task independently: under speculation two ranks may hold results
+	// for the same ij, and only the Reserve winner's copy may reach the
+	// shared window.
+	type pendingTask struct {
+		ij, owner int // owner = world rank whose lease this result commits
+		quartets  int64
+		pos       []int // canonical lower-triangle flat positions
+		val       []float64
+	}
+	var pending []pendingTask
 	var buf []float64
 
-	computePair := func(ij int) {
+	computePair := func(ij, owner int) {
 		i, j := PairDecode(ij)
 		if tel != nil {
 			defer tel.Span("fock.task", "pair", rank, 0,
 				map[string]any{"i": i, "j": j})()
 		}
+		task := pendingTask{ij: ij, owner: owner}
+		t0 := time.Now()
 		for k := 0; k <= i; k++ {
 			lmax := quartetLoopBounds(i, j, k)
 			for l := 0; l <= lmax; l++ {
@@ -64,36 +77,66 @@ func ResilientBuild(dx *ddi.Context, eng *integrals.Engine,
 					continue
 				}
 				stats.QuartetsComputed++
+				task.quartets++
 				buf = src.ShellQuartet(i, j, k, l, buf)
 				applyQuartet(d, buf, shells, i, j, k, l,
-					func(x, y int, v float64) { addLower(batch, x, y, v) })
+					func(x, y int, v float64) {
+						if x < y {
+							x, y = y, x
+						}
+						task.pos = append(task.pos, x*n+y)
+						task.val = append(task.val, v)
+					})
 			}
 		}
+		elapsed := time.Since(t0)
+		// Chaos hook: a sustained Slowdown scheduled for this rank stalls
+		// it here, making it a genuine straggler the detector must catch.
+		elapsed += dx.Comm.TaskStall(mpi.SiteFock, elapsed)
+		dx.ObserveTaskLatency(elapsed)
 		// SDC hook: one corruption opportunity per completed task, applied
-		// to the still-local batch — outside the push-then-mark critical
-		// section in flush, so the exactly-once guarantee is untouched. The
-		// poison reaches the shared window on the next WinAcc and must be
-		// caught by the SCF-side validators after WinGet.
-		dx.Comm.InjectSDC(mpi.SiteFock, batch.Data)
-		pending = append(pending, ij)
+		// to the still-local values — outside the Reserve→push→Finish
+		// critical section, so the exactly-once guarantee is untouched.
+		// The poison reaches the shared window on the next flush and must
+		// be caught by the SCF-side validators after WinGet.
+		dx.Comm.InjectSDC(mpi.SiteFock, task.val)
+		pending = append(pending, task)
 	}
 
-	// flush is the push-then-mark critical section the exactly-once
-	// guarantee rests on: accumulate the batch into the shared window,
-	// then mark its leases done. Neither step blocks or contains a
-	// fault-injection site.
+	// flush is the commit critical section the exactly-once guarantee
+	// rests on: Reserve each pending task (losers drop their duplicate
+	// results), push the winners' contributions in one accumulate, then
+	// mark the reserved leases done. Nothing in between blocks or
+	// contains a fault-injection site.
+	batch := linalg.NewSquare(n)
 	flush := func() {
 		if len(pending) == 0 {
 			return
 		}
-		dx.Comm.WinAcc(win, 0, batch.Data)
-		for i := range batch.Data {
-			batch.Data[i] = 0
-		}
-		for _, ij := range pending {
-			lease.Complete(ij)
+		var reserved []int
+		dirty := false
+		for _, task := range pending {
+			if !lease.Reserve(task.ij, task.owner) {
+				stats.TasksDeduped++
+				continue
+			}
+			reserved = append(reserved, task.ij)
+			stats.QuartetsCommitted += task.quartets
+			for i, p := range task.pos {
+				batch.Data[p] += task.val[i]
+			}
+			dirty = true
 		}
 		pending = pending[:0]
+		if dirty {
+			dx.Comm.WinAcc(win, 0, batch.Data)
+			for i := range batch.Data {
+				batch.Data[i] = 0
+			}
+		}
+		for _, ij := range reserved {
+			lease.Finish(ij)
+		}
 		stats.Flushes++
 	}
 
@@ -107,16 +150,18 @@ func ResilientBuild(dx *ddi.Context, eng *integrals.Engine,
 			break
 		}
 		stats.DLBGrabs++
-		computePair(ij)
+		computePair(ij, rank)
 		if len(pending) >= flushEvery {
 			flush()
 		}
 	}
 	flush()
 
-	// Drain phase: re-issue leases orphaned by failed ranks until every
-	// task is done. Progress (a successful steal anywhere) resets the
-	// local wait clock; a wedged run still times out via the deadline.
+	// Drain phase: until every task is done, re-issue work three ways —
+	// steal leases orphaned by failed ranks, hedge (speculatively
+	// recompute) leases still held by flagged stragglers, and reclaim
+	// leases older than the TTL. Progress anywhere resets the local wait
+	// clock; a wedged run still times out via the deadline.
 	start := time.Now()
 	for !lease.AllComplete() {
 		if ij, ok := lease.Steal(); ok {
@@ -127,7 +172,25 @@ func ResilientBuild(dx *ddi.Context, eng *integrals.Engine,
 				tel.Instant("recovery.reissue", "task-reissue", rank, 0,
 					map[string]any{"ij": ij})
 			}
-			computePair(ij)
+			computePair(ij, rank)
+			flush()
+			start = time.Now()
+			continue
+		}
+		if !cfg.NoHedge {
+			if slow := dx.Stragglers(cfg.hedgeK(), cfg.hedgeMinSamples()); len(slow) > 0 {
+				if ij, owner, ok := lease.Hedge(slow); ok {
+					stats.TasksHedged++
+					computePair(ij, owner)
+					flush()
+					start = time.Now()
+					continue
+				}
+			}
+		}
+		if ij, ok := lease.Expired(cfg.LeaseTTL); ok {
+			stats.TasksReissued++
+			computePair(ij, rank)
 			flush()
 			start = time.Now()
 			continue

@@ -1,6 +1,8 @@
 package fock
 
 import (
+	"time"
+
 	"repro/internal/basis"
 	"repro/internal/ddi"
 	"repro/internal/integrals"
@@ -53,6 +55,7 @@ func SharedFockBuild(dx *ddi.Context, eng *integrals.Engine,
 	dx.DLBReset()
 	team := omp.NewTeam(nthreads)
 	var ijShared int64
+	var taskT0 time.Time // set by the master at each draw; master-only access
 
 	// flush adds the per-thread buffers for shell sh into the shared
 	// accumulator and zeroes them. Contributions live at slot
@@ -98,6 +101,7 @@ func SharedFockBuild(dx *ddi.Context, eng *integrals.Engine,
 			tc.Master(func() {
 				ijShared = dx.DLBNext()
 				st.DLBGrabs++
+				taskT0 = time.Now()
 				dx.Comm.InjectSDC(mpi.SiteFock, acc.Data)
 			})
 			tc.Barrier()
@@ -150,6 +154,15 @@ func SharedFockBuild(dx *ddi.Context, eng *integrals.Engine,
 			// Flush FJ after every kl loop (Algorithm 3 line 31).
 			flush(tc, fj, j)
 			st.Flushes++
+			// Chaos hook: a sustained Slowdown stalls the master here —
+			// the team blocks on the next barrier behind it, so the whole
+			// rank slows by the scheduled factor — and every rank's task
+			// latency feeds the straggler detector's shared window.
+			tc.Master(func() {
+				elapsed := time.Since(taskT0)
+				elapsed += dx.Comm.TaskStall(mpi.SiteFock, elapsed)
+				dx.ObserveTaskLatency(elapsed)
+			})
 			tc.Barrier()
 			iold = i
 		}

@@ -18,12 +18,17 @@ var ErrUnconverged = errors.New("scf did not converge")
 // policy lives in the service's worker loop (it owns the FSM and the
 // queue); the runner just maps a spec to the right Run* entry point and
 // packages the outcome.
-type Runner struct{}
+type Runner struct {
+	// Telemetry, when set, instruments every run the runner executes —
+	// including the runtime's chaos.* and dlb.* mitigation counters — on
+	// the shared session, so they surface through the service's /metrics.
+	Telemetry *repro.Telemetry
+}
 
 // RunOnce executes the normalized spec under ctx and returns the
 // outcome. Cancellation and deadline expiry surface as errors matching
 // repro.ErrCanceled; everything else is a run failure.
-func (Runner) RunOnce(ctx context.Context, spec Spec) (*Outcome, error) {
+func (r Runner) RunOnce(ctx context.Context, spec Spec) (*Outcome, error) {
 	n := spec.Normalized()
 	mol, err := n.ResolveMolecule()
 	if err != nil {
@@ -34,6 +39,7 @@ func (Runner) RunOnce(ctx context.Context, spec Spec) (*Outcome, error) {
 		ConvDens:   n.ConvDens,
 		ConvEnergy: n.ConvEnergy,
 		Guess:      n.Guess,
+		Telemetry:  r.Telemetry,
 	}
 	start := time.Now()
 	var res *repro.Result
@@ -48,6 +54,7 @@ func (Runner) RunOnce(ctx context.Context, spec Spec) (*Outcome, error) {
 	default: // ModeResilient — the service default: absorbs rank death
 		res, rec, err = repro.RunResilientRHFCtx(ctx, mol, n.Basis, repro.ResilientConfig{
 			Algorithm: repro.Algorithm(n.Algorithm), Ranks: n.Ranks,
+			Threads: n.Threads, Telemetry: r.Telemetry,
 		}, opt)
 	}
 	if err != nil {

@@ -1,0 +1,301 @@
+package mpi
+
+// Tests for the performance-fault (chaos) layer: sequenced delivery must
+// make duplication/reordering/partition schedules invisible to program
+// semantics (only timing changes), and the sustained-slowdown hooks must
+// stall exactly the scheduled rank. The headline property test runs
+// randomized chaos schedules against a clean baseline and demands
+// bitwise-identical collective results and exact p2p content.
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// chaosWorkload runs rounds of allreduce + a tagged ring exchange on n
+// ranks under the given plan and returns every rank's allreduce results
+// concatenated, for bitwise comparison against a clean run. Ring
+// payloads are verified for exact content inside the workers.
+func chaosWorkload(t *testing.T, n, rounds int, plan *FaultPlan, tel *telemetry.Session) [][]float64 {
+	t.Helper()
+	results := make([][]float64, n)
+	_, err := RunWithOptions(n, RunOptions{
+		Deadline:  10 * time.Second,
+		Fault:     plan,
+		Telemetry: tel,
+	}, func(c *Comm) {
+		for round := 0; round < rounds; round++ {
+			buf := make([]float64, 5)
+			for j := range buf {
+				// Non-terminating binary fractions so any change in
+				// reduction order or a double-count would change bits.
+				buf[j] = 1.0 / float64(c.Rank()+j+round+2)
+			}
+			c.AllreduceSumInPlace(buf)
+			results[c.Rank()] = append(results[c.Rank()], buf...)
+
+			// Ring exchange with per-round tags: exact content and FIFO
+			// order must survive any duplication/reordering schedule.
+			next := (c.Rank() + 1) % c.Size()
+			prev := (c.Rank() + c.Size() - 1) % c.Size()
+			c.Send(next, 200+round, []float64{float64(c.Rank()), float64(round)})
+			data, src, _ := c.Recv(prev, 200+round)
+			if src != prev || len(data) != 2 || data[0] != float64(prev) || data[1] != float64(round) {
+				t.Errorf("rank %d round %d: ring recv = %v from %d, want [%d %d] from %d",
+					c.Rank(), round, data, src, prev, round, prev)
+			}
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatalf("run failed: %v", err)
+	}
+	return results
+}
+
+// TestChaosScheduleInvariance is the dedup/reorder property test: for
+// seeded random schedules of duplicated + reordered (+ partitioned) p2p
+// deliveries, every allreduce result must be bitwise identical to the
+// clean run and every ring message must arrive exactly once, in order.
+func TestChaosScheduleInvariance(t *testing.T) {
+	const n, rounds, trials = 4, 5, 8
+	clean := chaosWorkload(t, n, rounds, nil, nil)
+
+	rng := rand.New(rand.NewSource(20260806))
+	for trial := 0; trial < trials; trial++ {
+		plan := &FaultPlan{}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			plan.Duplicates = append(plan.Duplicates, Duplicate{
+				Rank: rng.Intn(n), After: 1 + rng.Intn(20), Copies: 1 + rng.Intn(2)})
+		}
+		for i := 0; i < 1+rng.Intn(3); i++ {
+			plan.Reorders = append(plan.Reorders, Reorder{
+				Rank: rng.Intn(n), After: 1 + rng.Intn(20), Behind: 1 + rng.Intn(2)})
+		}
+		if trial%2 == 1 {
+			plan.Partitions = append(plan.Partitions, Partition{
+				Ranks: []int{rng.Intn(n)}, Start: 0, Duration: 5 * time.Millisecond})
+		}
+		tel := telemetry.NewSession()
+		got := chaosWorkload(t, n, rounds, plan, tel)
+		for r := range clean {
+			if len(got[r]) != len(clean[r]) {
+				t.Fatalf("trial %d rank %d: %d results, want %d", trial, r, len(got[r]), len(clean[r]))
+			}
+			for j := range clean[r] {
+				if got[r][j] != clean[r][j] {
+					t.Fatalf("trial %d rank %d result %d: %v != clean %v (plan %+v)",
+						trial, r, j, got[r][j], clean[r][j], plan)
+				}
+			}
+		}
+	}
+}
+
+// TestChaosDuplicatesDropped pins down the dedup counters: a send
+// duplicated twice must be received once, and both extra copies must be
+// dropped by the receiver's sequence check when it next scans the queue.
+func TestChaosDuplicatesDropped(t *testing.T) {
+	tel := telemetry.NewSession()
+	_, err := RunWithOptions(2, RunOptions{
+		Deadline:  5 * time.Second,
+		Fault:     &FaultPlan{Duplicates: []Duplicate{{Rank: 0, After: 1, Copies: 2}}},
+		Telemetry: tel,
+	}, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 5, []float64{1, 2, 3})
+			c.Send(1, 5, []float64{4, 5, 6})
+		} else {
+			a, _, _ := c.Recv(0, 5)
+			b, _, _ := c.Recv(0, 5)
+			if a[0] != 1 || b[0] != 4 {
+				t.Errorf("FIFO violated: got %v then %v", a, b)
+			}
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tel.Counter("chaos.dups").Value(); got != 2 {
+		t.Errorf("chaos.dups = %d, want 2", got)
+	}
+	if got := tel.Counter("chaos.dups_dropped").Value(); got != 2 {
+		t.Errorf("chaos.dups_dropped = %d, want 2", got)
+	}
+}
+
+// TestChaosReorderRestoresFIFO holds rank 0's first send behind its
+// second; the receiver must still observe program order, waiting out the
+// sequence gap rather than delivering the early arrival.
+func TestChaosReorderRestoresFIFO(t *testing.T) {
+	tel := telemetry.NewSession()
+	_, err := RunWithOptions(2, RunOptions{
+		Deadline:  5 * time.Second,
+		Fault:     &FaultPlan{Reorders: []Reorder{{Rank: 0, After: 1, Behind: 1}}},
+		Telemetry: tel,
+	}, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 9, []float64{1})
+			c.Send(1, 9, []float64{2})
+		} else {
+			a, _, _ := c.Recv(0, 9)
+			b, _, _ := c.Recv(0, 9)
+			if a[0] != 1 || b[0] != 2 {
+				t.Errorf("reorder leaked through: got %v then %v", a[0], b[0])
+			}
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tel.Counter("chaos.reorders").Value(); got != 1 {
+		t.Errorf("chaos.reorders = %d, want 1", got)
+	}
+}
+
+// TestChaosReorderSafetyTimer: a reordered message whose sender never
+// sends again must still be delivered (by the safety timer), so a
+// quiescing sender cannot wedge its receiver.
+func TestChaosReorderSafetyTimer(t *testing.T) {
+	start := time.Now()
+	_, err := RunWithOptions(2, RunOptions{
+		Deadline: 5 * time.Second,
+		Fault:    &FaultPlan{Reorders: []Reorder{{Rank: 0, After: 1, Behind: 5}}},
+	}, func(c *Comm) {
+		if c.Rank() == 0 {
+			c.Send(1, 3, []float64{42}) // held: no later sends ever come
+		} else {
+			data, _, _ := c.Recv(0, 3)
+			if data[0] != 42 {
+				t.Errorf("recv = %v, want 42", data[0])
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < reorderMaxHold/2 {
+		t.Errorf("run finished in %v — message was not actually held", el)
+	}
+}
+
+// TestChaosPartitionHealsAndDelivers: messages crossing an active
+// partition cut are held and delivered after the window closes; nothing
+// is lost and blocked receivers do not time out.
+func TestChaosPartitionHealsAndDelivers(t *testing.T) {
+	tel := telemetry.NewSession()
+	_, err := RunWithOptions(4, RunOptions{
+		Deadline: 5 * time.Second,
+		Fault: &FaultPlan{Partitions: []Partition{
+			{Ranks: []int{0, 1}, Start: 0, Duration: 20 * time.Millisecond}}},
+		Telemetry: tel,
+	}, func(c *Comm) {
+		// Cross-cut exchange while the partition is open.
+		if c.Rank() == 0 {
+			c.Send(2, 7, []float64{7})
+		}
+		if c.Rank() == 2 {
+			data, _, _ := c.Recv(0, 7)
+			if data[0] != 7 {
+				t.Errorf("cross-cut recv = %v, want 7", data[0])
+			}
+		}
+		c.Barrier()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tel.Counter("chaos.partition_held").Value(); got < 1 {
+		t.Errorf("chaos.partition_held = %d, want >= 1", got)
+	}
+}
+
+// TestChaosTaskStall: the sustained-slowdown hook stalls only the
+// scheduled rank at the scheduled site, proportionally to elapsed work.
+func TestChaosTaskStall(t *testing.T) {
+	tel := telemetry.NewSession()
+	stalls := make([]time.Duration, 2)
+	_, err := RunWithOptions(2, RunOptions{
+		Fault: &FaultPlan{Slowdowns: []Slowdown{
+			{Rank: 1, Factor: 3, Sites: []FaultSite{SiteFock}}}},
+		Telemetry: tel,
+	}, func(c *Comm) {
+		stalls[c.Rank()] = c.TaskStall(SiteFock, 10*time.Millisecond)
+		if c.TaskStall(SiteBarrier, 10*time.Millisecond) != 0 {
+			t.Errorf("rank %d: stall fired at unscheduled site", c.Rank())
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stalls[0] != 0 {
+		t.Errorf("rank 0 stalled %v, want 0", stalls[0])
+	}
+	if want := 20 * time.Millisecond; stalls[1] != want {
+		t.Errorf("rank 1 stalled %v, want %v (factor 3 on 10ms)", stalls[1], want)
+	}
+	if got := tel.Counter("chaos.slowdown_ns").Value(); got != int64(20*time.Millisecond) {
+		t.Errorf("chaos.slowdown_ns = %d, want %d", got, 20*time.Millisecond)
+	}
+}
+
+// TestChaosOpDelaySlowdown: the OpDelay form adds fixed latency at the
+// matching communication sites and counts each event.
+func TestChaosOpDelaySlowdown(t *testing.T) {
+	tel := telemetry.NewSession()
+	start := time.Now()
+	_, err := RunWithOptions(2, RunOptions{
+		Fault: &FaultPlan{Slowdowns: []Slowdown{
+			{Rank: 0, OpDelay: 5 * time.Millisecond, Sites: []FaultSite{SiteSend}}}},
+		Telemetry: tel,
+	}, func(c *Comm) {
+		if c.Rank() == 0 {
+			for i := 0; i < 3; i++ {
+				c.Send(1, 1, []float64{float64(i)})
+			}
+		} else {
+			for i := 0; i < 3; i++ {
+				c.Recv(0, 1)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if el := time.Since(start); el < 15*time.Millisecond {
+		t.Errorf("run took %v, want >= 15ms of injected op delay", el)
+	}
+	if got := tel.Counter("chaos.slowdown.events").Value(); got < 3 {
+		t.Errorf("chaos.slowdown.events = %d, want >= 3", got)
+	}
+}
+
+// TestRetryBackoffJitter covers the full-jitter satellite: backoff is
+// deterministic for a given (rank, envelope, attempt), bounded by the
+// exponential window, and desynchronized across ranks.
+func TestRetryBackoffJitter(t *testing.T) {
+	for attempt := 0; attempt < 4; attempt++ {
+		window := retryBackoff0 << uint(attempt)
+		for rank := 0; rank < 8; rank++ {
+			b := retryBackoff(rank, 3, 17, attempt)
+			if b != retryBackoff(rank, 3, 17, attempt) {
+				t.Fatalf("backoff not deterministic for rank %d attempt %d", rank, attempt)
+			}
+			if b < 0 || b >= window {
+				t.Fatalf("backoff %v outside [0, %v)", b, window)
+			}
+		}
+	}
+	distinct := map[time.Duration]bool{}
+	for rank := 0; rank < 8; rank++ {
+		distinct[retryBackoff(rank, 3, 17, 2)] = true
+	}
+	if len(distinct) < 4 {
+		t.Errorf("only %d distinct backoffs across 8 ranks — still in lockstep", len(distinct))
+	}
+}

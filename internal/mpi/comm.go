@@ -46,6 +46,14 @@ type message struct {
 	data   []float64
 	ints   []int
 
+	// seq is the per-(source, dest, tag) channel sequence number, assigned
+	// only when the run's fault plan includes message chaos (duplication,
+	// reordering, partitions). 0 means "no sequencing": the production hot
+	// path never pays for chaos bookkeeping. Under chaos the receiver
+	// delivers each channel strictly in seq order and drops duplicates, so
+	// delivery is invariant under any duplication/reordering schedule.
+	seq int64
+
 	sum         uint64    // checksum of the clean payload (verified transport)
 	origin      []float64 // clean retransmit copy, set only when corruption fired
 	originInts  []int
@@ -53,11 +61,23 @@ type message struct {
 	corruptLeft int      // retransmissions still to corrupt
 }
 
+// chanKey identifies one ordered p2p channel. MPI guarantees FIFO per
+// (source, dest, tag) — NOT per source: receives on different tags may
+// legally complete out of send order, so sequencing per source would
+// deadlock legitimate programs.
+type chanKey struct {
+	src, dst, tag int
+}
+
 // mailbox is a rank's unordered-arrival, ordered-matching receive queue.
 type mailbox struct {
 	mu    sync.Mutex
 	cond  *sync.Cond
 	queue []message
+	// delivered tracks, per incoming channel, the highest seq handed to a
+	// receiver — the receiver half of the chaos-mode sequencing protocol.
+	// Allocated lazily: nil until the first sequenced message arrives.
+	delivered map[chanKey]int64
 }
 
 func newMailbox() *mailbox {
@@ -87,12 +107,45 @@ func (m *mailbox) take(c *Comm, source, tag int) message {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
-		for i, msg := range m.queue {
-			if (source == AnySource || msg.source == source) &&
-				(tag == AnyTag || msg.tag == tag) {
-				m.queue = append(m.queue[:i], m.queue[i+1:]...)
-				return msg
+		for i := 0; i < len(m.queue); i++ {
+			msg := m.queue[i]
+			if msg.seq > 0 {
+				// Stale duplicate of an already-delivered message: drop it
+				// during ANY scan, whatever (source, tag) this receive asked
+				// for — a duplicate on a channel never requested again (a
+				// one-shot collective tag) must still drain, not squat in
+				// the queue forever.
+				ch := chanKey{src: msg.source, dst: c.rank, tag: msg.tag}
+				if msg.seq <= m.delivered[ch] {
+					m.queue = append(m.queue[:i], m.queue[i+1:]...)
+					i--
+					if tel := c.world.root.telemetry; tel != nil {
+						tel.Counter("chaos.dups_dropped").Add(1)
+					}
+					continue
+				}
 			}
+			if (source != AnySource && msg.source != source) ||
+				(tag != AnyTag && msg.tag != tag) {
+				continue
+			}
+			if msg.seq > 0 {
+				// Chaos-mode sequencing: deliver each channel in seq order.
+				ch := chanKey{src: msg.source, dst: c.rank, tag: msg.tag}
+				d := m.delivered[ch]
+				if msg.seq > d+1 {
+					// A gap: an earlier message of this channel is still in
+					// flight (reordered or partition-held). Skip; the watchdog
+					// or its eventual delivery re-wakes us.
+					continue
+				}
+				if m.delivered == nil {
+					m.delivered = make(map[chanKey]int64)
+				}
+				m.delivered[ch] = msg.seq
+			}
+			m.queue = append(m.queue[:i], m.queue[i+1:]...)
+			return msg
 		}
 		if f := c.world.poisonF.Load(); f != nil {
 			panic(failurePanic{f: f})
@@ -136,6 +189,14 @@ type World struct {
 	noVerify  bool               // disables payload checksum verification (root only)
 	fault     *faultState        // injection schedule; nil = none
 	telemetry *telemetry.Session // nil = telemetry disabled (root only)
+
+	// Chaos-mode transport state (root only, see FaultPlan.messageChaos):
+	// per-channel send sequence counters and reorder-held messages.
+	chaosOn  bool
+	seqMu    sync.Mutex
+	sendSeqs map[chanKey]int64
+	heldMu   sync.Mutex
+	held     []*heldMsg
 
 	poisonF   atomic.Pointer[RankFailure] // first observed failure
 	fenced    []atomic.Bool               // abandoned ranks barred from windows (root only)
@@ -219,7 +280,7 @@ func (c *Comm) SendInts(dest, tag int, data []int) {
 }
 
 func (c *Comm) send(dest, tag int, data []float64, ints []int) {
-	cr := c.faultHook(SiteSend)
+	n, cr := c.faultHookSend()
 	if tel := c.world.root.telemetry; tel != nil {
 		tel.Counter("mpi.send.msgs").Add(1)
 		tel.Histogram("mpi.send.bytes").Observe(int64(8 * (len(data) + len(ints))))
@@ -231,14 +292,27 @@ func (c *Comm) send(dest, tag int, data []float64, ints []int) {
 	if ints != nil {
 		msg.ints = append([]int(nil), ints...)
 	}
-	c.frameAndDeliver(dest, msg, cr)
+	c.frameAndDeliver(dest, msg, cr, n)
+}
+
+// faultHookSend fires the send-site fault hook and returns the send
+// event ordinal alongside any corruption — the ordinal is what the chaos
+// routing matches Duplicate/Reorder schedules against.
+func (c *Comm) faultHookSend() (n int64, cr *Corrupt) {
+	w := c.world
+	if w != w.root || w.root.fault == nil {
+		return 0, nil
+	}
+	return w.root.fault.hitN(c.rank, SiteSend)
 }
 
 // frameAndDeliver checksums the (clean) payload, applies any scheduled
 // corruption to the in-flight copy, and delivers. Because every
 // collective is built on this point-to-point path, Bcast/Reduce/
-// Allreduce/Gather/Scatter all inherit verified framing for free.
-func (c *Comm) frameAndDeliver(dest int, msg message, cr *Corrupt) {
+// Allreduce/Gather/Scatter all inherit verified framing — and, in chaos
+// runs, sequenced delivery — for free. n is the send event ordinal from
+// faultHookSend (0 outside the root world or without a fault plan).
+func (c *Comm) frameAndDeliver(dest int, msg message, cr *Corrupt, n int64) {
 	w := c.world.root
 	if !w.noVerify {
 		msg.sum = integrity.ChecksumPayload(msg.data, msg.ints)
@@ -257,7 +331,111 @@ func (c *Comm) frameAndDeliver(dest int, msg message, cr *Corrupt) {
 	}
 	c.world.stats.Messages.Add(1)
 	c.world.stats.Floats.Add(int64(len(msg.data)))
+	if c.world == w && w.chaosOn {
+		w.chaosRoute(c.rank, dest, msg, n)
+		return
+	}
 	c.world.boxes[dest].deliver(msg)
+}
+
+// --- chaos-mode message routing ---
+
+// heldMsg is a reorder-held message waiting for later sends from the
+// same sender (or the safety timer) to release it.
+type heldMsg struct {
+	sender   int
+	releaseN int64 // release once the sender's send count reaches this
+	dest     int
+	msg      message
+	released bool
+}
+
+// reorderMaxHold bounds how long a reordered message can be withheld
+// when its sender stops sending — liveness insurance, sized well under
+// any reasonable run deadline.
+const reorderMaxHold = 50 * time.Millisecond
+
+// chaosRoute delivers a message under the chaos plan: it assigns the
+// channel sequence number, applies partition hold-back, injects
+// duplicate copies, and withholds reordered messages until their release
+// condition. Every path eventually delivers (partitions heal, reorders
+// have a safety timer), so chaos perturbs timing and ordering but never
+// loses a message.
+func (w *World) chaosRoute(src, dest int, msg message, n int64) {
+	ch := chanKey{src: src, dst: dest, tag: msg.tag}
+	w.seqMu.Lock()
+	w.sendSeqs[ch]++
+	msg.seq = w.sendSeqs[ch]
+	w.seqMu.Unlock()
+
+	dup, ro := w.fault.sendChaos(src, n)
+	copies := 0
+	if dup != nil {
+		copies = dup.Copies
+		if copies <= 0 {
+			copies = 1
+		}
+		if tel := w.telemetry; tel != nil {
+			tel.Counter("chaos.dups").Add(int64(copies))
+		}
+	}
+
+	if ro != nil {
+		behind := ro.Behind
+		if behind <= 0 {
+			behind = 1
+		}
+		h := &heldMsg{sender: src, releaseN: n + int64(behind), dest: dest, msg: msg}
+		w.heldMu.Lock()
+		w.held = append(w.held, h)
+		w.heldMu.Unlock()
+		if tel := w.telemetry; tel != nil {
+			tel.Counter("chaos.reorders").Add(1)
+		}
+		time.AfterFunc(reorderMaxHold, func() { w.releaseHeld(src, 1<<62) })
+	} else {
+		w.chaosDeliver(src, dest, msg)
+	}
+	// Duplicates of a reordered message are delivered immediately — the
+	// receiver sees copies AHEAD of the held original, exercising both the
+	// gap wait and the duplicate drop.
+	for i := 0; i < copies; i++ {
+		w.chaosDeliver(src, dest, msg)
+	}
+	// This send may satisfy the release condition of earlier holds.
+	w.releaseHeld(src, n)
+}
+
+// chaosDeliver delivers now, or after the partition heals when the
+// message crosses an active partition cut.
+func (w *World) chaosDeliver(src, dest int, msg message) {
+	if hold := w.fault.partitionDelay(src, dest, time.Since(w.runStart)); hold > 0 {
+		if tel := w.telemetry; tel != nil {
+			tel.Counter("chaos.partition_held").Add(1)
+		}
+		box := w.boxes[dest]
+		time.AfterFunc(hold+time.Millisecond, func() { box.deliver(msg) })
+		return
+	}
+	w.boxes[dest].deliver(msg)
+}
+
+// releaseHeld delivers every held message of the given sender whose
+// release condition (send count reached, or safety-timer flush with a
+// huge n) is now met.
+func (w *World) releaseHeld(sender int, n int64) {
+	var release []*heldMsg
+	w.heldMu.Lock()
+	for _, h := range w.held {
+		if !h.released && h.sender == sender && n >= h.releaseN {
+			h.released = true
+			release = append(release, h)
+		}
+	}
+	w.heldMu.Unlock()
+	for _, h := range release {
+		w.chaosDeliver(h.sender, h.dest, h.msg)
+	}
 }
 
 // applyCorruptPayload mutates a payload per the corruption schedule:
@@ -281,13 +459,35 @@ func applyCorruptPayload(cr *Corrupt, floats []float64, ints []int) {
 }
 
 // Verification retry policy: a corrupted payload gets maxRetransmits
-// chances to arrive clean, with exponential backoff starting at
-// retryBackoff0, before the receiver escalates to a KindCorrupted
-// RankFailure (persistent corruption is a sick node, not a soft error).
+// chances to arrive clean, with full-jitter exponential backoff over a
+// window starting at retryBackoff0, before the receiver escalates to a
+// KindCorrupted RankFailure (persistent corruption is a sick node, not a
+// soft error).
 const (
 	maxRetransmits = 3
 	retryBackoff0  = 50 * time.Microsecond
 )
+
+// splitmix64 is the SplitMix64 finalizer — a tiny, allocation-free,
+// statistically solid mixer for deterministic jitter seeds.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// retryBackoff returns the sleep before retransmit attempt (0-based):
+// full jitter, uniform in [0, retryBackoff0·2^attempt). Deterministic
+// doubling made concurrent mismatching receivers retry in lockstep,
+// hammering the sender in synchronized waves; full jitter desynchronizes
+// them while the hash seed — receiver rank, message envelope, attempt —
+// keeps every run bit-reproducible.
+func retryBackoff(rank, source, tag, attempt int) time.Duration {
+	window := retryBackoff0 << uint(attempt)
+	seed := uint64(rank)<<48 ^ uint64(source)<<32 ^ uint64(uint32(tag))<<8 ^ uint64(attempt)
+	return time.Duration(splitmix64(seed) % uint64(window))
+}
 
 // verifyMsg checks the payload against its checksum frame and drives the
 // retry/backoff/escalation ladder. It runs OUTSIDE the mailbox lock, on
@@ -299,7 +499,6 @@ func (c *Comm) verifyMsg(msg message) message {
 		return msg
 	}
 	tel := w.telemetry
-	backoff := retryBackoff0
 	for attempt := 0; ; attempt++ {
 		if integrity.ChecksumPayload(msg.data, msg.ints) == msg.sum {
 			if attempt > 0 && tel != nil {
@@ -323,8 +522,7 @@ func (c *Comm) verifyMsg(msg message) message {
 		if tel != nil {
 			tel.Counter("sdc.retries").Add(1)
 		}
-		time.Sleep(backoff)
-		backoff *= 2
+		time.Sleep(retryBackoff(c.rank, msg.source, msg.tag, attempt))
 		msg.retransmit()
 	}
 }

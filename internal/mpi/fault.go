@@ -198,12 +198,108 @@ type Corrupt struct {
 	Repeat int // additional retransmissions to re-corrupt (escalation testing)
 }
 
+// --- performance-fault (chaos) schedules ---
+//
+// Kill/Delay/Corrupt model crash and data faults; the types below model
+// PERFORMANCE faults: the run still produces a result, but the network
+// or a core misbehaves in ways that inflate wall time (stragglers) or
+// stress delivery ordering (duplication, reordering, partitions). They
+// are deterministic schedules like the rest of the plan, so chaos runs
+// are reproducible.
+
+// Slowdown models a sustained straggler: rank Rank runs slow for the
+// whole run instead of dying or stalling once (contrast Delay).
+type Slowdown struct {
+	Rank int
+	// Factor stretches task-site work: a unit of work that took t is
+	// stalled a further (Factor-1)·t by Comm.TaskStall, so the rank's
+	// observed task latency is Factor× its true latency. Values <= 1
+	// apply no task stall.
+	Factor float64
+	// OpDelay adds a fixed latency to every matching communication event
+	// — a degraded NIC rather than a slow core.
+	OpDelay time.Duration
+	// Sites restricts where the slowdown applies; empty means all sites.
+	Sites []FaultSite
+}
+
+func (s *Slowdown) appliesTo(site FaultSite) bool {
+	if len(s.Sites) == 0 {
+		return true
+	}
+	for _, x := range s.Sites {
+		if x == site {
+			return true
+		}
+	}
+	return false
+}
+
+// Duplicate schedules rank Rank's After-th send (1-based) to be
+// delivered Copies extra times (0 means 1 extra). The duplicates carry
+// the same transport sequence number as the original, so the receiver's
+// dedup must drop all but one.
+type Duplicate struct {
+	Rank   int
+	After  int
+	Copies int
+}
+
+// Reorder holds rank Rank's After-th send (1-based) back until Behind
+// later sends (0 means 1) from the same rank have been delivered, making
+// the held message arrive out of order. A safety timer flushes the held
+// message even when no later send comes, so a quiescing sender cannot
+// stall the run.
+type Reorder struct {
+	Rank   int
+	After  int
+	Behind int
+}
+
+// Partition opens a transient network partition: any message crossing
+// the cut between Ranks and the remaining ranks, sent inside the window
+// [Start, Start+Duration) measured from run start, is held and delivered
+// when the partition heals. The partition must heal before the run
+// deadline or blocked receivers time out — which is exactly the
+// distinction the deadline machinery exists to make.
+type Partition struct {
+	Ranks    []int // one side of the cut (world ranks)
+	Start    time.Duration
+	Duration time.Duration
+}
+
+// crosses reports whether a src→dst message crosses the cut.
+func (p *Partition) crosses(src, dst int) bool {
+	in := func(r int) bool {
+		for _, x := range p.Ranks {
+			if x == r {
+				return true
+			}
+		}
+		return false
+	}
+	return in(src) != in(dst)
+}
+
 // FaultPlan is an injection schedule for one run. The zero value injects
 // nothing.
 type FaultPlan struct {
 	Kills    []Kill
 	Delays   []Delay
 	Corrupts []Corrupt
+
+	// Performance faults (see the chaos section above).
+	Slowdowns  []Slowdown
+	Duplicates []Duplicate
+	Reorders   []Reorder
+	Partitions []Partition
+}
+
+// messageChaos reports whether the plan reshapes message delivery
+// (duplication, reordering, partitions) and therefore requires the
+// sequence-numbered transport that restores per-channel FIFO order.
+func (p *FaultPlan) messageChaos() bool {
+	return len(p.Duplicates)+len(p.Reorders)+len(p.Partitions) > 0
 }
 
 type siteCounters [6]atomic.Int64
@@ -212,16 +308,33 @@ type siteCounters [6]atomic.Int64
 type faultState struct {
 	plan   FaultPlan
 	counts []siteCounters
+	tel    *telemetry.Session // run telemetry for chaos counters (may be nil)
 }
 
-// hit records one event, fires any matching delay/kill, and returns the
-// matching corruption (nil for none) for the caller to apply to the
-// payload in flight.
+// hit records one event, fires any matching delay/kill/slowdown, and
+// returns the matching corruption (nil for none) for the caller to apply
+// to the payload in flight.
 func (fs *faultState) hit(rank int, site FaultSite) *Corrupt {
+	_, cr := fs.hitN(rank, site)
+	return cr
+}
+
+// hitN is hit exposing the event ordinal, which the send path needs to
+// match Duplicate/Reorder schedules and release held reorders.
+func (fs *faultState) hitN(rank int, site FaultSite) (int64, *Corrupt) {
 	n := fs.counts[rank][siteIndex(site)].Add(1)
 	for _, d := range fs.plan.Delays {
 		if d.Rank == rank && d.Site == site && int64(d.After) == n {
 			time.Sleep(d.Sleep)
+		}
+	}
+	for i := range fs.plan.Slowdowns {
+		s := &fs.plan.Slowdowns[i]
+		if s.Rank == rank && s.OpDelay > 0 && s.appliesTo(site) {
+			if fs.tel != nil {
+				fs.tel.Counter("chaos.slowdown.events").Add(1)
+			}
+			time.Sleep(s.OpDelay)
 		}
 	}
 	for _, k := range fs.plan.Kills {
@@ -232,10 +345,55 @@ func (fs *faultState) hit(rank int, site FaultSite) *Corrupt {
 	for i := range fs.plan.Corrupts {
 		c := &fs.plan.Corrupts[i]
 		if c.Rank == rank && c.Site == site && int64(c.After) == n {
-			return c
+			return n, c
 		}
 	}
-	return nil
+	return n, nil
+}
+
+// sendChaos returns the duplicate/reorder entries scheduled for rank's
+// n-th send event (already counted by hitN).
+func (fs *faultState) sendChaos(rank int, n int64) (dup *Duplicate, ro *Reorder) {
+	for i := range fs.plan.Duplicates {
+		d := &fs.plan.Duplicates[i]
+		if d.Rank == rank && int64(d.After) == n {
+			dup = d
+		}
+	}
+	for i := range fs.plan.Reorders {
+		r := &fs.plan.Reorders[i]
+		if r.Rank == rank && int64(r.After) == n {
+			ro = r
+		}
+	}
+	return dup, ro
+}
+
+// slowdownFor returns the sustained task-stall factor for rank at site
+// (0 when none is scheduled).
+func (fs *faultState) slowdownFor(rank int, site FaultSite) float64 {
+	for i := range fs.plan.Slowdowns {
+		s := &fs.plan.Slowdowns[i]
+		if s.Rank == rank && s.Factor > 1 && s.appliesTo(site) {
+			return s.Factor
+		}
+	}
+	return 0
+}
+
+// partitionDelay returns how long a src→dst message sent now must be
+// held for every partition window it falls into (0 = deliver now).
+func (fs *faultState) partitionDelay(src, dst int, elapsed time.Duration) time.Duration {
+	var hold time.Duration
+	for i := range fs.plan.Partitions {
+		p := &fs.plan.Partitions[i]
+		if elapsed >= p.Start && elapsed < p.Start+p.Duration && p.crosses(src, dst) {
+			if d := p.Start + p.Duration - elapsed; d > hold {
+				hold = d
+			}
+		}
+	}
+	return hold
 }
 
 // Panic payload types used to classify unwinding in the rank runner.
@@ -414,7 +572,11 @@ func RunWithOptions(size int, opt RunOptions, f func(c *Comm)) (*RunReport, erro
 	w.noVerify = opt.Unverified
 	w.telemetry = opt.Telemetry
 	if opt.Fault != nil {
-		w.fault = &faultState{plan: *opt.Fault, counts: make([]siteCounters, size)}
+		w.fault = &faultState{plan: *opt.Fault, counts: make([]siteCounters, size), tel: opt.Telemetry}
+		if opt.Fault.messageChaos() {
+			w.chaosOn = true
+			w.sendSeqs = make(map[chanKey]int64)
+		}
 	}
 	w.outcomes = make([]int8, size)
 	w.rankWall = make([]time.Duration, size)
@@ -627,6 +789,32 @@ func (c *Comm) faultHook(site FaultSite) *Corrupt {
 		return nil
 	}
 	return w.root.fault.hit(c.rank, site)
+}
+
+// TaskStall applies any sustained chaos Slowdown scheduled for this rank
+// at the given site to one unit of work that took elapsed: the caller is
+// stalled a further (Factor-1)·elapsed, so its observed task latency
+// becomes Factor× the true latency — a genuine straggler rather than a
+// one-shot hiccup. Task loops (Fock builders, DLB workloads) call it
+// after each task. Returns the stall applied (0 when no slowdown is
+// scheduled, which is the fast path for clean runs). Like fault
+// injection, slowdowns target world ranks only.
+func (c *Comm) TaskStall(site FaultSite, elapsed time.Duration) time.Duration {
+	w := c.world
+	if w != w.root || w.root.fault == nil || elapsed <= 0 {
+		return 0
+	}
+	f := w.root.fault.slowdownFor(c.rank, site)
+	if f <= 1 {
+		return 0
+	}
+	stall := time.Duration(float64(elapsed) * (f - 1))
+	if tel := w.root.telemetry; tel != nil {
+		tel.Counter("chaos.slowdown.events").Add(1)
+		tel.Counter("chaos.slowdown_ns").Add(stall.Nanoseconds())
+	}
+	time.Sleep(stall)
+	return stall
 }
 
 // checkFenced bars an abandoned rank from mutating shared windows. The

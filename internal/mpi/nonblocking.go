@@ -67,11 +67,11 @@ func (r *Request) Test() bool {
 func (c *Comm) Isend(dest, tag int, data []float64) *Request {
 	c.checkPeer(dest)
 	c.checkTag(tag)
-	cr := c.faultHook(SiteSend)
+	n, cr := c.faultHookSend()
 	r := &Request{done: make(chan struct{})}
 	payload := append([]float64(nil), data...)
 	go func() {
-		c.frameAndDeliver(dest, message{source: c.rank, tag: tag, data: payload}, cr)
+		c.frameAndDeliver(dest, message{source: c.rank, tag: tag, data: payload}, cr, n)
 		close(r.done)
 	}()
 	return r

@@ -92,6 +92,14 @@ type Recovery struct {
 	InBuildRecovery    bool             // a failure was absorbed without restarting
 	FailedRanks        []int            // world ranks lost across all attempts
 	Reports            []*mpi.RunReport // one per attempt
+
+	// Straggler-mitigation tallies, snapshotted from the run telemetry
+	// (zero when Telemetry is unset): DLB leases speculatively re-issued
+	// (hedges + steals + TTL expiries), leases hedged off flagged slow
+	// ranks, and duplicate results dropped by first-writer-wins dedup.
+	ReissuedTasks int64
+	HedgedTasks   int64
+	DedupedTasks  int64
 }
 
 // ckptStore holds the latest checkpoint bytes; the OnIteration hook
@@ -131,6 +139,13 @@ func RunRHFResilient(eng *integrals.Engine, sch *integrals.Schwarz,
 	opt ResilientOptions) (*Result, *Recovery, error) {
 	opt = opt.withDefaults()
 	rec := &Recovery{}
+	defer func() {
+		if tel := opt.Telemetry; tel != nil {
+			rec.ReissuedTasks = tel.Counter("dlb.reissued").Value()
+			rec.HedgedTasks = tel.Counter("dlb.hedged").Value()
+			rec.DedupedTasks = tel.Counter("dlb.dedup_dropped").Value()
+		}
+	}()
 	store := &ckptStore{buf: opt.Checkpoint}
 	molName := eng.Basis.Mol.Name
 	basisName := eng.Basis.Name

@@ -24,6 +24,12 @@
 //	svc.queue.wait_ns, svc.job.run_ns        latency histograms
 //	svc.request.post_ns                      POST /v1/jobs handler latency
 //
+// The runtime's performance-fault counters (chaos.* transport chaos,
+// dlb.hedged/reissued/dedup_dropped straggler mitigation, ddi.lease.*
+// re-issue paths) are pre-registered at construction and fed by every
+// job the workers run, so /metrics always carries the full taxonomy —
+// zeros included — for scrapers that alert on it.
+//
 // Spans: one "svc.job" span per run attempt on the DriverPid lane, tid =
 // worker index.
 package service
@@ -104,14 +110,27 @@ type Server struct {
 // StartWorkers (or Start, which does both plus HTTP).
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
-	return &Server{
+	s := &Server{
 		cfg:    cfg,
 		tel:    cfg.Telemetry,
 		queue:  jobs.NewQueue(cfg.QueueCap),
 		cache:  jobs.NewCache(cfg.CacheSize),
 		byID:   make(map[string]*jobs.Job),
 		byHash: make(map[string]*jobs.Job),
+		runner: jobs.Runner{Telemetry: cfg.Telemetry},
 	}
+	// Pre-register the chaos and straggler-mitigation counters so they
+	// appear in /metrics from the first scrape (zeros included).
+	for _, name := range []string{
+		"chaos.dups", "chaos.dups_dropped", "chaos.reorders",
+		"chaos.partition_held", "chaos.slowdown.events", "chaos.slowdown_ns",
+		"dlb.hedged", "dlb.reissued", "dlb.dedup_dropped",
+		"ddi.lease.steals", "ddi.lease.expired",
+	} {
+		s.tel.Counter(name)
+	}
+	s.tel.Gauge("straggler.flagged")
+	return s
 }
 
 // Telemetry returns the server's telemetry session.

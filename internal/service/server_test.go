@@ -342,6 +342,13 @@ func TestServeQueueHealthMetrics(t *testing.T) {
 	if metrics.Counters["svc.jobs.accepted"] != 2 {
 		t.Errorf("metrics counters %v, want svc.jobs.accepted=2", metrics.Counters)
 	}
+	// The chaos/mitigation taxonomy is pre-registered, so scrapers see it
+	// (as zeros) even before any fault fires.
+	for _, name := range []string{"chaos.dups_dropped", "dlb.hedged", "dlb.reissued", "ddi.lease.expired"} {
+		if _, present := metrics.Counters[name]; !present {
+			t.Errorf("metrics missing pre-registered counter %q", name)
+		}
+	}
 
 	// Drain flips healthz and POST to 503 while the backlog finishes.
 	s.StartWorkers()

@@ -1,0 +1,201 @@
+package simulate
+
+// Chaos workload: the measured counterpart of the straggler story. Where
+// RunResilience prices crash faults analytically, this is a LIVE
+// micro-benchmark on the in-process runtime that isolates a performance
+// fault: a synthetic lease-DLB cycle (fixed task cost, coarse chunked
+// draws — the configuration where one slow rank stalls the whole tail)
+// is run three times with identical work:
+//
+//	clean        — no fault plan: the baseline wall time;
+//	unmitigated  — rank 1 runs chaosSlowFactor× slow (a sustained
+//	               mpi.Slowdown at the task site) and nobody helps, so
+//	               the job finishes at the straggler's pace (~factor×);
+//	mitigated    — same slowdown, but the straggler detector flags the
+//	               slow rank from the shared latency window and fast
+//	               ranks hedge its outstanding leases; first writer
+//	               wins, the straggler skips leases it has lost.
+//
+// Every mode pushes each task's "contribution" as a fetch-and-add on a
+// shared counter inside the Reserve→push→Finish critical section, so
+// the final count doubles as an exactly-once audit: it must equal the
+// task count in all three modes, speculation or not.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/ddi"
+	"repro/internal/mpi"
+	"repro/internal/telemetry"
+)
+
+// Chaos workload shape. Clean per-rank work is chaosChunk tasks of
+// chaosTaskCost each; the gate in cmd/scaling bounds the mitigated wall
+// time at 1.6× clean against an unmitigated ~chaosSlowFactor×.
+const (
+	chaosRanks      = 4
+	chaosTasks      = 48
+	chaosChunk      = chaosTasks / chaosRanks
+	chaosTaskCost   = 5 * time.Millisecond
+	chaosSlowRank   = 1
+	chaosSlowFactor = 4
+	chaosPushWin    = "chaos.pushes"
+)
+
+// ChaosResult holds the three wall times plus the mitigation and
+// exactly-once audits of the mitigated run.
+type ChaosResult struct {
+	Tasks            int
+	CleanWall        time.Duration
+	UnmitigatedWall  time.Duration
+	MitigatedWall    time.Duration
+	UnmitigatedRatio float64 // UnmitigatedWall / CleanWall
+	MitigatedRatio   float64 // MitigatedWall / CleanWall
+
+	// Pushes per mode: each must equal Tasks (exactly-once audit).
+	CleanPushes       int64
+	UnmitigatedPushes int64
+	MitigatedPushes   int64
+
+	// Mitigated-run telemetry: hedges fired, total speculative
+	// re-issues, and duplicate results dropped by first-writer-wins.
+	Hedged   int64
+	Reissued int64
+	Deduped  int64
+}
+
+type chaosMode int
+
+const (
+	chaosClean chaosMode = iota
+	chaosUnmitigated
+	chaosMitigated
+)
+
+// RunChaosWorkload runs the three modes and gathers the comparison.
+func RunChaosWorkload() (*ChaosResult, error) {
+	res := &ChaosResult{Tasks: chaosTasks}
+	var err error
+	if res.CleanWall, res.CleanPushes, _, err = runChaosMode(chaosClean); err != nil {
+		return nil, fmt.Errorf("clean run: %w", err)
+	}
+	if res.UnmitigatedWall, res.UnmitigatedPushes, _, err = runChaosMode(chaosUnmitigated); err != nil {
+		return nil, fmt.Errorf("unmitigated run: %w", err)
+	}
+	var tel *telemetry.Session
+	if res.MitigatedWall, res.MitigatedPushes, tel, err = runChaosMode(chaosMitigated); err != nil {
+		return nil, fmt.Errorf("mitigated run: %w", err)
+	}
+	res.UnmitigatedRatio = float64(res.UnmitigatedWall) / float64(res.CleanWall)
+	res.MitigatedRatio = float64(res.MitigatedWall) / float64(res.CleanWall)
+	res.Hedged = tel.Counter("dlb.hedged").Value()
+	res.Reissued = tel.Counter("dlb.reissued").Value()
+	res.Deduped = tel.Counter("dlb.dedup_dropped").Value()
+	return res, nil
+}
+
+// runChaosMode runs one mode and returns its wall time, the shared push
+// count after completion, and the run's telemetry session.
+func runChaosMode(mode chaosMode) (time.Duration, int64, *telemetry.Session, error) {
+	tel := telemetry.NewSession()
+	var fault *mpi.FaultPlan
+	if mode != chaosClean {
+		fault = &mpi.FaultPlan{Slowdowns: []mpi.Slowdown{{
+			Rank:   chaosSlowRank,
+			Factor: chaosSlowFactor,
+			Sites:  []mpi.FaultSite{mpi.SiteFock},
+		}}}
+	}
+	var pushes int64
+	start := time.Now()
+	_, err := mpi.RunWithOptions(chaosRanks, mpi.RunOptions{
+		Deadline:  30 * time.Second,
+		Fault:     fault,
+		Telemetry: tel,
+	}, func(c *mpi.Comm) {
+		dx := ddi.New(c)
+		l := dx.NewLeaseDLB(chaosTasks)
+		c.WinCreateCounters(chaosPushWin, 1)
+
+		// work computes one task (owner's lease) and commits it
+		// first-writer-wins; the push is the shared fetch-and-add.
+		work := func(idx, owner int) {
+			t0 := time.Now()
+			time.Sleep(chaosTaskCost)
+			elapsed := time.Since(t0)
+			elapsed += c.TaskStall(mpi.SiteFock, elapsed)
+			dx.ObserveTaskLatency(elapsed)
+			if l.Reserve(idx, owner) {
+				c.FetchAdd(chaosPushWin, 0, 1)
+				l.Finish(idx)
+			}
+		}
+
+		for {
+			chunk := l.DrawChunk(chaosChunk)
+			if len(chunk) == 0 {
+				break
+			}
+			for _, idx := range chunk {
+				// The straggler's escape hatch: skip leases a hedger
+				// already won rather than computing a doomed duplicate.
+				if !l.Mine(idx) {
+					continue
+				}
+				work(idx, c.Rank())
+			}
+		}
+		drainStart := time.Now()
+		for !l.AllComplete() {
+			if idx, ok := l.Steal(); ok {
+				work(idx, c.Rank())
+				continue
+			}
+			if mode == chaosMitigated {
+				if slow := dx.Stragglers(2, 2); len(slow) > 0 {
+					if idx, owner, ok := l.Hedge(slow); ok {
+						work(idx, owner)
+						continue
+					}
+				}
+			}
+			c.CheckDeadline("chaos-workload drain", drainStart)
+			time.Sleep(200 * time.Microsecond)
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			pushes = c.CounterLoad(chaosPushWin, 0)
+		}
+	})
+	return time.Since(start), pushes, tel, err
+}
+
+// FormatChaos renders the chaos-workload comparison.
+func FormatChaos(r *ChaosResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-12s %10s %8s %8s\n", "mode", "wall", "vs clean", "pushes")
+	row := func(name string, wall time.Duration, ratio float64, pushes int64) {
+		fmt.Fprintf(&b, "%-12s %10v %7.2fx %8d\n",
+			name, wall.Round(time.Millisecond), ratio, pushes)
+	}
+	row("clean", r.CleanWall, 1.0, r.CleanPushes)
+	row("unmitigated", r.UnmitigatedWall, r.UnmitigatedRatio, r.UnmitigatedPushes)
+	row("mitigated", r.MitigatedWall, r.MitigatedRatio, r.MitigatedPushes)
+	fmt.Fprintf(&b, "mitigated run: %d hedged, %d reissued, %d duplicates dropped\n",
+		r.Hedged, r.Reissued, r.Deduped)
+	return b.String()
+}
+
+// CSVChaos renders the chaos-workload comparison as CSV.
+func CSVChaos(r *ChaosResult) string {
+	var b strings.Builder
+	b.WriteString("mode,wall_ms,ratio_vs_clean,pushes,hedged,reissued,dedup_dropped\n")
+	ms := func(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
+	fmt.Fprintf(&b, "clean,%.2f,1.00,%d,,,\n", ms(r.CleanWall), r.CleanPushes)
+	fmt.Fprintf(&b, "unmitigated,%.2f,%.2f,%d,,,\n", ms(r.UnmitigatedWall), r.UnmitigatedRatio, r.UnmitigatedPushes)
+	fmt.Fprintf(&b, "mitigated,%.2f,%.2f,%d,%d,%d,%d\n", ms(r.MitigatedWall), r.MitigatedRatio, r.MitigatedPushes,
+		r.Hedged, r.Reissued, r.Deduped)
+	return b.String()
+}

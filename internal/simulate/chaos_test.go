@@ -1,0 +1,34 @@
+package simulate
+
+import "testing"
+
+// TestChaosWorkloadExactlyOnce runs the live chaos micro-benchmark and
+// checks its correctness invariants: every mode pushes each task exactly
+// once (speculation included), and the mitigated run actually hedged.
+// Wall-time ratios are asserted only by the cmd/scaling gate — unit
+// tests on shared CI machines must not gate on the scheduler.
+func TestChaosWorkloadExactlyOnce(t *testing.T) {
+	r, err := RunChaosWorkload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []struct {
+		name   string
+		pushes int64
+	}{
+		{"clean", r.CleanPushes},
+		{"unmitigated", r.UnmitigatedPushes},
+		{"mitigated", r.MitigatedPushes},
+	} {
+		if m.pushes != int64(r.Tasks) {
+			t.Errorf("%s: %d pushes for %d tasks (lost or duplicated work)",
+				m.name, m.pushes, r.Tasks)
+		}
+	}
+	if r.Hedged == 0 {
+		t.Error("mitigated run never hedged the straggler")
+	}
+	if r.Reissued < r.Hedged {
+		t.Errorf("dlb.reissued = %d < dlb.hedged = %d", r.Reissued, r.Hedged)
+	}
+}

@@ -46,6 +46,25 @@
 //	svc.request.post_ns      POST /v1/jobs handler latency
 //	scf.canceled             SCF loops stopped by context cancellation
 //
+// Performance-fault taxonomy (chaos injection in internal/mpi and the
+// straggler mitigation in internal/ddi; audited by the `scaling -exp
+// chaos` gate):
+//
+//	chaos.dups               duplicate deliveries injected at the mailbox
+//	chaos.dups_dropped       stale duplicates dropped by seq-number dedup
+//	chaos.reorders           deliveries pushed behind later traffic
+//	chaos.partition_held     messages held back by a transient partition
+//	chaos.slowdown.events    sustained-straggler stalls applied
+//	chaos.slowdown_ns        total injected stall time
+//	dlb.hedged               speculative (hedged) lease re-issues
+//	dlb.reissued             total re-issues (expiry + steal + hedge)
+//	dlb.dedup_dropped        duplicate task results discarded by
+//	                         first-writer-wins commit
+//	ddi.lease.steals         leases reclaimed from dead ranks
+//	ddi.lease.expired        leases reclaimed past their TTL deadline
+//	ddi.lease.draws          lease-cursor draws
+//	straggler.flagged        gauge: ranks currently over the EWMA k-bar
+//
 // Lanes: pid = MPI rank (DriverPid for events outside any rank), tid = 0
 // for the rank's main goroutine, 1..T for OpenMP team threads.
 //
