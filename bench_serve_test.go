@@ -83,7 +83,10 @@ func BenchmarkJobQueue(b *testing.B) {
 // decode, spec validation, canonical hashing, LRU lookup, JSON encode —
 // without any SCF work. This is the latency a duplicate submission pays.
 func BenchmarkServeCached(b *testing.B) {
-	srv := service.New(service.Config{Workers: 1, QueueCap: 8})
+	srv, err := service.New(service.Config{Workers: 1, QueueCap: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		b.Fatal(err)

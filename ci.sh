@@ -38,6 +38,16 @@
 # 429 + Retry-After backpressure rejection by filling the worker and the
 # queue, cancel the backlog via DELETE, and drain cleanly on SIGTERM.
 #
+# Tier 7 (fleet gate): `scaling -exp fleet` — three WAL-backed hfserve
+# replicas with consistent-hash cache sharding serve a >= 1000-job
+# duplicate-heavy storm twice: clean, then with one replica SIGKILL'd
+# mid-run (victim jobs parked on its queue) and restarted from its
+# write-ahead log. Gates: zero lost jobs, zero failures, exactly one SCF
+# execution per content hash fleet-wide, the crash backlog provably
+# re-enqueued, and an aggregate cache hit-rate within 5 points of the
+# no-kill baseline. The WAL torn-write/bit-flip fuzz tests (truncate and
+# corrupt at every byte boundary) rerun under -race.
+#
 # Usage: ./ci.sh [-short]   (-short skips the slow simulator sweeps)
 set -eu
 
@@ -138,5 +148,10 @@ echo "== tier 6: performance-fault gate (scaling -exp chaos + -race property tes
 go run ./cmd/scaling -exp chaos
 go test -race -run 'TestChaos|TestLeaseHedge|TestLeaseExpired|TestStraggler|TestResilientHedges|TestRetryBackoffJitter' \
 	./internal/mpi/ ./internal/ddi/ ./internal/fock/ ./internal/simulate/
+
+echo "== tier 7: fleet gate (scaling -exp fleet + -race WAL fuzz) =="
+go run ./cmd/scaling -exp fleet
+go test -race -run 'TestWALCrashPoint|TestWALReplay|TestWALSegment|TestWALDisable|TestCrashReplay|TestFleet' \
+	./internal/jobs/ ./internal/service/
 
 echo "ci: all green"

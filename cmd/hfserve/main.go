@@ -43,6 +43,13 @@ func main() {
 		lgJobs   = flag.Int("jobs", 60, "loadgen: total jobs (duplicate + distinct streams)")
 		lgCli    = flag.Int("clients", 8, "loadgen: concurrent submitting clients")
 		lgSeed   = flag.Int64("seed", 1, "loadgen: workload shuffle seed")
+
+		walDir   = flag.String("wal", "", "write-ahead log directory (crash-replay durability); empty disables")
+		replica  = flag.String("replica", "", "fleet: this replica's name (requires -peers)")
+		peers    = flag.String("peers", "", "fleet: comma-separated name=host:port members, self included")
+		quota    = flag.Int("tenant-quota", 0, "max active jobs per tenant (0 = unlimited)")
+		ageAfter = flag.Duration("age-after", 0, "priority aging: boost a queued job every this long (0 disables)")
+		ageBoost = flag.Int("age-boost", 1, "priority aging: effective-priority boost per interval waited")
 	)
 	flag.Parse()
 
@@ -64,17 +71,41 @@ func main() {
 		return
 	}
 
-	srv := service.New(service.Config{
+	srv, err := service.New(service.Config{
 		Workers:        *workers,
 		QueueCap:       *queueCap,
 		CacheSize:      *cacheN,
 		DefaultTimeout: *timeout,
 		MaxRetries:     *retries,
+		WALDir:         *walDir,
+		TenantQuota:    *quota,
+		AgeAfter:       *ageAfter,
+		AgeBoost:       *ageBoost,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hfserve:", err)
+		os.Exit(1)
+	}
+	if *peers != "" {
+		members, perr := parsePeers(*peers)
+		if perr != nil {
+			fmt.Fprintln(os.Stderr, "hfserve:", perr)
+			os.Exit(1)
+		}
+		if _, ok := members[*replica]; !ok {
+			fmt.Fprintf(os.Stderr, "hfserve: -replica %q is not among -peers members\n", *replica)
+			os.Exit(1)
+		}
+		srv.ConfigureFleet(*replica, members, 0)
+	}
 	bound, err := srv.Start(*addr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hfserve:", err)
 		os.Exit(1)
+	}
+	if srv.RecoveredBacklog() > 0 || srv.RecoveredDone() > 0 {
+		fmt.Printf("hfserve: wal replay: %d jobs re-enqueued, %d terminal jobs restored\n",
+			srv.RecoveredBacklog(), srv.RecoveredDone())
 	}
 	if *portfile != "" {
 		if err := os.WriteFile(*portfile, []byte(bound+"\n"), 0o644); err != nil {
@@ -97,6 +128,19 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("hfserve: drained cleanly, no jobs lost")
+}
+
+// parsePeers decodes a "name=host:port,name=host:port" fleet roster.
+func parsePeers(s string) (map[string]string, error) {
+	members := map[string]string{}
+	for _, part := range strings.Split(s, ",") {
+		name, addr, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok || name == "" || addr == "" {
+			return nil, fmt.Errorf("bad -peers entry %q (want name=host:port)", part)
+		}
+		members[name] = addr
+	}
+	return members, nil
 }
 
 func runLoadgen(jobs, clients, workers, queueCap int, timeout time.Duration, seed int64) {

@@ -11,6 +11,7 @@
 //	scaling -exp resilience # MTBF failure model: restart vs. lease re-issue
 //	scaling -exp sdc      # silent-data-corruption model + live detection gate
 //	scaling -exp chaos    # straggler/partition chaos: live mitigation gate
+//	scaling -exp fleet    # 3 WAL-backed replicas, kill-one chaos, exactly-once gate
 //	scaling -exp all
 package main
 
@@ -34,7 +35,7 @@ import (
 // unknown-id error advertises exactly this list so it can never drift.
 var experiments = []string{
 	"table2", "table3", "fig3", "fig4", "fig5", "fig7",
-	"sweep", "breakdown", "ablation", "resilience", "sdc", "chaos",
+	"sweep", "breakdown", "ablation", "resilience", "sdc", "chaos", "fleet",
 }
 
 func main() {
@@ -148,6 +149,11 @@ func main() {
 		case "chaos":
 			fmt.Println("== Chaos: straggler & partition tolerance (live mitigation gates) ==")
 			if !liveChaos(*grace, writeCSV) {
+				os.Exit(1)
+			}
+		case "fleet":
+			fmt.Println("== Fleet: 3 WAL-backed replicas, kill-one chaos, exactly-once gate ==")
+			if !liveFleet(writeCSV) {
 				os.Exit(1)
 			}
 		default:

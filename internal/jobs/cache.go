@@ -3,18 +3,26 @@ package jobs
 import (
 	"container/list"
 	"sync"
+
+	"repro/internal/telemetry"
 )
 
 // Cache is a concurrency-safe LRU result cache keyed by the canonical
 // content hash. A converged SCF result is deterministic for a given
 // canonical spec, so cache entries never expire — only capacity evicts.
 type Cache struct {
-	mu    sync.Mutex
-	cap   int
-	ll    *list.List // front = most recently used
-	items map[string]*list.Element
-	hits  int64
-	miss  int64
+	mu     sync.Mutex
+	cap    int
+	ll     *list.List // front = most recently used
+	items  map[string]*list.Element
+	hits   int64
+	miss   int64
+	evicts int64
+
+	// Optional telemetry handles fed alongside the internal counts, so
+	// cache effectiveness is visible at runtime through /metrics rather
+	// than only post-mortem through Stats.
+	hitC, missC, evictC *telemetry.Counter
 }
 
 type cacheEntry struct {
@@ -31,6 +39,15 @@ func NewCache(capacity int) *Cache {
 	return &Cache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
 }
 
+// Instrument attaches telemetry counters (svc.cache.hit/miss/evict in
+// the service) that the cache increments on every lookup and eviction.
+// Call before the cache sees traffic.
+func (c *Cache) Instrument(hit, miss, evict *telemetry.Counter) {
+	c.mu.Lock()
+	c.hitC, c.missC, c.evictC = hit, miss, evict
+	c.mu.Unlock()
+}
+
 // Get returns the cached outcome for hash, refreshing its recency.
 func (c *Cache) Get(hash string) (*Outcome, bool) {
 	c.mu.Lock()
@@ -38,10 +55,26 @@ func (c *Cache) Get(hash string) (*Outcome, bool) {
 	el, ok := c.items[hash]
 	if !ok {
 		c.miss++
+		c.missC.Add(1)
 		return nil, false
 	}
 	c.hits++
+	c.hitC.Add(1)
 	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).out, true
+}
+
+// Peek returns the cached outcome for hash without refreshing recency or
+// counting a hit/miss — the probe used by metrics endpoints and peer
+// cache lookups that should not distort the eviction order or the
+// effectiveness counters.
+func (c *Cache) Peek(hash string) (*Outcome, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.items[hash]
+	if !ok {
+		return nil, false
+	}
 	return el.Value.(*cacheEntry).out, true
 }
 
@@ -63,6 +96,8 @@ func (c *Cache) Put(hash string, out *Outcome) {
 		oldest := c.ll.Back()
 		c.ll.Remove(oldest)
 		delete(c.items, oldest.Value.(*cacheEntry).hash)
+		c.evicts++
+		c.evictC.Add(1)
 	}
 }
 
@@ -78,4 +113,11 @@ func (c *Cache) Stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.miss
+}
+
+// Evictions returns how many entries capacity pressure has pushed out.
+func (c *Cache) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evicts
 }

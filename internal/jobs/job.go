@@ -70,6 +70,10 @@ type Job struct {
 	finished  time.Time // terminal transition
 }
 
+// FmtJobID renders the canonical job ID for a numeric sequence value —
+// the shared format the service mints and the WAL replay parses back.
+func FmtJobID(n uint64) string { return fmt.Sprintf("job-%06d", n) }
+
 // NewJob returns a Queued job.
 func NewJob(id, hash string, spec Spec, now time.Time) *Job {
 	return &Job{ID: id, Hash: hash, Spec: spec, state: StateQueued, submitted: now}
@@ -80,6 +84,21 @@ func NewJob(id, hash string, spec Spec, now time.Time) *Job {
 func NewCachedJob(id, hash string, spec Spec, out *Outcome, now time.Time) *Job {
 	return &Job{ID: id, Hash: hash, Spec: spec, state: StateDone, cached: true,
 		outcome: out, submitted: now, started: now, finished: now}
+}
+
+// RestoreJob reconstructs a job from a WAL replay record. A non-terminal
+// recorded state (queued or running at crash time) restores as Queued —
+// the crashed attempt never finished, so the job goes back through the
+// FSM from the top; its attempt count survives so retry budgets span
+// crashes.
+func RestoreJob(rj *ReplayJob) *Job {
+	j := &Job{ID: rj.ID, Hash: rj.Hash, Spec: rj.Spec,
+		state: rj.State, attempts: rj.Attempts, errMsg: rj.Error,
+		outcome: rj.Outcome, submitted: rj.Submitted, finished: rj.Finished}
+	if !rj.State.Terminal() {
+		j.state = StateQueued
+	}
+	return j
 }
 
 // State returns the current lifecycle state.

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"errors"
 	"sync"
+	"time"
 )
 
 // Queue errors surfaced to admission control.
@@ -44,19 +45,65 @@ func NewQueue(capacity int) *Queue {
 // Submit enqueues j, rejecting with ErrQueueFull past capacity and
 // ErrQueueClosed after Close.
 func (q *Queue) Submit(j *Job) error {
+	return q.submit(j, false)
+}
+
+// ForceSubmit enqueues j past the capacity bound (still rejecting after
+// Close). The WAL replay path uses it: a crash backlog larger than the
+// admission cap must be recovered in full, not dropped — backpressure
+// applies to new work, never to work already acknowledged.
+func (q *Queue) ForceSubmit(j *Job) error {
+	return q.submit(j, true)
+}
+
+func (q *Queue) submit(j *Job, force bool) error {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
 		return ErrQueueClosed
 	}
-	if q.items.Len() >= q.cap {
+	if !force && q.items.Len() >= q.cap {
 		return ErrQueueFull
 	}
 	q.seq++
-	heap.Push(&q.items, &pqItem{job: j, prio: j.Spec.Priority, seq: q.seq})
+	heap.Push(&q.items, &pqItem{job: j, prio: j.Spec.Priority, eff: j.Spec.Priority,
+		seq: q.seq, enqueued: time.Now()})
 	q.cond.Signal()
 	return nil
 }
+
+// Age applies priority aging: a job that has waited longer than `after`
+// gains `boost` effective priority per elapsed `after` interval (capped
+// at maxAgeSteps intervals), so low-priority work cannot starve behind a
+// steady high-priority stream. Returns how many queued jobs had their
+// effective priority raised by this call. Base priorities are never
+// mutated — aging is a property of the queue, not the job.
+func (q *Queue) Age(now time.Time, after time.Duration, boost int) int {
+	if after <= 0 || boost <= 0 {
+		return 0
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	changed := 0
+	for _, it := range q.items {
+		steps := int(now.Sub(it.enqueued) / after)
+		if steps > maxAgeSteps {
+			steps = maxAgeSteps
+		}
+		if eff := it.prio + steps*boost; eff != it.eff {
+			it.eff = eff
+			changed++
+		}
+	}
+	if changed > 0 {
+		heap.Init(&q.items)
+	}
+	return changed
+}
+
+// maxAgeSteps bounds the aging boost so an ancient job cannot overflow
+// past every conceivable explicit priority forever.
+const maxAgeSteps = 64
 
 // Claim blocks until a job is available and returns the
 // highest-priority, oldest one. It returns nil once the queue is closed
@@ -127,12 +174,15 @@ func (q *Queue) Close() {
 	q.cond.Broadcast()
 }
 
-// pqItem is one heap entry; seq breaks priority ties FIFO.
+// pqItem is one heap entry; seq breaks priority ties FIFO. eff is the
+// aged effective priority (starts equal to prio, raised by Age).
 type pqItem struct {
-	job   *Job
-	prio  int
-	seq   uint64
-	index int
+	job      *Job
+	prio     int
+	eff      int
+	seq      uint64
+	enqueued time.Time
+	index    int
 }
 
 type pqHeap []*pqItem
@@ -140,8 +190,8 @@ type pqHeap []*pqItem
 func (h pqHeap) Len() int { return len(h) }
 
 func (h pqHeap) Less(i, j int) bool {
-	if h[i].prio != h[j].prio {
-		return h[i].prio > h[j].prio // max-heap on priority
+	if h[i].eff != h[j].eff {
+		return h[i].eff > h[j].eff // max-heap on (aged) effective priority
 	}
 	return h[i].seq < h[j].seq // FIFO within a priority
 }

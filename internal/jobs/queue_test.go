@@ -231,3 +231,58 @@ func TestCacheLRU(t *testing.T) {
 		t.Fatalf("stats = %d/%d", hits, misses)
 	}
 }
+
+func TestQueuePriorityAging(t *testing.T) {
+	q := NewQueue(8)
+	now := time.Now()
+	lo := NewJob("job-000001", "a", Spec{Priority: 0}, now)
+	hi1 := NewJob("job-000002", "b", Spec{Priority: 5}, now)
+	hi2 := NewJob("job-000003", "c", Spec{Priority: 5}, now)
+	if err := q.Submit(lo); err != nil {
+		t.Fatal(err)
+	}
+	// Let the low-priority job accumulate real queue wait before the
+	// high-priority stream arrives — aging is driven by enqueue time.
+	time.Sleep(120 * time.Millisecond)
+	for _, j := range []*Job{hi1, hi2} {
+		if err := q.Submit(j); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Without aging the low-priority job drains last.
+	if got := q.TryClaim(); got.ID != hi1.ID {
+		t.Fatalf("first claim %s, want %s", got.ID, hi1.ID)
+	}
+	// lo has waited >= 2 intervals of 50ms: 0 + 2*3 = 6 > 5, so it now
+	// outranks the remaining high-priority job (which has waited ~0).
+	if changed := q.Age(time.Now(), 50*time.Millisecond, 3); changed < 1 {
+		t.Fatalf("Age changed %d items, want >= 1", changed)
+	}
+	if got := q.TryClaim(); got.ID != lo.ID {
+		t.Fatalf("post-aging claim %s, want starved job %s", got.ID, lo.ID)
+	}
+	if got := q.TryClaim(); got.ID != hi2.ID {
+		t.Fatalf("final claim %s, want %s", got.ID, hi2.ID)
+	}
+}
+
+func TestQueueForceSubmitBypassesCap(t *testing.T) {
+	q := NewQueue(1)
+	now := time.Now()
+	if err := q.Submit(NewJob("job-000001", "a", Spec{}, now)); err != nil {
+		t.Fatal(err)
+	}
+	if err := q.Submit(NewJob("job-000002", "b", Spec{}, now)); err != ErrQueueFull {
+		t.Fatalf("over-cap Submit: %v, want ErrQueueFull", err)
+	}
+	if err := q.ForceSubmit(NewJob("job-000003", "c", Spec{}, now)); err != nil {
+		t.Fatalf("ForceSubmit: %v", err)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("len = %d, want 2", q.Len())
+	}
+	q.Close()
+	if err := q.ForceSubmit(NewJob("job-000004", "d", Spec{}, now)); err != ErrQueueClosed {
+		t.Fatalf("ForceSubmit after close: %v, want ErrQueueClosed", err)
+	}
+}

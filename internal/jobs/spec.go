@@ -50,9 +50,10 @@ type Spec struct {
 	ConvEnergy float64 `json:"conv_energy,omitempty"` // energy threshold; default 1e-9
 	Guess      string  `json:"guess,omitempty"`       // core (default) or gwh
 
-	Priority   int   `json:"priority,omitempty"`    // higher runs first; FIFO within a priority
-	TimeoutMS  int64 `json:"timeout_ms,omitempty"`  // per-job deadline; 0 = service default
-	MaxRetries int   `json:"max_retries,omitempty"` // bounded retry budget; 0 = service default
+	Priority   int    `json:"priority,omitempty"`    // higher runs first; FIFO within a priority
+	TimeoutMS  int64  `json:"timeout_ms,omitempty"`  // per-job deadline; 0 = service default
+	MaxRetries int    `json:"max_retries,omitempty"` // bounded retry budget; 0 = service default
+	Tenant     string `json:"tenant,omitempty"`      // admission-quota bucket; "" = the anonymous tenant
 }
 
 // Normalized returns the spec with defaults applied — the form that is
@@ -156,7 +157,7 @@ func (s Spec) Validate() (repro.BasisInfo, error) {
 // the canonicalized geometry (atoms sorted, coordinates fixed-point
 // rounded), total charge, basis, convergence targets, iteration cap, and
 // initial guess. Execution-shape fields — mode, algorithm, ranks,
-// threads, priority, timeout, retries — are deliberately excluded: they
+// threads, priority, timeout, retries, tenant — are deliberately excluded: they
 // change how the answer is computed, not what the answer is, so requests
 // differing only in those dedup onto one cache entry. Atom order and XYZ
 // whitespace never change the hash (see TestCanonicalHashInvariance).

@@ -1,0 +1,597 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/jobs"
+)
+
+// The fleet chaos experiment: three hfserve replicas with write-ahead
+// logs and consistent-hash cache sharding serve a duplicate-heavy
+// workload of >= 1000 submissions over real HTTP. The run happens twice
+// — once clean (baseline) and once with one replica SIGKILL'd mid-run
+// and restarted from its WAL — and the gates assert that the kill is
+// invisible at the serving contract level:
+//
+//   - zero lost jobs: every job acknowledged by any replica (including
+//     those queued on the victim at the kill instant) reaches a terminal
+//     state, with no failed or canceled stragglers fleet-wide;
+//   - exactly-once execution: across all surviving replica incarnations,
+//     each distinct content hash was computed by exactly one SCF run;
+//   - cache effectiveness holds: the aggregate client-observed cache
+//     hit-rate of the chaos run is within 5 percentage points of the
+//     no-kill baseline.
+//
+// The kill is simulated in-process with Server.Kill — the WAL stops
+// accepting appends atomically (nothing after the kill instant reaches
+// disk), the listener hard-closes, and the recovery path is a fresh
+// Server over the same WAL directory, exactly the code path a process
+// restart takes.
+
+// FleetOptions shapes RunFleet. Zero values take the documented
+// defaults, sized so the default run satisfies the >= 1000 jobs gate.
+type FleetOptions struct {
+	Replicas int   // fleet size; default 3
+	Jobs     int   // duplicate-storm submissions; default 1000
+	Distinct int   // distinct content hashes in the storm; default 25
+	Workers  int   // worker pool per replica; default 2
+	Clients  int   // concurrent storm clients; default 8
+	Victims  int   // jobs parked on the kill target's queue; default 4
+	WALRoot  string // WAL parent directory; default a fresh temp dir
+	Out      io.Writer
+}
+
+func (o FleetOptions) withDefaults() FleetOptions {
+	if o.Replicas <= 0 {
+		o.Replicas = 3
+	}
+	if o.Jobs <= 0 {
+		o.Jobs = 1000
+	}
+	if o.Distinct <= 0 {
+		o.Distinct = 25
+	}
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.Clients <= 0 {
+		o.Clients = 8
+	}
+	if o.Victims <= 0 {
+		o.Victims = 4
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	return o
+}
+
+// FleetPhase is the client-side accounting of one storm phase.
+type FleetPhase struct {
+	Submitted int // POSTs that got a non-429 answer
+	Hits      int // 200 + cached (local or peer cache)
+	Accepted  int // 202 accepted or coalesced
+	Retries   int // 429 bounces (resubmitted until admitted)
+}
+
+// HitRate returns the client-observed cache hit-rate in percent.
+func (p FleetPhase) HitRate() float64 {
+	if p.Submitted == 0 {
+		return 0
+	}
+	return 100 * float64(p.Hits) / float64(p.Submitted)
+}
+
+// FleetRun is the outcome of one full fleet pass (baseline or chaos).
+type FleetRun struct {
+	Storm      FleetPhase
+	WarmupJobs int
+	VictimJobs int
+	Distinct   int
+	Lost       int // accepted jobs that never reached a terminal state
+	Failed     int // terminal failed/canceled jobs fleet-wide
+	MaxExec    int // max executions of any one hash across replicas
+	MinExec    int // min executions of any one hash across replicas
+	Reenqueued int // WAL-replayed backlog on the restarted replica (chaos only)
+	WallMS     float64
+}
+
+// FleetReport is the full experiment: baseline vs. chaos.
+type FleetReport struct {
+	Baseline FleetRun
+	Chaos    FleetRun
+	Replicas int
+	Killed   string // name of the killed replica
+}
+
+// HitRateGapPoints returns |baseline - chaos| aggregate hit-rate in
+// percentage points.
+func (r *FleetReport) HitRateGapPoints() float64 {
+	gap := r.Baseline.Storm.HitRate() - r.Chaos.Storm.HitRate()
+	if gap < 0 {
+		gap = -gap
+	}
+	return gap
+}
+
+// fleetHarness is one booted fleet: servers, addresses, and the specs.
+type fleetHarness struct {
+	opt     FleetOptions
+	names   []string
+	servers map[string]*Server
+	addrs   map[string]string
+	walDirs map[string]string
+	specs   []jobs.Spec  // distinct storm content
+	hashes  []string     // canonical hashes of specs
+	client  *http.Client
+}
+
+func (h *fleetHarness) serverConfig() Config {
+	return Config{
+		Workers:        h.opt.Workers,
+		QueueCap:       64,
+		DefaultTimeout: time.Minute,
+		WALNoSync:      true, // fsync fidelity is covered by the WAL unit tests; the gate is about replay
+	}
+}
+
+// bootFleet starts opt.Replicas servers with WALs and joins them.
+func bootFleet(opt FleetOptions) (*fleetHarness, error) {
+	h := &fleetHarness{
+		opt:     opt,
+		servers: map[string]*Server{},
+		addrs:   map[string]string{},
+		walDirs: map[string]string{},
+		client:  &http.Client{Timeout: 30 * time.Second},
+	}
+	root := opt.WALRoot
+	if root == "" {
+		var err error
+		root, err = os.MkdirTemp("", "hffleet-*")
+		if err != nil {
+			return nil, err
+		}
+	}
+	for i := 0; i < opt.Replicas; i++ {
+		name := fmt.Sprintf("r%d", i)
+		h.names = append(h.names, name)
+		h.walDirs[name] = fmt.Sprintf("%s/%s", root, name)
+		cfg := h.serverConfig()
+		cfg.WALDir = h.walDirs[name]
+		s, err := New(cfg)
+		if err != nil {
+			return nil, fmt.Errorf("boot %s: %w", name, err)
+		}
+		addr, err := s.Start("127.0.0.1:0")
+		if err != nil {
+			return nil, fmt.Errorf("start %s: %w", name, err)
+		}
+		h.servers[name] = s
+		h.addrs[name] = addr
+	}
+	for _, name := range h.names {
+		h.servers[name].ConfigureFleet(name, h.addrs, 0)
+	}
+	for i := 0; i < opt.Distinct; i++ {
+		spec := jobs.Spec{Molecule: "h2", Basis: "sto-3g", Mode: jobs.ModeSerial, MaxIter: 101 + i}
+		hash, err := spec.CanonicalHash()
+		if err != nil {
+			return nil, err
+		}
+		h.specs = append(h.specs, spec)
+		h.hashes = append(h.hashes, hash)
+	}
+	return h, nil
+}
+
+// submit POSTs spec to the named replica, retrying on 429, and reports
+// the outcome into phase (mutex held by caller via channel discipline).
+func (h *fleetHarness) submit(name string, spec jobs.Spec, phase *FleetPhase, mu *sync.Mutex) error {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return err
+	}
+	for attempt := 0; ; attempt++ {
+		resp, err := h.client.Post("http://"+h.addrs[name]+"/v1/jobs", "application/json",
+			strings.NewReader(string(body)))
+		if err != nil {
+			return fmt.Errorf("POST to %s: %w", name, err)
+		}
+		var out struct {
+			Cached    bool   `json:"cached"`
+			Coalesced bool   `json:"coalesced"`
+			Error     string `json:"error"`
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			mu.Lock()
+			phase.Retries++
+			mu.Unlock()
+			if attempt > 200 {
+				return fmt.Errorf("replica %s: still 429 after %d retries", name, attempt)
+			}
+			time.Sleep(20 * time.Millisecond)
+			continue
+		case resp.StatusCode >= 400:
+			return fmt.Errorf("replica %s: status %d (%s)", name, resp.StatusCode, out.Error)
+		case decErr != nil:
+			return fmt.Errorf("replica %s: bad response: %w", name, decErr)
+		}
+		mu.Lock()
+		phase.Submitted++
+		if resp.StatusCode == http.StatusOK && out.Cached {
+			phase.Hits++
+		} else {
+			phase.Accepted++
+		}
+		mu.Unlock()
+		return nil
+	}
+}
+
+// waitCached polls the named replica until hash is in its result cache.
+func (h *fleetHarness) waitCached(name, hash string, within time.Duration) error {
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		resp, err := h.client.Get(fmt.Sprintf("http://%s/v1/cache/%s", h.addrs[name], hash))
+		if err == nil {
+			code := resp.StatusCode
+			resp.Body.Close()
+			if code == http.StatusOK {
+				return nil
+			}
+		}
+		time.Sleep(15 * time.Millisecond)
+	}
+	return fmt.Errorf("hash %s never cached on %s", hash[:12], name)
+}
+
+// warmup executes every distinct spec once (routing finds the ring
+// owner) and then touches it on every replica so all local caches hold
+// every hash — after this, the duplicate storm is all cache hits and the
+// kill window cannot force a recomputation of warm content.
+func (h *fleetHarness) warmup(run *FleetRun) error {
+	var mu sync.Mutex
+	var discard FleetPhase
+	for i, spec := range h.specs {
+		if err := h.submit(h.names[i%len(h.names)], spec, &discard, &mu); err != nil {
+			return err
+		}
+		// Wait for the owner (whoever that is) to finish and cache it.
+		ring, _ := h.servers[h.names[0]].Fleet()
+		if err := h.waitCached(ring.Owner(h.hashes[i]), h.hashes[i], 30*time.Second); err != nil {
+			return err
+		}
+		// Touch on every replica: a local miss peer-fetches and installs.
+		for _, name := range h.names {
+			if err := h.submit(name, spec, &discard, &mu); err != nil {
+				return err
+			}
+		}
+		run.WarmupJobs += 1 + len(h.names)
+	}
+	return nil
+}
+
+// storm drives n duplicate submissions round-robin across replicas from
+// opt.Clients concurrent clients.
+func (h *fleetHarness) storm(n int, run *FleetRun) error {
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errCh := make(chan error, h.opt.Clients)
+	per := n / h.opt.Clients
+	for c := 0; c < h.opt.Clients; c++ {
+		count := per
+		if c == 0 {
+			count += n % h.opt.Clients
+		}
+		wg.Add(1)
+		go func(c, count int) {
+			defer wg.Done()
+			for i := 0; i < count; i++ {
+				k := c*per + i
+				spec := h.specs[k%len(h.specs)]
+				name := h.names[k%len(h.names)]
+				if err := h.submit(name, spec, &run.Storm, &mu); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(c, count)
+	}
+	wg.Wait()
+	close(errCh)
+	return <-errCh
+}
+
+// victimSpecs crafts jobs the ring assigns to the kill target, so the
+// restarted replica provably replays and completes them. MaxIter varies
+// the canonical hash without changing the physics budget materially.
+func (h *fleetHarness) victimSpecs(target string, n int) ([]jobs.Spec, []string, error) {
+	ring, _ := h.servers[h.names[0]].Fleet()
+	var specs []jobs.Spec
+	var hashes []string
+	for iter := 301; len(specs) < n; iter++ {
+		spec := jobs.Spec{Molecule: "h2", Basis: "sto-3g", Mode: jobs.ModeSerial, MaxIter: iter}
+		hash, err := spec.CanonicalHash()
+		if err != nil {
+			return nil, nil, err
+		}
+		if ring.Owner(hash) == target {
+			specs = append(specs, spec)
+			hashes = append(hashes, hash)
+		}
+	}
+	return specs, hashes, nil
+}
+
+// restart replaces the killed replica: a fresh Server over the same WAL
+// directory, rebound to the same address, rejoined to the fleet.
+func (h *fleetHarness) restart(name string) (*Server, error) {
+	cfg := h.serverConfig()
+	cfg.WALDir = h.walDirs[name]
+	s, err := New(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("restart %s: %w", name, err)
+	}
+	s.ConfigureFleet(name, h.addrs, 0)
+	// The killed listener releases its port asynchronously; retry the bind.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		if _, err := s.Start(h.addrs[name]); err == nil {
+			break
+		} else if time.Now().After(deadline) {
+			return nil, fmt.Errorf("rebinding %s on %s: %w", name, h.addrs[name], err)
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+	h.servers[name] = s
+	return s, nil
+}
+
+// audit fills the loss/exactly-once fields of run from the fleet's
+// registries (list endpoint) and execution tallies.
+func (h *fleetHarness) audit(run *FleetRun, allHashes []string) error {
+	// Terminal-state sweep via the list endpoint: failed or canceled
+	// anywhere is a loss of acknowledged work.
+	for _, name := range h.names {
+		for _, state := range []string{"failed", "canceled", "queued", "running"} {
+			resp, err := h.client.Get(fmt.Sprintf(
+				"http://%s/v1/jobs?status=%s&limit=1", h.addrs[name], state))
+			if err != nil {
+				return fmt.Errorf("listing %s on %s: %w", state, name, err)
+			}
+			var page struct {
+				Total int `json:"total"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&page)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			switch state {
+			case "failed", "canceled":
+				run.Failed += page.Total
+			case "queued", "running":
+				run.Lost += page.Total // post-drain: nothing may still be pending
+			}
+		}
+	}
+	// Exactly-once: per-hash execution counts summed across replicas.
+	run.MinExec, run.MaxExec = 1<<30, 0
+	totals := map[string]int{}
+	for _, s := range h.servers {
+		for hash, n := range s.Executions() {
+			totals[hash] += n
+		}
+	}
+	for _, hash := range allHashes {
+		n := totals[hash]
+		if n < run.MinExec {
+			run.MinExec = n
+		}
+		if n > run.MaxExec {
+			run.MaxExec = n
+		}
+	}
+	run.Distinct = len(allHashes)
+	return nil
+}
+
+// quiesce polls every replica's queue endpoint until no job is queued
+// or running anywhere — the audit precondition.
+func (h *fleetHarness) quiesce(within time.Duration) error {
+	deadline := time.Now().Add(within)
+	for time.Now().Before(deadline) {
+		pending := 0
+		for _, name := range h.names {
+			resp, err := h.client.Get("http://" + h.addrs[name] + "/v1/queue")
+			if err != nil {
+				return fmt.Errorf("quiesce poll %s: %w", name, err)
+			}
+			var q struct {
+				Depth  int            `json:"depth"`
+				States map[string]int `json:"states"`
+			}
+			err = json.NewDecoder(resp.Body).Decode(&q)
+			resp.Body.Close()
+			if err != nil {
+				return err
+			}
+			pending += q.Depth + q.States["queued"] + q.States["running"]
+		}
+		if pending == 0 {
+			return nil
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return fmt.Errorf("fleet did not quiesce within %v", within)
+}
+
+// drainAll gracefully drains every live replica.
+func (h *fleetHarness) drainAll() {
+	for _, s := range h.servers {
+		if !s.Killed() {
+			ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+			_ = s.Drain(ctx)
+			cancel()
+		}
+	}
+}
+
+// runFleetPass executes one full pass. kill == "" is the baseline; a
+// replica name is the chaos pass: half the storm, park victim jobs on
+// the target's queue, SIGKILL it, restart it from its WAL, verify the
+// backlog replays, then finish the storm.
+func runFleetPass(opt FleetOptions, kill string, out io.Writer) (FleetRun, error) {
+	var run FleetRun
+	h, err := bootFleet(opt)
+	if err != nil {
+		return run, err
+	}
+	defer h.drainAll()
+	start := time.Now()
+
+	fmt.Fprintf(out, "  warmup: %d distinct specs across %d replicas\n", opt.Distinct, opt.Replicas)
+	if err := h.warmup(&run); err != nil {
+		return run, fmt.Errorf("warmup: %w", err)
+	}
+	allHashes := append([]string{}, h.hashes...)
+
+	half := opt.Jobs / 2
+	if err := h.storm(half, &run); err != nil {
+		return run, fmt.Errorf("storm first half: %w", err)
+	}
+
+	if kill != "" {
+		specs, hashes, err := h.victimSpecs(kill, opt.Victims)
+		if err != nil {
+			return run, err
+		}
+		allHashes = append(allHashes, hashes...)
+		var mu sync.Mutex
+		var discard FleetPhase
+		for _, spec := range specs {
+			// Accepted (202 + WAL accept) on the victim; with the storm
+			// paused and tiny specs, some may finish before the kill — the
+			// gate needs at least one still pending, which Victims=4 against
+			// an immediate kill reliably leaves.
+			if err := h.submit(kill, spec, &discard, &mu); err != nil {
+				return run, fmt.Errorf("victim submit: %w", err)
+			}
+			run.VictimJobs++
+		}
+		fmt.Fprintf(out, "  SIGKILL %s with %d victim jobs parked (storm at %d/%d)\n",
+			kill, run.VictimJobs, half, opt.Jobs)
+		h.servers[kill].Kill()
+
+		restarted, err := h.restart(kill)
+		if err != nil {
+			return run, err
+		}
+		run.Reenqueued = restarted.RecoveredBacklog()
+		fmt.Fprintf(out, "  restarted %s: %d jobs re-enqueued from WAL, %d terminal replayed\n",
+			kill, restarted.RecoveredBacklog(), restarted.RecoveredDone())
+		// The replayed backlog must complete before the storm resumes.
+		for _, hash := range hashes {
+			if err := h.waitCached(kill, hash, 30*time.Second); err != nil {
+				return run, fmt.Errorf("replayed victim: %w", err)
+			}
+		}
+	}
+
+	if err := h.storm(opt.Jobs-half, &run); err != nil {
+		return run, fmt.Errorf("storm second half: %w", err)
+	}
+
+	// Quiesce: every accepted job terminal before auditing (the audit
+	// itself runs over HTTP, so the drain happens after, via the defer).
+	if err := h.quiesce(time.Minute); err != nil {
+		return run, err
+	}
+	if err := h.audit(&run, allHashes); err != nil {
+		return run, err
+	}
+	run.WallMS = float64(time.Since(start)) / float64(time.Millisecond)
+	return run, nil
+}
+
+// RunFleet executes the full experiment: baseline pass, then chaos pass
+// with replica r1 killed and restarted.
+func RunFleet(opt FleetOptions) (*FleetReport, error) {
+	opt = opt.withDefaults()
+	rep := &FleetReport{Replicas: opt.Replicas, Killed: "r1"}
+
+	fmt.Fprintln(opt.Out, "baseline pass (no kill):")
+	base, err := runFleetPass(opt, "", opt.Out)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	rep.Baseline = base
+
+	fmt.Fprintln(opt.Out, "chaos pass (kill r1 mid-storm):")
+	chaos, err := runFleetPass(opt, rep.Killed, opt.Out)
+	if err != nil {
+		return nil, fmt.Errorf("chaos: %w", err)
+	}
+	rep.Chaos = chaos
+	return rep, nil
+}
+
+// FormatFleet renders the report.
+func FormatFleet(r *FleetReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  %-34s %12s %12s\n", "", "baseline", "kill+restart")
+	row := func(label, a, c string) { fmt.Fprintf(&b, "  %-34s %12s %12s\n", label, a, c) }
+	row("storm submissions",
+		fmt.Sprintf("%d", r.Baseline.Storm.Submitted), fmt.Sprintf("%d", r.Chaos.Storm.Submitted))
+	row("cache hits (client-observed)",
+		fmt.Sprintf("%d", r.Baseline.Storm.Hits), fmt.Sprintf("%d", r.Chaos.Storm.Hits))
+	row("hit rate",
+		fmt.Sprintf("%.1f%%", r.Baseline.Storm.HitRate()), fmt.Sprintf("%.1f%%", r.Chaos.Storm.HitRate()))
+	row("429 retries",
+		fmt.Sprintf("%d", r.Baseline.Storm.Retries), fmt.Sprintf("%d", r.Chaos.Storm.Retries))
+	row("warmup + victim jobs",
+		fmt.Sprintf("%d + %d", r.Baseline.WarmupJobs, r.Baseline.VictimJobs),
+		fmt.Sprintf("%d + %d", r.Chaos.WarmupJobs, r.Chaos.VictimJobs))
+	row("distinct hashes",
+		fmt.Sprintf("%d", r.Baseline.Distinct), fmt.Sprintf("%d", r.Chaos.Distinct))
+	row("executions per hash (min..max)",
+		fmt.Sprintf("%d..%d", r.Baseline.MinExec, r.Baseline.MaxExec),
+		fmt.Sprintf("%d..%d", r.Chaos.MinExec, r.Chaos.MaxExec))
+	row("lost / failed jobs",
+		fmt.Sprintf("%d / %d", r.Baseline.Lost, r.Baseline.Failed),
+		fmt.Sprintf("%d / %d", r.Chaos.Lost, r.Chaos.Failed))
+	row("WAL backlog re-enqueued", "-", fmt.Sprintf("%d", r.Chaos.Reenqueued))
+	row("wall",
+		fmt.Sprintf("%.0f ms", r.Baseline.WallMS), fmt.Sprintf("%.0f ms", r.Chaos.WallMS))
+	fmt.Fprintf(&b, "  hit-rate gap: %.2f points (killed replica: %s)\n",
+		r.HitRateGapPoints(), r.Killed)
+	return b.String()
+}
+
+// CSVFleet renders the report as CSV.
+func CSVFleet(r *FleetReport) string {
+	var b strings.Builder
+	b.WriteString("pass,storm_submissions,cache_hits,hit_rate_pct,retries_429,warmup_jobs,victim_jobs,distinct_hashes,min_exec,max_exec,lost,failed,reenqueued,wall_ms\n")
+	for _, p := range []struct {
+		name string
+		run  FleetRun
+	}{{"baseline", r.Baseline}, {"chaos", r.Chaos}} {
+		fmt.Fprintf(&b, "%s,%d,%d,%.2f,%d,%d,%d,%d,%d,%d,%d,%d,%d,%.0f\n",
+			p.name, p.run.Storm.Submitted, p.run.Storm.Hits, p.run.Storm.HitRate(),
+			p.run.Storm.Retries, p.run.WarmupJobs, p.run.VictimJobs, p.run.Distinct,
+			p.run.MinExec, p.run.MaxExec, p.run.Lost, p.run.Failed, p.run.Reenqueued, p.run.WallMS)
+	}
+	return b.String()
+}

@@ -1,0 +1,50 @@
+package service
+
+import (
+	"io"
+	"testing"
+)
+
+// TestFleetChaosSmall is the scaled-down tier-1 version of the fleet
+// chaos gate (the full >= 1000-job run lives behind `scaling -exp
+// fleet`): 3 replicas, a 120-job duplicate storm over 6 distinct
+// hashes, one replica killed mid-run with victim jobs parked on its
+// queue and restarted from its WAL. Same invariants, smaller numbers.
+func TestFleetChaosSmall(t *testing.T) {
+	rep, err := RunFleet(FleetOptions{
+		Jobs:     120,
+		Distinct: 6,
+		Clients:  4,
+		Victims:  3,
+		WALRoot:  t.TempDir(),
+		Out:      io.Discard,
+	})
+	if err != nil {
+		t.Fatalf("RunFleet: %v", err)
+	}
+	for _, p := range []struct {
+		name string
+		run  FleetRun
+	}{{"baseline", rep.Baseline}, {"chaos", rep.Chaos}} {
+		if p.run.Storm.Submitted < 120 {
+			t.Errorf("%s: storm submitted %d, want >= 120", p.name, p.run.Storm.Submitted)
+		}
+		if p.run.Lost != 0 || p.run.Failed != 0 {
+			t.Errorf("%s: lost %d failed %d, want 0/0", p.name, p.run.Lost, p.run.Failed)
+		}
+		if p.run.MinExec != 1 || p.run.MaxExec != 1 {
+			t.Errorf("%s: executions per hash %d..%d, want exactly 1",
+				p.name, p.run.MinExec, p.run.MaxExec)
+		}
+	}
+	if rep.Chaos.Reenqueued < 1 {
+		t.Errorf("chaos: WAL re-enqueued %d jobs, want >= 1", rep.Chaos.Reenqueued)
+	}
+	if gap := rep.HitRateGapPoints(); gap > 5 {
+		t.Errorf("hit-rate gap %.2f points, want <= 5 (baseline %.1f%%, chaos %.1f%%)",
+			gap, rep.Baseline.Storm.HitRate(), rep.Chaos.Storm.HitRate())
+	}
+	if CSVFleet(rep) == "" || FormatFleet(rep) == "" {
+		t.Error("empty report rendering")
+	}
+}

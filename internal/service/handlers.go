@@ -4,6 +4,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
+	"strconv"
 	"time"
 
 	"repro/internal/jobs"
@@ -17,8 +19,10 @@ const maxSpecBytes = 4 << 20
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleList)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/cache/{hash}", s.handleCacheProbe)
 	mux.HandleFunc("GET /v1/queue", s.handleQueue)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
@@ -34,6 +38,7 @@ type submitResponse struct {
 	Coalesced bool          `json:"coalesced,omitempty"` // deduped onto an identical in-flight job
 	Result    *jobs.Outcome `json:"result,omitempty"`
 	NumBF     int           `json:"num_basis_functions,omitempty"`
+	Replica   string        `json:"replica,omitempty"` // fleet member that accepted the job
 }
 
 type errorResponse struct {
@@ -75,38 +80,76 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	// Dedup layer 1: a finished identical job serves straight from cache.
+	f := s.currentFleet()
+	self := ""
+	if f != nil {
+		self = f.self
+	}
+
+	// Dedup layer 1: a finished identical job serves straight from cache,
+	// regardless of ring ownership — cached is cached.
 	if out, ok := s.cache.Get(hash); ok {
-		s.tel.Counter("svc.cache.hit").Add(1)
 		j := jobs.NewCachedJob(s.newID(), hash, spec, out, time.Now())
 		s.register(j, false)
 		writeJSON(w, http.StatusOK, submitResponse{
 			ID: j.ID, Hash: hash, State: jobs.StateDone, Cached: true,
-			Result: out, NumBF: info.NumBF,
+			Result: out, NumBF: info.NumBF, Replica: self,
 		})
 		return
 	}
-	s.tel.Counter("svc.cache.miss").Add(1)
+
+	// Fleet routing: a submit for a hash this replica does not own goes
+	// to the owner — its cache first (one GET beats re-running an SCF),
+	// then a forwarded POST. A forwarded request (loop guard) or an
+	// unreachable owner is handled locally: hand-off trades placement for
+	// availability, and the last-chance dedup in runJob still prevents a
+	// duplicate execution.
+	if f != nil && r.Header.Get(forwardedHeader) == "" {
+		if owner := f.ring.Owner(hash); owner != f.self {
+			if res := f.fetchPeerCache(owner, hash); res.status == http.StatusOK && res.outcome != nil {
+				s.tel.Counter("svc.fleet.peer_hit").Add(1)
+				s.cache.Put(hash, res.outcome)
+				j := jobs.NewCachedJob(s.newID(), hash, spec, res.outcome, time.Now())
+				s.register(j, false)
+				writeJSON(w, http.StatusOK, submitResponse{
+					ID: j.ID, Hash: hash, State: jobs.StateDone, Cached: true,
+					Result: res.outcome, NumBF: info.NumBF, Replica: self,
+				})
+				return
+			}
+			if s.forwardSubmit(w, owner, spec) {
+				return
+			}
+			s.tel.Counter("svc.fleet.handoff").Add(1)
+		}
+	}
 
 	// Dedup layer 2: coalesce onto an identical queued/running job — the
 	// duplicate costs nothing and resolves when the original does.
 	if prior := s.activeByHash(hash); prior != nil && !prior.State().Terminal() {
 		s.tel.Counter("svc.jobs.coalesced").Add(1)
 		writeJSON(w, http.StatusAccepted, submitResponse{
-			ID: prior.ID, Hash: hash, State: prior.State(), Coalesced: true, NumBF: info.NumBF,
+			ID: prior.ID, Hash: hash, State: prior.State(), Coalesced: true,
+			NumBF: info.NumBF, Replica: self,
 		})
 		return
 	}
 
-	// Admission: the bounded queue is the backpressure valve.
+	// Admission, gate 1: the per-tenant quota — one tenant flooding the
+	// queue cannot starve the rest of the fleet's clients.
+	if s.tenantOverQuota(spec.Tenant) {
+		s.tel.Counter("svc.jobs.quota_rejected").Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+		writeJSON(w, http.StatusTooManyRequests,
+			errorResponse{Error: "tenant quota exceeded, retry later"})
+		return
+	}
+
+	// Admission, gate 2: the bounded queue is the backpressure valve.
 	j := jobs.NewJob(s.newID(), hash, spec, time.Now())
 	if err := s.queue.Submit(j); err != nil {
 		s.tel.Counter("svc.jobs.rejected").Add(1)
-		retryAfter := int(s.cfg.RetryAfter / time.Second)
-		if retryAfter < 1 {
-			retryAfter = 1
-		}
-		w.Header().Set("Retry-After", fmt.Sprintf("%d", retryAfter))
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		status := http.StatusTooManyRequests
 		msg := "queue full, retry later"
 		if err == jobs.ErrQueueClosed {
@@ -116,11 +159,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, status, errorResponse{Error: msg})
 		return
 	}
+	// Persist, then serve: the accept record must be durable before the
+	// client sees 202, or a crash could lose an acknowledged job.
+	if walErr := s.wal.AppendAccept(j, time.Now()); walErr != nil {
+		s.queue.Remove(j.ID)
+		writeJSON(w, http.StatusServiceUnavailable,
+			errorResponse{Error: "write-ahead log unavailable: " + walErr.Error()})
+		return
+	}
 	s.register(j, true)
 	s.tel.Counter("svc.jobs.accepted").Add(1)
 	s.observeDepth()
 	writeJSON(w, http.StatusAccepted, submitResponse{
-		ID: j.ID, Hash: hash, State: jobs.StateQueued, NumBF: info.NumBF,
+		ID: j.ID, Hash: hash, State: jobs.StateQueued, NumBF: info.NumBF, Replica: self,
 	})
 }
 
@@ -131,6 +182,92 @@ func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, j.Snapshot())
+}
+
+// listResponse is the GET /v1/jobs body: one bounded page of job
+// statuses in ID order plus the cursor for the next page.
+type listResponse struct {
+	Jobs  []jobs.Status `json:"jobs"`
+	Next  string        `json:"next,omitempty"` // pass as ?after= for the next page
+	Total int           `json:"total"`          // matching jobs across all pages
+}
+
+// List pagination bounds.
+const (
+	defaultListLimit = 50
+	maxListLimit     = 500
+)
+
+// handleList serves GET /v1/jobs?status=<s>&limit=<n>&after=<id>:
+// ID-ordered, optionally filtered by lifecycle state, paginated with a
+// hard page-size ceiling so one request can never marshal the entire
+// registry of a long-lived server.
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	filter := q.Get("status")
+	switch jobs.State(filter) {
+	case "", jobs.StateQueued, jobs.StateRunning, jobs.StateDone, jobs.StateFailed, jobs.StateCanceled:
+	default:
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: fmt.Sprintf(
+			"unknown status %q (want queued, running, done, failed, or canceled)", filter)})
+		return
+	}
+	limit := defaultListLimit
+	if v := q.Get("limit"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: "limit must be a positive integer"})
+			return
+		}
+		limit = n
+	}
+	if limit > maxListLimit {
+		limit = maxListLimit
+	}
+	after := q.Get("after")
+
+	s.mu.Lock()
+	all := make([]*jobs.Job, 0, len(s.byID))
+	for _, j := range s.byID {
+		all = append(all, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(all, func(i, j int) bool { return all[i].ID < all[j].ID })
+
+	resp := listResponse{Jobs: []jobs.Status{}}
+	for _, j := range all {
+		st := j.Snapshot()
+		if filter != "" && st.State != jobs.State(filter) {
+			continue
+		}
+		resp.Total++
+		if j.ID <= after || len(resp.Jobs) >= limit {
+			continue
+		}
+		resp.Jobs = append(resp.Jobs, st)
+	}
+	if n := len(resp.Jobs); n == limit && n < resp.Total {
+		resp.Next = resp.Jobs[n-1].ID
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleCacheProbe serves GET /v1/cache/{hash} — the intra-fleet
+// peer-fetch path: 200 + outcome when the result is cached here, 202
+// when an identical job is queued or running here (the caller may wait),
+// 404 otherwise. Peek, not Get: a peer probe must not distort this
+// replica's LRU order or hit/miss accounting.
+func (s *Server) handleCacheProbe(w http.ResponseWriter, r *http.Request) {
+	hash := r.PathValue("hash")
+	if out, ok := s.cache.Peek(hash); ok {
+		writeJSON(w, http.StatusOK, out)
+		return
+	}
+	if prior := s.activeByHash(hash); prior != nil && !prior.State().Terminal() {
+		writeJSON(w, http.StatusAccepted, map[string]string{"state": string(prior.State())})
+		return
+	}
+	writeJSON(w, http.StatusNotFound, errorResponse{Error: "not cached"})
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
@@ -144,7 +281,9 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 		// Pull it out of the queue first so no worker claims it; if a
 		// worker won the race, fall through to the running path.
 		if s.queue.Remove(j.ID) {
-			if changed, _ := j.MarkCanceled("canceled by request", time.Now()); changed {
+			now := time.Now()
+			_ = s.wal.AppendState(j.ID, jobs.StateCanceled, j.Attempts(), "canceled by request", nil, now)
+			if changed, _ := j.MarkCanceled("canceled by request", now); changed {
 				s.tel.Counter("svc.jobs.canceled").Add(1)
 			}
 			s.retireHash(j)
@@ -167,6 +306,8 @@ type queueResponse struct {
 	Workers  int            `json:"workers"`
 	Draining bool           `json:"draining"`
 	States   map[string]int `json:"states"`
+	Replica  string         `json:"replica,omitempty"`
+	Fleet    []string       `json:"fleet,omitempty"`
 }
 
 func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
@@ -176,13 +317,18 @@ func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
 		states[string(j.State())]++
 	}
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, queueResponse{
+	resp := queueResponse{
 		Depth:    s.queue.Len(),
 		Capacity: s.queue.Cap(),
 		Workers:  s.cfg.Workers,
 		Draining: s.Draining(),
 		States:   states,
-	})
+	}
+	if ring, self := s.Fleet(); ring != nil {
+		resp.Replica = self
+		resp.Fleet = ring.Members()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -229,12 +229,15 @@ func loadgenWorkload(n int, rng *rand.Rand) (distinct, dups []jobs.Spec) {
 // RunLoadgen executes the built-in load test. See LoadgenOptions.
 func RunLoadgen(opt LoadgenOptions) (*LoadgenReport, error) {
 	opt = opt.withDefaults()
-	srv := New(Config{
+	srv, err := New(Config{
 		Workers:        opt.Workers,
 		QueueCap:       opt.QueueCap,
 		DefaultTimeout: opt.Timeout,
 		RetryAfter:     time.Second,
 	})
+	if err != nil {
+		return nil, err
+	}
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		return nil, err

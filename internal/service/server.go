@@ -5,21 +5,41 @@
 // down into the SCF loop, an LRU result cache keyed by canonical content
 // hash, and graceful drain on shutdown.
 //
+// Durability: when Config.WALDir is set, every accepted spec and every
+// lifecycle transition is written to a CRC-protected, fsync'd write-ahead
+// log (internal/jobs WAL) before it becomes client-visible. A restarted
+// server replays the log: jobs queued or running at the crash re-enqueue,
+// finished jobs dedup against their recorded results, and the result
+// cache re-warms from recorded outcomes.
+//
+// Fleet: ConfigureFleet joins N replicas into a consistent-hash group —
+// each content hash has one owning replica, non-owners forward submits
+// (one hop) and fetch cached results from peers, and an unreachable
+// owner degrades to local hand-off rather than an error. See fleet.go.
+//
 // Endpoints:
 //
-//	POST   /v1/jobs      submit a job (200 cached, 202 accepted, 400 bad
-//	                     spec, 429 queue full, 503 draining)
-//	GET    /v1/jobs/{id} job status + result
-//	DELETE /v1/jobs/{id} cancel a queued or running job
-//	GET    /v1/queue     queue depth, capacity, per-state totals
-//	GET    /healthz      liveness (503 while draining)
-//	GET    /metrics      telemetry registry snapshot (JSON)
+//	POST   /v1/jobs        submit a job (200 cached, 202 accepted, 400 bad
+//	                       spec, 429 queue full / tenant quota, 503 draining)
+//	GET    /v1/jobs/{id}   job status + result
+//	GET    /v1/jobs        list jobs (?status=, ?limit=, ?after= pagination)
+//	DELETE /v1/jobs/{id}   cancel a queued or running job
+//	GET    /v1/cache/{hash} result-cache probe (200 cached, 202 in flight,
+//	                       404 miss) — the intra-fleet peer-fetch path
+//	GET    /v1/queue       queue depth, capacity, per-state totals
+//	GET    /healthz        liveness (503 while draining)
+//	GET    /metrics        telemetry registry snapshot (JSON)
 //
 // Counter taxonomy (on the shared telemetry registry):
 //
 //	svc.jobs.accepted / rejected / completed / failed / canceled /
 //	svc.jobs.retried / svc.jobs.coalesced    job lifecycle counts
-//	svc.cache.hit / svc.cache.miss           result-cache outcomes
+//	svc.jobs.quota_rejected                  per-tenant admission rejections
+//	svc.jobs.reenqueued                      crash backlog re-admitted at boot
+//	svc.cache.hit / svc.cache.miss / svc.cache.evict   result-cache outcomes
+//	svc.wal.appends / bytes / compactions    write-ahead log activity
+//	svc.wal.replayed_jobs / replayed_records / corrupt_tail_bytes   boot replay
+//	svc.fleet.peer_hit / forwarded / handoff intra-fleet routing outcomes
 //	svc.queue.depth                          gauge + histogram (percentiles)
 //	svc.queue.wait_ns, svc.job.run_ns        latency histograms
 //	svc.request.post_ns                      POST /v1/jobs handler latency
@@ -40,6 +60,7 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -55,8 +76,17 @@ type Config struct {
 	CacheSize      int           // LRU result-cache entries; default 256
 	DefaultTimeout time.Duration // per-job deadline when the spec sets none; default 5m
 	MaxRetries     int           // default retry budget when the spec sets none; default 1
-	RetryAfter     time.Duration // Retry-After hint on 429s; default 1s
-	Telemetry      *telemetry.Session
+	RetryAfter     time.Duration // Retry-After floor/fallback on 429s; default 1s
+	MaxRetryAfter  time.Duration // Retry-After ceiling; default 60s
+
+	WALDir       string // write-ahead log directory; "" disables durability
+	WALNoSync    bool   // skip per-append fsync (tests)
+	WALSegment   int64  // WAL segment rotation size; default 1 MiB
+	WALKeepDone  int    // terminal jobs retained by compaction; default 512
+	TenantQuota  int    // max active (queued+running) jobs per tenant; 0 = unlimited
+	AgeAfter     time.Duration // priority-aging interval; 0 disables aging
+	AgeBoost     int           // effective-priority boost per AgeAfter waited
+	Telemetry    *telemetry.Session
 }
 
 func (c Config) withDefaults() Config {
@@ -78,6 +108,9 @@ func (c Config) withDefaults() Config {
 	if c.RetryAfter <= 0 {
 		c.RetryAfter = time.Second
 	}
+	if c.MaxRetryAfter <= 0 {
+		c.MaxRetryAfter = 60 * time.Second
+	}
 	if c.Telemetry == nil {
 		c.Telemetry = telemetry.NewSession()
 	}
@@ -85,58 +118,140 @@ func (c Config) withDefaults() Config {
 }
 
 // Server is one HF-serving instance: registry of every job it has seen,
-// the bounded queue, the worker pool, and the result cache.
+// the bounded queue, the worker pool, the result cache, and (optionally)
+// a write-ahead log and a fleet membership.
 type Server struct {
 	cfg    Config
 	tel    *telemetry.Session
 	queue  *jobs.Queue
 	cache  *jobs.Cache
 	runner jobs.Runner
+	wal    *jobs.WAL
 
-	mu     sync.Mutex
-	byID   map[string]*jobs.Job
-	byHash map[string]*jobs.Job // queued/running jobs, for in-flight coalescing
-	nextID uint64
+	mu        sync.Mutex
+	byID      map[string]*jobs.Job
+	byHash    map[string]*jobs.Job // queued/running jobs, for in-flight coalescing
+	nextID    uint64
+	jobTenant map[string]string // active job ID → tenant (quota accounting)
+	tenantUse map[string]int    // tenant → active job count
+
+	fleetMu sync.Mutex
+	fleet   *fleet
+
+	execs execTracker
+
+	recoveredPending int // jobs re-enqueued from the WAL at boot
+	recoveredDone    int // terminal jobs replayed from the WAL at boot
 
 	draining atomic.Bool
+	killed   atomic.Bool
 	workers  sync.WaitGroup
 	started  atomic.Bool
+	stopBg   chan struct{}
+	bgOnce   sync.Once
 
 	httpSrv *http.Server
 	ln      net.Listener
 }
 
 // New returns a Server with its worker pool not yet started; call
-// StartWorkers (or Start, which does both plus HTTP).
-func New(cfg Config) *Server {
+// StartWorkers (or Start, which does both plus HTTP). When cfg.WALDir is
+// set the write-ahead log is opened and replayed here: the crash backlog
+// re-enqueues (bypassing the admission cap — that work was already
+// acknowledged), finished jobs land terminal in the registry, and their
+// outcomes re-warm the result cache.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:    cfg,
-		tel:    cfg.Telemetry,
-		queue:  jobs.NewQueue(cfg.QueueCap),
-		cache:  jobs.NewCache(cfg.CacheSize),
-		byID:   make(map[string]*jobs.Job),
-		byHash: make(map[string]*jobs.Job),
-		runner: jobs.Runner{Telemetry: cfg.Telemetry},
+		cfg:       cfg,
+		tel:       cfg.Telemetry,
+		queue:     jobs.NewQueue(cfg.QueueCap),
+		cache:     jobs.NewCache(cfg.CacheSize),
+		byID:      make(map[string]*jobs.Job),
+		byHash:    make(map[string]*jobs.Job),
+		jobTenant: make(map[string]string),
+		tenantUse: make(map[string]int),
+		runner:    jobs.Runner{Telemetry: cfg.Telemetry},
+		stopBg:    make(chan struct{}),
 	}
-	// Pre-register the chaos and straggler-mitigation counters so they
-	// appear in /metrics from the first scrape (zeros included).
+	// Pre-register the full counter taxonomy so every name appears in
+	// /metrics from the first scrape (zeros included).
 	for _, name := range []string{
 		"chaos.dups", "chaos.dups_dropped", "chaos.reorders",
 		"chaos.partition_held", "chaos.slowdown.events", "chaos.slowdown_ns",
 		"dlb.hedged", "dlb.reissued", "dlb.dedup_dropped",
 		"ddi.lease.steals", "ddi.lease.expired",
+		"svc.cache.hit", "svc.cache.miss", "svc.cache.evict",
+		"svc.jobs.quota_rejected", "svc.jobs.reenqueued",
+		"svc.wal.appends", "svc.wal.bytes", "svc.wal.compactions",
+		"svc.wal.replayed_jobs", "svc.wal.replayed_records", "svc.wal.corrupt_tail_bytes",
+		"svc.fleet.peer_hit", "svc.fleet.forwarded", "svc.fleet.handoff",
 	} {
 		s.tel.Counter(name)
 	}
 	s.tel.Gauge("straggler.flagged")
-	return s
+	s.cache.Instrument(s.tel.Counter("svc.cache.hit"), s.tel.Counter("svc.cache.miss"),
+		s.tel.Counter("svc.cache.evict"))
+
+	if cfg.WALDir != "" {
+		wal, rep, err := jobs.OpenWAL(jobs.WALOptions{
+			Dir: cfg.WALDir, SegmentBytes: cfg.WALSegment, NoSync: cfg.WALNoSync,
+			KeepDone: cfg.WALKeepDone, Tel: cfg.Telemetry,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("service: opening wal: %w", err)
+		}
+		s.wal = wal
+		s.restoreFromReplay(rep)
+	}
+	return s, nil
 }
+
+// restoreFromReplay folds a WAL replay into the fresh server: terminal
+// jobs become queryable history (outcomes re-warm the cache and count as
+// pre-crash executions), non-terminal jobs re-enqueue past the admission
+// cap — backpressure applies to new work, never to acknowledged work.
+func (s *Server) restoreFromReplay(rep *jobs.Replay) {
+	for _, rj := range rep.Jobs {
+		j := jobs.RestoreJob(rj)
+		s.byID[j.ID] = j
+		if rj.State.Terminal() {
+			s.recoveredDone++
+			if rj.State == jobs.StateDone && rj.Outcome != nil {
+				s.cache.Put(rj.Hash, rj.Outcome)
+				s.execs.add(rj.Hash)
+			}
+			continue
+		}
+		if err := s.queue.ForceSubmit(j); err == nil {
+			s.byHash[j.Hash] = j
+			s.recoveredPending++
+			s.tel.Counter("svc.jobs.reenqueued").Add(1)
+		}
+	}
+	if rep.MaxID > s.nextID {
+		s.nextID = rep.MaxID
+	}
+	s.observeDepth()
+}
+
+// RecoveredBacklog returns how many non-terminal jobs the boot-time WAL
+// replay re-enqueued.
+func (s *Server) RecoveredBacklog() int { return s.recoveredPending }
+
+// RecoveredDone returns how many terminal jobs the boot-time WAL replay
+// restored as queryable history.
+func (s *Server) RecoveredDone() int { return s.recoveredDone }
 
 // Telemetry returns the server's telemetry session.
 func (s *Server) Telemetry() *telemetry.Session { return s.tel }
 
-// StartWorkers launches the worker pool. Idempotent.
+// Cache exposes the result cache (read-side: the chaos gate audits hit
+// counts and warm entries).
+func (s *Server) Cache() *jobs.Cache { return s.cache }
+
+// StartWorkers launches the worker pool (and the priority-aging ticker
+// when configured). Idempotent.
 func (s *Server) StartWorkers() {
 	if s.started.Swap(true) {
 		return
@@ -145,6 +260,33 @@ func (s *Server) StartWorkers() {
 		s.workers.Add(1)
 		go s.workerLoop(i)
 	}
+	if s.cfg.AgeAfter > 0 && s.cfg.AgeBoost > 0 {
+		go s.agingLoop()
+	}
+}
+
+// agingLoop periodically applies priority aging so low-priority jobs
+// cannot starve behind a steady high-priority stream.
+func (s *Server) agingLoop() {
+	period := s.cfg.AgeAfter / 4
+	if period < 10*time.Millisecond {
+		period = 10 * time.Millisecond
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stopBg:
+			return
+		case now := <-t.C:
+			s.queue.Age(now, s.cfg.AgeAfter, s.cfg.AgeBoost)
+		}
+	}
+}
+
+// stopBackground closes the background-goroutine stop channel once.
+func (s *Server) stopBackground() {
+	s.bgOnce.Do(func() { close(s.stopBg) })
 }
 
 // Start listens on addr (host:port; port 0 picks an ephemeral one),
@@ -167,13 +309,45 @@ func (s *Server) Start(addr string) (string, error) {
 	return ln.Addr().String(), nil
 }
 
+// Kill simulates a SIGKILL at this instant: the write-ahead log stops
+// accepting appends (nothing after the kill reaches disk, exactly as if
+// the process died), the listener hard-closes mid-connection, queued
+// work is abandoned, and in-flight runs are aborted. No drain, no
+// compaction, no goodbye. Recovery happens when a new Server is built
+// over the same WALDir.
+func (s *Server) Kill() {
+	if s.killed.Swap(true) {
+		return
+	}
+	s.wal.Disable() // first: the disk image is frozen at the kill instant
+	s.draining.Store(true)
+	s.stopBackground()
+	s.queue.Close()
+	s.mu.Lock()
+	for _, j := range s.byID {
+		if j.State() == jobs.StateRunning {
+			j.Cancel()
+		}
+	}
+	s.mu.Unlock()
+	if s.httpSrv != nil {
+		_ = s.httpSrv.Close() // hard close: no graceful connection drain
+	}
+}
+
+// Killed reports whether Kill has fired.
+func (s *Server) Killed() bool { return s.killed.Load() }
+
 // Drain gracefully shuts the server down: stop accepting (healthz flips,
 // POST returns 503), let workers finish the queued backlog, and — if ctx
 // expires first — cancel in-flight jobs and wait for them to record
 // terminal states. The HTTP listener closes after the workers exit so
-// status polls keep working throughout the drain.
+// status polls keep working throughout the drain. A WAL-backed server
+// compacts its log on the way out, so the next boot replays a bounded
+// segment instead of the full history.
 func (s *Server) Drain(ctx context.Context) error {
 	s.draining.Store(true)
+	s.stopBackground()
 	s.queue.Close()
 
 	done := make(chan struct{})
@@ -196,6 +370,11 @@ func (s *Server) Drain(ctx context.Context) error {
 		s.mu.Unlock()
 		<-done
 	}
+	if s.wal != nil && !s.killed.Load() {
+		if err := s.wal.Compact(s.replayTable()); err == nil {
+			_ = s.wal.Close()
+		}
+	}
 	if s.httpSrv != nil {
 		sdCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 		defer cancel()
@@ -204,6 +383,31 @@ func (s *Server) Drain(ctx context.Context) error {
 		}
 	}
 	return ctx.Err()
+}
+
+// replayTable renders the current job registry as WAL replay records in
+// ID (acceptance) order — the input Compact rewrites the log from.
+func (s *Server) replayTable() []*jobs.ReplayJob {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ids := make([]string, 0, len(s.byID))
+	for id := range s.byID {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	table := make([]*jobs.ReplayJob, 0, len(ids))
+	for _, id := range ids {
+		j := s.byID[id]
+		st := j.Snapshot()
+		if st.Cached {
+			continue // cache-hit ephemera: never WAL-logged, nothing to keep
+		}
+		table = append(table, &jobs.ReplayJob{
+			ID: j.ID, Hash: j.Hash, Spec: j.Spec, State: st.State,
+			Attempts: st.Attempts, Error: st.Error, Outcome: st.Result,
+		})
+	}
+	return table
 }
 
 // Draining reports whether Drain has begun.
@@ -216,14 +420,29 @@ func (s *Server) lookup(id string) *jobs.Job {
 	return s.byID[id]
 }
 
-// register stores j in the ID index (and, when active, the hash index).
+// register stores j in the ID index (and, when active, the hash index
+// plus the tenant quota accounting).
 func (s *Server) register(j *jobs.Job, active bool) {
 	s.mu.Lock()
 	s.byID[j.ID] = j
 	if active {
 		s.byHash[j.Hash] = j
+		tenant := j.Spec.Tenant
+		s.jobTenant[j.ID] = tenant
+		s.tenantUse[tenant]++
 	}
 	s.mu.Unlock()
+}
+
+// tenantOverQuota reports whether admitting one more job for tenant
+// would exceed the per-tenant active-job quota.
+func (s *Server) tenantOverQuota(tenant string) bool {
+	if s.cfg.TenantQuota <= 0 {
+		return false
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tenantUse[tenant] >= s.cfg.TenantQuota
 }
 
 // activeByHash returns the queued/running job with this content hash.
@@ -234,11 +453,20 @@ func (s *Server) activeByHash(hash string) *jobs.Job {
 }
 
 // retireHash drops the hash index entry once j is terminal, but only if
-// it still points at j (a newer submission may have replaced it).
+// it still points at j (a newer submission may have replaced it), and
+// releases j's tenant quota slot (idempotent: keyed by job ID).
 func (s *Server) retireHash(j *jobs.Job) {
 	s.mu.Lock()
 	if s.byHash[j.Hash] == j {
 		delete(s.byHash, j.Hash)
+	}
+	if tenant, ok := s.jobTenant[j.ID]; ok {
+		delete(s.jobTenant, j.ID)
+		if s.tenantUse[tenant] > 1 {
+			s.tenantUse[tenant]--
+		} else {
+			delete(s.tenantUse, tenant)
+		}
 	}
 	s.mu.Unlock()
 }
@@ -249,7 +477,7 @@ func (s *Server) newID() string {
 	s.nextID++
 	id := s.nextID
 	s.mu.Unlock()
-	return fmt.Sprintf("job-%06d", id)
+	return jobs.FmtJobID(id)
 }
 
 // observeDepth records the queue depth into both the gauge (current
@@ -259,6 +487,33 @@ func (s *Server) observeDepth() {
 	d := int64(s.queue.Len())
 	s.tel.Gauge("svc.queue.depth").Set(float64(d))
 	s.tel.Histogram("svc.queue.depth").Observe(d)
+}
+
+// retryAfterSeconds derives the 429 Retry-After hint from the observed
+// drain rate: p50 job wall time × queue depth / workers estimates when a
+// queue slot will free. Before any job has finished (empty histogram)
+// the configured fallback applies; the result is clamped to
+// [RetryAfter, MaxRetryAfter] so one slow outlier cannot tell clients
+// to go away for an hour.
+func (s *Server) retryAfterSeconds() int {
+	floor := int(s.cfg.RetryAfter / time.Second)
+	if floor < 1 {
+		floor = 1
+	}
+	h := s.tel.Histogram("svc.job.run_ns")
+	if h.Count() == 0 {
+		return floor
+	}
+	p50 := time.Duration(h.Percentile(0.5))
+	est := p50 * time.Duration(s.queue.Len()+1) / time.Duration(s.cfg.Workers)
+	secs := int((est + time.Second - 1) / time.Second)
+	if secs < floor {
+		secs = floor
+	}
+	if ceil := int(s.cfg.MaxRetryAfter / time.Second); secs > ceil {
+		secs = ceil
+	}
+	return secs
 }
 
 // jobTimeout resolves the per-job deadline.
@@ -285,13 +540,36 @@ func (s *Server) workerLoop(worker int) {
 		if j == nil {
 			return
 		}
+		if s.killed.Load() {
+			return // the process is "dead": abandon the claim mid-air
+		}
 		s.observeDepth()
 		s.runJob(worker, j)
 	}
 }
 
+// recordDone persists then applies a successful completion: WAL first
+// (durability), then the FSM transition (client visibility), then the
+// cache. executed says whether this replica actually paid for the SCF
+// run (false for peer-fetched results), feeding the exactly-once audit.
+func (s *Server) recordDone(j *jobs.Job, out *jobs.Outcome, executed bool) {
+	now := time.Now()
+	_ = s.wal.AppendState(j.ID, jobs.StateDone, j.Attempts(), "", out, now)
+	if mkErr := j.MarkDone(out, now); mkErr == nil {
+		s.cache.Put(j.Hash, out)
+		s.tel.Counter("svc.jobs.completed").Add(1)
+		if executed {
+			s.execs.add(j.Hash)
+		}
+	}
+	s.retireHash(j)
+}
+
 // runJob executes one claimed job through the FSM: one attempt, then
 // either Done, a bounded-retry requeue, or a terminal Failed/Canceled.
+// Before paying for an SCF run it makes a last-chance dedup pass — the
+// local cache, then every fleet peer — because an identical job may have
+// finished elsewhere between admission and claim.
 func (s *Server) runJob(worker int, j *jobs.Job) {
 	now := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), s.jobTimeout(j.Spec))
@@ -302,8 +580,28 @@ func (s *Server) runJob(worker int, j *jobs.Job) {
 		s.retireHash(j)
 		return
 	}
+	_ = s.wal.AppendState(j.ID, jobs.StateRunning, j.Attempts(), "", nil, now)
 	st := j.Snapshot()
 	s.tel.Histogram("svc.queue.wait_ns").Observe(int64(st.QueueWaitMS * float64(time.Millisecond)))
+
+	// Last-chance dedup, layer 1: the local cache may have warmed while
+	// this job sat queued (peek — the admission path already counted the
+	// authoritative hit/miss for this submission).
+	if out, ok := s.cache.Peek(j.Hash); ok {
+		s.recordDone(j, out, false)
+		return
+	}
+	// Layer 2: a fleet peer may hold (or be computing) the result.
+	if s.currentFleet() != nil {
+		out, inflight := s.sweepPeerCaches(j.Hash)
+		if out == nil && inflight {
+			out = s.awaitPeerResult(j.Hash, s.peerWaitBudget(j.Spec))
+		}
+		if out != nil {
+			s.recordDone(j, out, false)
+			return
+		}
+	}
 
 	endSpan := s.tel.Span("svc.job", j.ID, telemetry.DriverPid, worker,
 		map[string]any{"hash": j.Hash, "attempt": j.Attempts(), "mode": j.Spec.Mode})
@@ -311,15 +609,14 @@ func (s *Server) runJob(worker int, j *jobs.Job) {
 	out, err := s.runner.RunOnce(ctx, j.Spec)
 	runDur := time.Since(runStart)
 	endSpan()
+	if s.killed.Load() {
+		return // SIGKILL'd mid-run: a dead process records nothing
+	}
 	s.tel.Histogram("svc.job.run_ns").Observe(runDur.Nanoseconds())
 
 	switch {
 	case err == nil:
-		if mkErr := j.MarkDone(out, time.Now()); mkErr == nil {
-			s.cache.Put(j.Hash, out)
-			s.tel.Counter("svc.jobs.completed").Add(1)
-		}
-		s.retireHash(j)
+		s.recordDone(j, out, true)
 	case jobs.Permanent(err):
 		// Cancellation vs deadline: both stop the job, but they read
 		// differently in the status record.
@@ -327,7 +624,9 @@ func (s *Server) runJob(worker int, j *jobs.Job) {
 		if errors.Is(err, context.DeadlineExceeded) {
 			msg = fmt.Sprintf("deadline exceeded after %v", s.jobTimeout(j.Spec))
 		}
-		if _, mkErr := j.MarkCanceled(msg, time.Now()); mkErr == nil {
+		tNow := time.Now()
+		_ = s.wal.AppendState(j.ID, jobs.StateCanceled, j.Attempts(), msg, nil, tNow)
+		if _, mkErr := j.MarkCanceled(msg, tNow); mkErr == nil {
 			s.tel.Counter("svc.jobs.canceled").Add(1)
 		}
 		s.retireHash(j)
@@ -337,6 +636,7 @@ func (s *Server) runJob(worker int, j *jobs.Job) {
 		if j.Attempts() <= s.jobRetries(j.Spec) && !s.queue.Closed() {
 			if rqErr := j.Requeue(); rqErr == nil {
 				if subErr := s.queue.Submit(j); subErr == nil {
+					_ = s.wal.AppendState(j.ID, jobs.StateQueued, j.Attempts(), err.Error(), nil, time.Now())
 					s.tel.Counter("svc.jobs.retried").Add(1)
 					s.observeDepth()
 					return
@@ -345,9 +645,25 @@ func (s *Server) runJob(worker int, j *jobs.Job) {
 				_ = j.MarkRunning(func() {}, time.Now())
 			}
 		}
-		if mkErr := j.MarkFailed(err.Error(), time.Now()); mkErr == nil {
+		tNow := time.Now()
+		_ = s.wal.AppendState(j.ID, jobs.StateFailed, j.Attempts(), err.Error(), nil, tNow)
+		if mkErr := j.MarkFailed(err.Error(), tNow); mkErr == nil {
 			s.tel.Counter("svc.jobs.failed").Add(1)
 		}
 		s.retireHash(j)
 	}
+}
+
+// peerWaitBudget bounds how long a worker waits for a peer's in-flight
+// identical run before computing locally: generous enough to ride out a
+// typical small-system SCF, small against the job's own deadline.
+func (s *Server) peerWaitBudget(spec jobs.Spec) time.Duration {
+	budget := s.jobTimeout(spec) / 4
+	if budget > 5*time.Second {
+		budget = 5 * time.Second
+	}
+	if budget < 200*time.Millisecond {
+		budget = 200 * time.Millisecond
+	}
+	return budget
 }

@@ -19,7 +19,10 @@ import (
 // deterministically.
 func testServer(t *testing.T, cfg Config, start bool) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(ts.Close)
 	if start {

@@ -46,6 +46,24 @@
 //	svc.request.post_ns      POST /v1/jobs handler latency
 //	scf.canceled             SCF loops stopped by context cancellation
 //
+// Durability and fleet taxonomy (write-ahead job log + multi-replica
+// routing in internal/service; audited by the `scaling -exp fleet`
+// kill-a-replica gate):
+//
+//	svc.cache.evict          LRU result-cache evictions (hit/miss above)
+//	svc.jobs.quota_rejected  submissions bounced by a per-tenant quota
+//	svc.jobs.reenqueued      queued/running-at-crash jobs re-enqueued
+//	                         from the WAL at boot
+//	svc.wal.appends          records fsync'd to the write-ahead job log
+//	svc.wal.replayed         records recovered at boot replay
+//	svc.wal.discarded        bytes dropped at the first torn/corrupt
+//	                         record (consistent-prefix recovery)
+//	svc.wal.compactions      segment compaction passes on drain
+//	svc.fleet.forwarded      submissions proxied to the owning replica
+//	svc.fleet.peer_hit       cache misses satisfied from a peer's cache
+//	svc.fleet.handoff        jobs served locally because the owner was
+//	                         unreachable
+//
 // Performance-fault taxonomy (chaos injection in internal/mpi and the
 // straggler mitigation in internal/ddi; audited by the `scaling -exp
 // chaos` gate):
