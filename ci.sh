@@ -48,6 +48,18 @@
 # no-kill baseline. The WAL torn-write/bit-flip fuzz tests (truncate and
 # corrupt at every byte boundary) rerun under -race.
 #
+# Tier 8 (observability gate): `scaling -exp obs` — a three-replica
+# fleet serves one traced request end to end (forwarded submit, peer
+# cache fetch, engineered failure with a flight-recorder dump) and the
+# merged fleet trace must pass tracecheck -continuity: every svc.job
+# span carries a trace ID that reaches scf.iter/fock.build/mpi.op/
+# dlb.draw with no orphan spans. Then the benchrun comparator is
+# negative-tested: a 20%-degraded copy of a bench point MUST fail
+# `benchrun -compare` (threshold 10%), and the same point compared
+# against itself must pass. CI never compares live hardware against a
+# committed bench file — machines differ; the committed BENCH_*.json
+# trajectory is for humans and for same-machine comparisons.
+#
 # Usage: ./ci.sh [-short]   (-short skips the slow simulator sweeps)
 set -eu
 
@@ -153,5 +165,18 @@ echo "== tier 7: fleet gate (scaling -exp fleet + -race WAL fuzz) =="
 go run ./cmd/scaling -exp fleet
 go test -race -run 'TestWALCrashPoint|TestWALReplay|TestWALSegment|TestWALDisable|TestCrashReplay|TestFleet' \
 	./internal/jobs/ ./internal/service/
+
+echo "== tier 8: observability gate (scaling -exp obs + tracecheck -continuity + benchrun comparator) =="
+go run ./cmd/scaling -exp obs -obs-trace "$tracedir/obs_trace.json"
+go run ./cmd/tracecheck -q -continuity \
+	-require svc.job,job.run,scf.iter,fock.build,mpi.op,dlb.draw "$tracedir/obs_trace.json"
+go run ./cmd/benchrun -quick -o "$tracedir/bench_ci.json" >/dev/null
+go run ./cmd/benchrun -compare "$tracedir/bench_ci.json" -in "$tracedir/bench_ci.json" >/dev/null \
+	|| { echo "obs gate: self-comparison regressed"; exit 1; }
+if go run ./cmd/benchrun -compare "$tracedir/bench_ci.json" -in "$tracedir/bench_ci.json" -degrade 20 >/dev/null 2>&1; then
+	echo "obs gate: comparator failed to flag a 20% regression"
+	exit 1
+fi
+echo "obs gate: waterfall + continuity + benchrun comparator all held"
 
 echo "ci: all green"

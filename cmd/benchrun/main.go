@@ -1,0 +1,288 @@
+// Command benchrun records the repository's performance trajectory as a
+// series of committed BENCH_<date>.json files and gates CI on
+// regressions between them.
+//
+// In measurement mode it runs a fixed benchmark suite — Fock build cost
+// per shell quartet, serial SCF wall time, job-spec canonical hashing
+// (time and allocations), queue submit/claim throughput, and the served
+// cache-hit completion latency (p50/p99) from a real HTTP loadgen run —
+// and writes the results as a schema-tagged JSON file:
+//
+//	benchrun -o BENCH_2026-08-08.json          # full suite
+//	benchrun -quick -o /tmp/bench.json         # CI-sized suite
+//
+// In comparison mode it never measures anything: it loads two bench
+// files and exits non-zero if any shared lower-is-better metric grew by
+// more than -threshold percent (or a higher-is-better metric shrank by
+// more than that):
+//
+//	benchrun -compare BENCH_old.json -in BENCH_new.json
+//	benchrun -compare BENCH.json -in BENCH.json -degrade 20   # must fail
+//
+// -degrade synthetically worsens every metric in the -in file by the
+// given percentage before comparing; CI uses it as a negative test that
+// the comparator actually fires. Machines differ, so CI compares a file
+// against a degraded copy of itself — never a live run against a file
+// committed from other hardware.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro"
+	"repro/internal/jobs"
+	"repro/internal/service"
+)
+
+// BenchSchema tags the on-disk format; bump on incompatible change.
+const BenchSchema = "hf-bench/v1"
+
+// Metric is one recorded measurement. Better is "lower" or "higher" and
+// tells the comparator which direction is a regression.
+type Metric struct {
+	Name   string  `json:"name"`
+	Value  float64 `json:"value"`
+	Unit   string  `json:"unit"`
+	Better string  `json:"better"`
+}
+
+// BenchFile is one point on the recorded performance trajectory.
+type BenchFile struct {
+	Schema    string   `json:"schema"`
+	Date      string   `json:"date"`
+	GoVersion string   `json:"go_version"`
+	GOOS      string   `json:"goos"`
+	GOARCH    string   `json:"goarch"`
+	CPUs      int      `json:"cpus"`
+	Quick     bool     `json:"quick"`
+	Metrics   []Metric `json:"metrics"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file for the measured bench point (default BENCH_<date>.json)")
+	quick := flag.Bool("quick", false, "CI-sized suite: fewer SCF repetitions and loadgen jobs")
+	compare := flag.String("compare", "", "baseline bench file; compare -in against it instead of measuring")
+	in := flag.String("in", "", "candidate bench file for -compare (required with -compare)")
+	degrade := flag.Float64("degrade", 0, "synthetically worsen every -in metric by this percent before comparing")
+	threshold := flag.Float64("threshold", 10, "regression threshold in percent")
+	flag.Parse()
+
+	if *compare != "" {
+		if *in == "" {
+			fmt.Fprintln(os.Stderr, "benchrun: -compare requires -in <candidate.json>")
+			os.Exit(2)
+		}
+		os.Exit(runCompare(*compare, *in, *degrade, *threshold))
+	}
+
+	bf := measure(*quick)
+	path := *out
+	if path == "" {
+		path = "BENCH_" + bf.Date + ".json"
+	}
+	data, err := json.MarshalIndent(bf, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("benchrun: wrote %d metrics to %s\n", len(bf.Metrics), path)
+}
+
+// measure runs the full suite and assembles the bench point.
+func measure(quick bool) *BenchFile {
+	bf := &BenchFile{
+		Schema:    BenchSchema,
+		Date:      time.Now().UTC().Format("2006-01-02"),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		CPUs:      runtime.NumCPU(),
+		Quick:     quick,
+	}
+	add := func(name string, value float64, unit, better string) {
+		bf.Metrics = append(bf.Metrics, Metric{Name: name, Value: value, Unit: unit, Better: better})
+		fmt.Printf("  %-28s %14.2f %s\n", name, value, unit)
+	}
+
+	mol, err := repro.BuiltinMolecule("water")
+	if err != nil {
+		fatal(err)
+	}
+	reps := 5
+	lgJobs := 60
+	if quick {
+		reps = 2
+		lgJobs = 20
+	}
+
+	fmt.Println("benchrun: fock build (parallel RHF, water/sto-3g)")
+	var quartets int64
+	fockNS := medianRun(reps, func() {
+		res, err := repro.RunParallelRHF(mol, "sto-3g", repro.ParallelConfig{Ranks: 2, Threads: 2}, repro.SCFOptions{})
+		if err != nil {
+			fatal(err)
+		}
+		quartets = res.TotalFockStats.QuartetsComputed
+	})
+	add("fock_build_ns_per_quartet", fockNS/float64(max(quartets, 1)), "ns/quartet", "lower")
+
+	fmt.Println("benchrun: serial SCF wall (water/sto-3g)")
+	scfNS := medianRun(reps, func() {
+		if _, err := repro.RunRHF(mol, "sto-3g", repro.SCFOptions{}); err != nil {
+			fatal(err)
+		}
+	})
+	add("scf_serial_wall_ns", scfNS, "ns/run", "lower")
+
+	fmt.Println("benchrun: job-spec canonical hash")
+	spec := jobs.Spec{Molecule: "water", Basis: "sto-3g", Mode: jobs.ModeResilient, Ranks: 2, Threads: 2}.Normalized()
+	hashRes := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := spec.CanonicalHash(); err != nil {
+				fatal(err)
+			}
+		}
+	})
+	add("canonical_hash_ns", float64(hashRes.NsPerOp()), "ns/op", "lower")
+	add("canonical_hash_allocs", float64(hashRes.AllocsPerOp()), "allocs/op", "lower")
+
+	fmt.Println("benchrun: queue submit+claim")
+	queueRes := testing.Benchmark(func(b *testing.B) {
+		q := jobs.NewQueue(b.N + 1)
+		now := time.Now()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			j := jobs.NewJob(fmt.Sprintf("bench-%d", i), fmt.Sprintf("h-%d", i), spec, now)
+			if err := q.Submit(j); err != nil {
+				fatal(err)
+			}
+			if q.TryClaim() == nil {
+				fatal(fmt.Errorf("queue claim returned nil"))
+			}
+		}
+	})
+	add("queue_submit_claim_ns", float64(queueRes.NsPerOp()), "ns/op", "lower")
+
+	fmt.Println("benchrun: served completion latency (loadgen)")
+	rep, err := service.RunLoadgen(service.LoadgenOptions{Jobs: lgJobs, Workers: 2, QueueCap: 4})
+	if err != nil {
+		fatal(err)
+	}
+	add("serve_p50_ms", float64(rep.LatP50)/1e6, "ms", "lower")
+	add("serve_p99_ms", float64(rep.LatP99)/1e6, "ms", "lower")
+	add("serve_throughput_jobs_s", rep.Throughput, "jobs/s", "higher")
+	return bf
+}
+
+// medianRun times reps executions of f and returns the median in ns —
+// robust against a slow first run (cache warmup) and scheduler noise.
+func medianRun(reps int, f func()) float64 {
+	times := make([]float64, reps)
+	for i := range times {
+		t0 := time.Now()
+		f()
+		times[i] = float64(time.Since(t0).Nanoseconds())
+	}
+	for i := 1; i < len(times); i++ { // insertion sort; reps is tiny
+		for j := i; j > 0 && times[j] < times[j-1]; j-- {
+			times[j], times[j-1] = times[j-1], times[j]
+		}
+	}
+	return times[len(times)/2]
+}
+
+// runCompare loads baseline and candidate, optionally degrades the
+// candidate, and reports regressions beyond threshold percent. Returns
+// the process exit code.
+func runCompare(basePath, candPath string, degrade, threshold float64) int {
+	base, err := loadBench(basePath)
+	if err != nil {
+		fatal(err)
+	}
+	cand, err := loadBench(candPath)
+	if err != nil {
+		fatal(err)
+	}
+	if degrade != 0 {
+		for i := range cand.Metrics {
+			m := &cand.Metrics[i]
+			if m.Better == "higher" {
+				m.Value *= 1 - degrade/100
+			} else {
+				m.Value *= 1 + degrade/100
+			}
+		}
+		fmt.Printf("benchrun: candidate synthetically degraded by %.0f%%\n", degrade)
+	}
+	baseBy := make(map[string]Metric, len(base.Metrics))
+	for _, m := range base.Metrics {
+		baseBy[m.Name] = m
+	}
+	regressions := 0
+	compared := 0
+	for _, m := range cand.Metrics {
+		b, ok := baseBy[m.Name]
+		if !ok {
+			fmt.Printf("  %-28s NEW (no baseline)\n", m.Name)
+			continue
+		}
+		compared++
+		deltaPct := 0.0
+		if b.Value != 0 {
+			deltaPct = 100 * (m.Value - b.Value) / b.Value
+		}
+		regressed := false
+		switch m.Better {
+		case "higher":
+			regressed = deltaPct < -threshold
+		default: // lower
+			regressed = deltaPct > threshold
+		}
+		tag := "ok"
+		if regressed {
+			tag = "REGRESSION"
+			regressions++
+		}
+		fmt.Printf("  %-28s %14.2f -> %14.2f %s  (%+.1f%%)  %s\n", m.Name, b.Value, m.Value, m.Unit, deltaPct, tag)
+	}
+	if compared == 0 {
+		fmt.Fprintln(os.Stderr, "benchrun: no shared metrics between baseline and candidate")
+		return 1
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchrun: %d metric(s) regressed beyond %.0f%%\n", regressions, threshold)
+		return 1
+	}
+	fmt.Printf("benchrun: %d metrics within %.0f%% of baseline\n", compared, threshold)
+	return 0
+}
+
+func loadBench(path string) (*BenchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var bf BenchFile
+	if err := json.Unmarshal(data, &bf); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if bf.Schema != BenchSchema {
+		return nil, fmt.Errorf("%s: schema %q, want %q", path, bf.Schema, BenchSchema)
+	}
+	return &bf, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchrun:", err)
+	os.Exit(1)
+}

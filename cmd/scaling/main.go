@@ -12,6 +12,7 @@
 //	scaling -exp sdc      # silent-data-corruption model + live detection gate
 //	scaling -exp chaos    # straggler/partition chaos: live mitigation gate
 //	scaling -exp fleet    # 3 WAL-backed replicas, kill-one chaos, exactly-once gate
+//	scaling -exp obs      # fleet-wide request tracing: waterfall + continuity gate
 //	scaling -exp all
 package main
 
@@ -35,13 +36,14 @@ import (
 // unknown-id error advertises exactly this list so it can never drift.
 var experiments = []string{
 	"table2", "table3", "fig3", "fig4", "fig5", "fig7",
-	"sweep", "breakdown", "ablation", "resilience", "sdc", "chaos", "fleet",
+	"sweep", "breakdown", "ablation", "resilience", "sdc", "chaos", "fleet", "obs",
 }
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: "+strings.Join(experiments, ", ")+", all")
 	csvDir := flag.String("csv", "", "also write <experiment>.csv files into this directory")
 	grace := flag.Duration("grace", 0, "unwind grace past the deadline for fault-injected live runs (0 = runtime default)")
+	obsTrace := flag.String("obs-trace", "", "obs experiment: write the merged fleet Chrome trace to this path")
 	pprofA := flag.String("pprof", "", "serve net/http/pprof on this address (e.g. :6060)")
 	flag.Parse()
 
@@ -154,6 +156,11 @@ func main() {
 		case "fleet":
 			fmt.Println("== Fleet: 3 WAL-backed replicas, kill-one chaos, exactly-once gate ==")
 			if !liveFleet(writeCSV) {
+				os.Exit(1)
+			}
+		case "obs":
+			fmt.Println("== Observability: fleet-wide request tracing, waterfall + continuity gate ==")
+			if !liveObs(*obsTrace) {
 				os.Exit(1)
 			}
 		default:

@@ -1,0 +1,39 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/service"
+)
+
+// liveObs is the fleet-wide observability gate: three replicas serve a
+// traced request end to end (one forwarded submit, one peer cache
+// fetch, one engineered failure) and the gates require the request's
+// trace ID to survive every hop —
+//
+//	forwarded submit answered by the ring owner        fleet routing + header propagation
+//	waterfall spans service→jobs→scf→fock→ddi/mpi     one trace ID across every layer
+//	peer cache fetch served cached on a third replica  sharded caches stay observable
+//	failure produces a flight-recorder dump            postmortems without a live trace
+//	merged fleet trace passes structural + continuity  the file cmd/tracecheck re-verifies
+//
+// tracePath, when non-empty, receives the merged fleet Chrome trace.
+// Returns false if any gate fails.
+func liveObs(tracePath string) bool {
+	rep, err := service.RunObservability(service.ObsOptions{
+		TracePath: tracePath, Out: os.Stdout,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "scaling: observability experiment failed:", err)
+		return false
+	}
+	fmt.Println()
+	fmt.Print(service.FormatObservability(rep))
+	fmt.Println()
+	if !rep.Passed() {
+		fmt.Fprintln(os.Stderr, "scaling: observability gate FAILED")
+		return false
+	}
+	return true
+}

@@ -4,10 +4,17 @@
 // optionally requires a set of span categories to be present. It exits
 // non-zero on any violation, so CI can gate on trace well-formedness.
 //
+// With -continuity it additionally validates request-trace continuity:
+// every svc.job span must carry a trace ID, each such trace must reach
+// the compute layers (scf.iter and fock.build spans under the same ID),
+// and no span in a request-scoped category may run untraced once
+// request tracing is active.
+//
 // Examples:
 //
 //	tracecheck out.json
 //	tracecheck -require scf.iter,fock.build,fock.task,mpi.op,dlb.draw out.json
+//	tracecheck -continuity -require svc.job,job.run,scf.iter,fock.build fleet.json
 package main
 
 import (
@@ -22,6 +29,7 @@ import (
 
 func main() {
 	require := flag.String("require", "", "comma-separated span categories that must appear in the trace")
+	continuity := flag.Bool("continuity", false, "also validate request trace-ID continuity (svc.job → scf/fock chains, no orphans)")
 	quiet := flag.Bool("q", false, "suppress the per-category report")
 	flag.Parse()
 	if flag.NArg() != 1 {
@@ -62,6 +70,15 @@ func main() {
 	}
 	if len(missing) > 0 {
 		fatal(fmt.Errorf("%s: required categories missing: %s", path, strings.Join(missing, ", ")))
+	}
+	if *continuity {
+		cs, err := telemetry.ValidateContinuity(data)
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		if !*quiet {
+			fmt.Printf("  continuity: %d request traces over %d traced spans\n", cs.Traces, cs.Spans)
+		}
 	}
 	fmt.Println("trace OK")
 }

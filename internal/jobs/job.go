@@ -58,6 +58,13 @@ type Job struct {
 	Hash string // canonical content hash (see Spec.CanonicalHash)
 	Spec Spec   // normalized spec
 
+	// Trace is the request trace ID minted (or propagated) at ingress.
+	// It is set once before the job is published to the queue/registry
+	// and immutable afterwards, so readers need no lock. It is not part
+	// of Spec: two requests for the same calculation share a canonical
+	// hash but carry distinct traces.
+	Trace string
+
 	mu        sync.Mutex
 	state     State
 	attempts  int  // run attempts started (1 = first try)
@@ -92,7 +99,7 @@ func NewCachedJob(id, hash string, spec Spec, out *Outcome, now time.Time) *Job 
 // FSM from the top; its attempt count survives so retry budgets span
 // crashes.
 func RestoreJob(rj *ReplayJob) *Job {
-	j := &Job{ID: rj.ID, Hash: rj.Hash, Spec: rj.Spec,
+	j := &Job{ID: rj.ID, Hash: rj.Hash, Spec: rj.Spec, Trace: rj.Trace,
 		state: rj.State, attempts: rj.Attempts, errMsg: rj.Error,
 		outcome: rj.Outcome, submitted: rj.Submitted, finished: rj.Finished}
 	if !rj.State.Terminal() {
@@ -228,6 +235,7 @@ type Status struct {
 	Molecule    string   `json:"molecule,omitempty"`
 	Basis       string   `json:"basis,omitempty"`
 	Mode        string   `json:"mode,omitempty"`
+	TraceID     string   `json:"trace_id,omitempty"`
 }
 
 // Snapshot returns a point-in-time Status.
@@ -238,7 +246,7 @@ func (j *Job) Snapshot() Status {
 		ID: j.ID, Hash: j.Hash, State: j.state, Cached: j.cached,
 		Attempts: j.attempts, Error: j.errMsg, Result: j.outcome,
 		Priority: j.Spec.Priority, Molecule: j.Spec.Molecule,
-		Basis: j.Spec.Basis, Mode: j.Spec.Mode,
+		Basis: j.Spec.Basis, Mode: j.Spec.Mode, TraceID: j.Trace,
 	}
 	if !j.submitted.IsZero() {
 		st.SubmittedAt = j.submitted.UTC().Format(time.RFC3339Nano)

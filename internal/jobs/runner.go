@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/telemetry"
 )
 
 // ErrUnconverged is reported (via errors.Is) when a run completes its
@@ -28,20 +29,29 @@ type Runner struct {
 // RunOnce executes the normalized spec under ctx and returns the
 // outcome. Cancellation and deadline expiry surface as errors matching
 // repro.ErrCanceled; everything else is a run failure.
+//
+// When ctx carries a telemetry.TraceContext, the run executes under a
+// trace-derived session: a job.run span brackets the whole attempt and
+// every span the SCF/Fock/DDI/MPI layers record inherits the request's
+// trace ID — the hand-off that lets the service stitch one waterfall
+// from ingress down to individual MPI operations.
 func (r Runner) RunOnce(ctx context.Context, spec Spec) (*Outcome, error) {
 	n := spec.Normalized()
 	mol, err := n.ResolveMolecule()
 	if err != nil {
 		return nil, err
 	}
+	tc, _ := telemetry.TraceFromContext(ctx)
+	tel := r.Telemetry.WithTrace(tc.TraceID)
 	opt := repro.SCFOptions{
 		MaxIter:    n.MaxIter,
 		ConvDens:   n.ConvDens,
 		ConvEnergy: n.ConvEnergy,
 		Guess:      n.Guess,
-		Telemetry:  r.Telemetry,
+		Telemetry:  tel,
 	}
 	start := time.Now()
+	endRun := tel.SpanArgsAtEnd("job.run", n.Mode, telemetry.DriverPid, tc.Tid)
 	var res *repro.Result
 	var rec *repro.RecoveryInfo
 	switch n.Mode {
@@ -54,9 +64,10 @@ func (r Runner) RunOnce(ctx context.Context, spec Spec) (*Outcome, error) {
 	default: // ModeResilient — the service default: absorbs rank death
 		res, rec, err = repro.RunResilientRHFCtx(ctx, mol, n.Basis, repro.ResilientConfig{
 			Algorithm: repro.Algorithm(n.Algorithm), Ranks: n.Ranks,
-			Threads: n.Threads, Telemetry: r.Telemetry,
+			Threads: n.Threads, Telemetry: tel,
 		}, opt)
 	}
+	endRun(map[string]any{"molecule": n.Molecule, "basis": n.Basis, "ok": err == nil})
 	if err != nil {
 		return nil, err
 	}

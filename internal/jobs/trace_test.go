@@ -1,0 +1,65 @@
+package jobs
+
+import (
+	"testing"
+	"time"
+)
+
+// TestWALTraceSurvivesReplay pins the durability half of request
+// tracing: a job's trace ID rides the accept record, survives a crash
+// replay, survives compaction, and resurfaces on the restored job and
+// its status snapshot.
+func TestWALTraceSurvivesReplay(t *testing.T) {
+	dir := t.TempDir()
+	w, _, err := OpenWAL(WALOptions{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatalf("OpenWAL: %v", err)
+	}
+	now := time.Unix(0, 1700000000_000000000)
+	j := NewJob("job-000001", "hash-a", Spec{Molecule: "h2", Mode: ModeSerial}, now)
+	j.Trace = "deadbeef00000001"
+	if err := w.AppendAccept(j, now); err != nil {
+		t.Fatalf("AppendAccept: %v", err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	w2, rep, err := OpenWAL(WALOptions{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen: %v", err)
+	}
+	defer w2.Close()
+	if len(rep.Jobs) != 1 {
+		t.Fatalf("replayed %d jobs, want 1", len(rep.Jobs))
+	}
+	rj := rep.Jobs[0]
+	if rj.Trace != "deadbeef00000001" {
+		t.Fatalf("replayed trace %q, want the accepted trace ID", rj.Trace)
+	}
+
+	restored := RestoreJob(rj)
+	if restored.Trace != "deadbeef00000001" {
+		t.Errorf("restored job trace %q", restored.Trace)
+	}
+	if st := restored.Snapshot(); st.TraceID != "deadbeef00000001" {
+		t.Errorf("status snapshot trace %q", st.TraceID)
+	}
+
+	// Compaction rewrites the log; the trace must survive the rewrite.
+	if err := w2.Compact(rep.Jobs); err != nil {
+		t.Fatalf("Compact: %v", err)
+	}
+	w2.Close()
+	w3, rep3, err := OpenWAL(WALOptions{Dir: dir, NoSync: true})
+	if err != nil {
+		t.Fatalf("reopen after compact: %v", err)
+	}
+	defer w3.Close()
+	if len(rep3.Jobs) != 1 || rep3.Jobs[0].Trace != "deadbeef00000001" {
+		t.Fatalf("post-compaction replay lost the trace: %+v", rep3.Jobs)
+	}
+	if n := w3.Segments(); n < 1 {
+		t.Errorf("Segments() = %d, want >= 1", n)
+	}
+}

@@ -57,7 +57,8 @@ type walRecord struct {
 	Attempt int      `json:"attempt,omitempty"`
 	Err     string   `json:"err,omitempty"`
 	Out     *Outcome `json:"out,omitempty"`
-	TS      int64    `json:"ts,omitempty"` // unix nanoseconds
+	TS      int64    `json:"ts,omitempty"`    // unix nanoseconds
+	Trace   string   `json:"trace,omitempty"` // accept only: request trace ID
 }
 
 // WALOptions shapes a WAL. Zero values take the documented defaults.
@@ -205,7 +206,8 @@ func (w *WAL) AppendAccept(j *Job, now time.Time) error {
 		return nil
 	}
 	spec := j.Spec
-	return w.append(walRecord{T: walAccept, ID: j.ID, Hash: j.Hash, Spec: &spec, TS: now.UnixNano()})
+	return w.append(walRecord{T: walAccept, ID: j.ID, Hash: j.Hash, Spec: &spec,
+		TS: now.UnixNano(), Trace: j.Trace})
 }
 
 // AppendState logs a lifecycle transition — call before the transition
@@ -228,6 +230,29 @@ func (w *WAL) Disable() {
 	w.mu.Lock()
 	w.disabled = true
 	w.mu.Unlock()
+}
+
+// Segments returns how many wal-*.log segment files are on disk —
+// surfaced by the readiness endpoint so operators can see compaction
+// keeping up.
+func (w *WAL) Segments() int {
+	if w == nil {
+		return 0
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	entries, err := os.ReadDir(w.opt.Dir)
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, e := range entries {
+		var seg int
+		if _, err := fmt.Sscanf(e.Name(), "wal-%06d.log", &seg); err == nil && strings.HasSuffix(e.Name(), ".log") {
+			n++
+		}
+	}
+	return n
 }
 
 // Close syncs and closes the current segment.
@@ -282,7 +307,7 @@ func (w *WAL) Compact(table []*ReplayJob) error {
 	for _, rj := range append(live, done...) {
 		spec := rj.Spec
 		if err := w.appendLocked(walRecord{T: walAccept, ID: rj.ID, Hash: rj.Hash,
-			Spec: &spec, TS: rj.Submitted.UnixNano()}); err != nil {
+			Spec: &spec, TS: rj.Submitted.UnixNano(), Trace: rj.Trace}); err != nil {
 			return err
 		}
 		if rj.State != StateQueued {
@@ -345,6 +370,7 @@ type ReplayJob struct {
 	ID        string
 	Hash      string
 	Spec      Spec
+	Trace     string // original request trace ID, surviving replay
 	State     State
 	Attempts  int
 	Error     string
@@ -506,7 +532,7 @@ func foldRecord(rep *Replay, byID map[string]*ReplayJob, rec walRecord) {
 		if _, dup := byID[rec.ID]; dup {
 			return // compaction crash artifact: same accept twice
 		}
-		rj := &ReplayJob{ID: rec.ID, Hash: rec.Hash, Spec: *rec.Spec,
+		rj := &ReplayJob{ID: rec.ID, Hash: rec.Hash, Spec: *rec.Spec, Trace: rec.Trace,
 			State: StateQueued, Submitted: time.Unix(0, rec.TS)}
 		byID[rec.ID] = rj
 		rep.Jobs = append(rep.Jobs, rj)

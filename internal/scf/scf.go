@@ -312,6 +312,11 @@ func RunRHF(eng *integrals.Engine, builder Builder, opt Options) (*Result, error
 				opt.Telemetry.Counter("integrity.watchdog.escalations").Add(1)
 				opt.Telemetry.Instant("integrity", "watchdog-"+degrade, opt.TelemetryRank, 0,
 					map[string]any{"iter": iter, "dE": dE, "rmsD": rms})
+				// A watchdog escalation is a postmortem moment: snapshot the
+				// flight ring so the spans leading up to it survive the run.
+				opt.Telemetry.Logf("integrity", "watchdog escalated to %s at iter %d (dE=%g rmsD=%g)",
+					degrade, iter, dE, rms)
+				opt.Telemetry.DumpFlight("watchdog-" + degrade)
 			}
 		}
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/telemetry"
 )
 
 // Fleet support: N hfserve replicas form a fleet with consistent-hash
@@ -170,10 +171,12 @@ func (s *Server) awaitPeerResult(hash string, budget time.Duration) *jobs.Outcom
 }
 
 // forwardSubmit proxies a validated submit to the owning replica,
-// writing the owner's response through to the client. It returns false
+// writing the owner's response through to the client. The request trace
+// ID rides along in the X-HF-Trace header, so the owner's spans land
+// under the same trace the ingress replica minted. It returns false
 // if the owner is unreachable — the caller then hands the job off to the
 // local queue instead (availability over placement).
-func (s *Server) forwardSubmit(w http.ResponseWriter, owner string, spec jobs.Spec) bool {
+func (s *Server) forwardSubmit(w http.ResponseWriter, owner string, spec jobs.Spec, trace string) bool {
 	f := s.currentFleet()
 	if f == nil {
 		return false
@@ -192,6 +195,9 @@ func (s *Server) forwardSubmit(w http.ResponseWriter, owner string, spec jobs.Sp
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(forwardedHeader, f.self)
+	if trace != "" {
+		req.Header.Set(telemetry.TraceHeader, trace)
+	}
 	resp, err := f.hc.Do(req)
 	if err != nil {
 		return false

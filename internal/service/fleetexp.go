@@ -39,12 +39,12 @@ import (
 // FleetOptions shapes RunFleet. Zero values take the documented
 // defaults, sized so the default run satisfies the >= 1000 jobs gate.
 type FleetOptions struct {
-	Replicas int   // fleet size; default 3
-	Jobs     int   // duplicate-storm submissions; default 1000
-	Distinct int   // distinct content hashes in the storm; default 25
-	Workers  int   // worker pool per replica; default 2
-	Clients  int   // concurrent storm clients; default 8
-	Victims  int   // jobs parked on the kill target's queue; default 4
+	Replicas int    // fleet size; default 3
+	Jobs     int    // duplicate-storm submissions; default 1000
+	Distinct int    // distinct content hashes in the storm; default 25
+	Workers  int    // worker pool per replica; default 2
+	Clients  int    // concurrent storm clients; default 8
+	Victims  int    // jobs parked on the kill target's queue; default 4
 	WALRoot  string // WAL parent directory; default a fresh temp dir
 	Out      io.Writer
 }
@@ -129,8 +129,8 @@ type fleetHarness struct {
 	servers map[string]*Server
 	addrs   map[string]string
 	walDirs map[string]string
-	specs   []jobs.Spec  // distinct storm content
-	hashes  []string     // canonical hashes of specs
+	specs   []jobs.Spec // distinct storm content
+	hashes  []string    // canonical hashes of specs
 	client  *http.Client
 }
 

@@ -6,25 +6,53 @@ import (
 	"net/http"
 	"sort"
 	"strconv"
+	"strings"
 	"time"
 
 	"repro/internal/jobs"
+	"repro/internal/telemetry"
 )
 
 // maxSpecBytes bounds a POST body — generous for inline XYZ geometries
 // (the 5.0 nm paper system is ~100 KB) while keeping admission cheap.
 const maxSpecBytes = 4 << 20
 
+// statusRecorder captures the status code a handler writes so the
+// per-route request counter can label it.
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (sr *statusRecorder) WriteHeader(code int) {
+	sr.code = code
+	sr.ResponseWriter.WriteHeader(code)
+}
+
+// counted wraps a handler with the svc.http.requests{route=,code=}
+// labeled counter.
+func (s *Server) counted(route string, h http.HandlerFunc) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		sr := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		h(sr, r)
+		s.tel.Counter(fmt.Sprintf("svc.http.requests{route=%q,code=%q}",
+			route, strconv.Itoa(sr.code))).Add(1)
+	}
+}
+
 // Handler returns the service's HTTP API.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleList)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGet)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("GET /v1/cache/{hash}", s.handleCacheProbe)
-	mux.HandleFunc("GET /v1/queue", s.handleQueue)
+	mux.HandleFunc("POST /v1/jobs", s.counted("/v1/jobs", s.handleSubmit))
+	mux.HandleFunc("GET /v1/jobs", s.counted("/v1/jobs", s.handleList))
+	mux.HandleFunc("GET /v1/jobs/{id}", s.counted("/v1/jobs/{id}", s.handleGet))
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.counted("/v1/jobs/{id}/trace", s.handleWaterfall))
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.counted("/v1/jobs/{id}", s.handleCancel))
+	mux.HandleFunc("GET /v1/cache/{hash}", s.counted("/v1/cache/{hash}", s.handleCacheProbe))
+	mux.HandleFunc("GET /v1/queue", s.counted("/v1/queue", s.handleQueue))
+	mux.HandleFunc("GET /v1/debug/flight", s.counted("/v1/debug/flight", s.handleFlight))
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -38,7 +66,8 @@ type submitResponse struct {
 	Coalesced bool          `json:"coalesced,omitempty"` // deduped onto an identical in-flight job
 	Result    *jobs.Outcome `json:"result,omitempty"`
 	NumBF     int           `json:"num_basis_functions,omitempty"`
-	Replica   string        `json:"replica,omitempty"` // fleet member that accepted the job
+	Replica   string        `json:"replica,omitempty"`  // fleet member that accepted the job
+	TraceID   string        `json:"trace_id,omitempty"` // request trace (also in X-HF-Trace)
 }
 
 type errorResponse struct {
@@ -61,6 +90,19 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: "server is draining"})
 		return
 	}
+	// Trace ingress: inherit a propagated trace ID (fleet forward, client
+	// correlation header) or mint a fresh one. Every response carries the
+	// trace back in X-HF-Trace, and every span the job produces — down to
+	// individual MPI ops — is stamped with it.
+	trace := telemetry.SanitizeTraceID(r.Header.Get(telemetry.TraceHeader))
+	if trace != "" {
+		s.tel.Counter("svc.trace.propagated").Add(1)
+	} else {
+		trace = telemetry.NewTraceID()
+		s.tel.Counter("svc.trace.minted").Add(1)
+	}
+	w.Header().Set(telemetry.TraceHeader, trace)
+	ttel := s.tel.WithTrace(trace)
 	var spec jobs.Spec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSpecBytes))
 	dec.DisallowUnknownFields()
@@ -90,10 +132,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// regardless of ring ownership — cached is cached.
 	if out, ok := s.cache.Get(hash); ok {
 		j := jobs.NewCachedJob(s.newID(), hash, spec, out, time.Now())
+		j.Trace = trace
 		s.register(j, false)
+		ttel.Instant("svc.submit", "cache-hit", telemetry.DriverPid, 0,
+			map[string]any{"job": j.ID, "hash": hash})
 		writeJSON(w, http.StatusOK, submitResponse{
 			ID: j.ID, Hash: hash, State: jobs.StateDone, Cached: true,
-			Result: out, NumBF: info.NumBF, Replica: self,
+			Result: out, NumBF: info.NumBF, Replica: self, TraceID: trace,
 		})
 		return
 	}
@@ -110,14 +155,17 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 				s.tel.Counter("svc.fleet.peer_hit").Add(1)
 				s.cache.Put(hash, res.outcome)
 				j := jobs.NewCachedJob(s.newID(), hash, spec, res.outcome, time.Now())
+				j.Trace = trace
 				s.register(j, false)
+				ttel.Instant("svc.submit", "peer-hit", telemetry.DriverPid, 0,
+					map[string]any{"job": j.ID, "hash": hash, "owner": owner})
 				writeJSON(w, http.StatusOK, submitResponse{
 					ID: j.ID, Hash: hash, State: jobs.StateDone, Cached: true,
-					Result: res.outcome, NumBF: info.NumBF, Replica: self,
+					Result: res.outcome, NumBF: info.NumBF, Replica: self, TraceID: trace,
 				})
 				return
 			}
-			if s.forwardSubmit(w, owner, spec) {
+			if s.forwardSubmit(w, owner, spec, trace) {
 				return
 			}
 			s.tel.Counter("svc.fleet.handoff").Add(1)
@@ -128,9 +176,13 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	// duplicate costs nothing and resolves when the original does.
 	if prior := s.activeByHash(hash); prior != nil && !prior.State().Terminal() {
 		s.tel.Counter("svc.jobs.coalesced").Add(1)
+		// The coalesced submission rides the prior job's trace — that is the
+		// trace its spans will actually carry.
+		ttel.Instant("svc.submit", "coalesced", telemetry.DriverPid, 0,
+			map[string]any{"job": prior.ID, "hash": hash})
 		writeJSON(w, http.StatusAccepted, submitResponse{
 			ID: prior.ID, Hash: hash, State: prior.State(), Coalesced: true,
-			NumBF: info.NumBF, Replica: self,
+			NumBF: info.NumBF, Replica: self, TraceID: prior.Trace,
 		})
 		return
 	}
@@ -147,6 +199,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 
 	// Admission, gate 2: the bounded queue is the backpressure valve.
 	j := jobs.NewJob(s.newID(), hash, spec, time.Now())
+	j.Trace = trace // before publication: immutable once the queue can see it
 	if err := s.queue.Submit(j); err != nil {
 		s.tel.Counter("svc.jobs.rejected").Add(1)
 		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
@@ -169,10 +222,33 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	s.register(j, true)
 	s.tel.Counter("svc.jobs.accepted").Add(1)
+	if t := sanitizeLabelValue(spec.Tenant); t != "" {
+		s.tel.Counter(fmt.Sprintf("svc.jobs.accepted{tenant=%q}", t)).Add(1)
+	}
 	s.observeDepth()
+	ttel.Instant("svc.submit", "accepted", telemetry.DriverPid, 0,
+		map[string]any{"job": j.ID, "hash": hash})
 	writeJSON(w, http.StatusAccepted, submitResponse{
-		ID: j.ID, Hash: hash, State: jobs.StateQueued, NumBF: info.NumBF, Replica: self,
+		ID: j.ID, Hash: hash, State: jobs.StateQueued, NumBF: info.NumBF,
+		Replica: self, TraceID: trace,
 	})
+}
+
+// sanitizeLabelValue bounds a client-supplied string (tenant name) before
+// it becomes a metric label: [a-zA-Z0-9_-] survive, the rest drop, length
+// capped — arbitrary client bytes must not mint unbounded label values.
+func sanitizeLabelValue(v string) string {
+	var b strings.Builder
+	for _, c := range v {
+		if b.Len() >= 48 {
+			break
+		}
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+			b.WriteRune(c)
+		}
+	}
+	return b.String()
 }
 
 func (s *Server) handleGet(w http.ResponseWriter, r *http.Request) {
@@ -331,15 +407,149 @@ func (s *Server) handleQueue(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// handleHealthz is pure liveness: if the process can run this handler,
+// it is alive — 200 even while draining (a draining server is alive, it
+// is just not ready; that distinction lives at /readyz).
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	if s.Draining() {
-		writeJSON(w, http.StatusServiceUnavailable, map[string]string{"status": "draining"})
-		return
-	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
+// readyzResponse is the GET /readyz body.
+type readyzResponse struct {
+	Status           string   `json:"status"` // ready | draining | killed
+	Replica          string   `json:"replica,omitempty"`
+	Workers          int      `json:"workers"`
+	QueueDepth       int      `json:"queue_depth"`
+	QueueCap         int      `json:"queue_cap"`
+	WALSegments      int      `json:"wal_segments,omitempty"`
+	Ring             []string `json:"ring,omitempty"`
+	RecoveredBacklog int      `json:"recovered_backlog,omitempty"`
+}
+
+// handleReadyz is readiness: 200 with the replica's serving state when
+// it can accept work, 503 while draining or killed. Fleet experiments
+// poll this instead of sleeping after boot.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	resp := readyzResponse{
+		Status:           "ready",
+		Workers:          s.cfg.Workers,
+		QueueDepth:       s.queue.Len(),
+		QueueCap:         s.queue.Cap(),
+		WALSegments:      s.wal.Segments(),
+		RecoveredBacklog: s.recoveredPending,
+	}
+	if ring, self := s.Fleet(); ring != nil {
+		resp.Replica = self
+		resp.Ring = ring.Members()
+	}
+	status := http.StatusOK
+	switch {
+	case s.killed.Load():
+		resp.Status = "killed"
+		status = http.StatusServiceUnavailable
+	case s.Draining():
+		resp.Status = "draining"
+		status = http.StatusServiceUnavailable
+	}
+	writeJSON(w, status, resp)
+}
+
+// handleMetrics serves the telemetry registry: Prometheus text
+// exposition by default (replica as a const label on every series),
+// the raw registry snapshot as JSON with ?format=json.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = s.tel.Registry.WriteJSON(w)
+		return
+	}
+	labels := map[string]string{}
+	if _, self := s.Fleet(); self != "" {
+		labels["replica"] = self
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.tel.Registry.WritePrometheus(w, labels)
+}
+
+// waterfallSpan is one stitched span in a job's waterfall.
+type waterfallSpan struct {
+	Cat     string         `json:"cat"`
+	Name    string         `json:"name"`
+	Pid     int            `json:"pid"`
+	Tid     int            `json:"tid"`
+	StartUS float64        `json:"start_us"`         // µs since this replica's trace origin
+	DurUS   float64        `json:"dur_us,omitempty"` // 0 for instants
+	Phase   string         `json:"phase"`            // span | instant
+	Args    map[string]any `json:"args,omitempty"`
+}
+
+// waterfallResponse is the GET /v1/jobs/{id}/trace body: everything this
+// replica recorded under the job's trace ID, in start order, plus the
+// job-level timings (queue wait synthesized from the status record —
+// waiting in a queue emits no span).
+type waterfallResponse struct {
+	Job         string          `json:"job"`
+	TraceID     string          `json:"trace_id"`
+	State       jobs.State      `json:"state"`
+	Cached      bool            `json:"cached,omitempty"`
+	QueueWaitMS float64         `json:"queue_wait_ms,omitempty"`
+	TotalMS     float64         `json:"total_ms,omitempty"`
+	Spans       []waterfallSpan `json:"spans"`
+	Categories  map[string]int  `json:"categories"` // span count per category
+}
+
+// handleWaterfall serves the stitched per-job waterfall: every span and
+// instant on this replica's recorder carrying the job's trace ID. For a
+// job forwarded from another replica the trace ID is the join key — the
+// caller merges waterfalls (or trace files) from each replica the
+// request crossed.
+func (s *Server) handleWaterfall(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "unknown job id"})
+		return
+	}
+	st := j.Snapshot()
+	resp := waterfallResponse{
+		Job: j.ID, TraceID: j.Trace, State: st.State, Cached: st.Cached,
+		QueueWaitMS: st.QueueWaitMS, TotalMS: st.TotalMS,
+		Spans: []waterfallSpan{}, Categories: map[string]int{},
+	}
+	if j.Trace != "" {
+		for _, e := range s.tel.Recorder.Events() {
+			if id, _ := e.Args[telemetry.TraceArgKey].(string); id != j.Trace {
+				continue
+			}
+			phase := "span"
+			if e.Ph == telemetry.PhaseInstant {
+				phase = "instant"
+			}
+			resp.Spans = append(resp.Spans, waterfallSpan{
+				Cat: e.Cat, Name: e.Name, Pid: e.Pid, Tid: e.Tid,
+				StartUS: e.Ts, DurUS: e.Dur, Phase: phase, Args: e.Args,
+			})
+			resp.Categories[e.Cat]++
+		}
+		sort.SliceStable(resp.Spans, func(a, b int) bool {
+			if resp.Spans[a].StartUS != resp.Spans[b].StartUS {
+				return resp.Spans[a].StartUS < resp.Spans[b].StartUS
+			}
+			return resp.Spans[a].DurUS > resp.Spans[b].DurUS // parents before children
+		})
+	}
+	s.tel.Counter("svc.trace.waterfalls").Add(1)
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// handleFlight serves the most recent flight-recorder dump (404 before
+// any dump has fired).
+func (s *Server) handleFlight(w http.ResponseWriter, r *http.Request) {
+	d := s.tel.Flight.LastDump()
+	if d == nil {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: "no flight dump recorded"})
+		return
+	}
 	w.Header().Set("Content-Type", "application/json")
-	_ = s.tel.Registry.WriteJSON(w)
+	w.WriteHeader(http.StatusOK)
+	_ = d.WriteJSON(w)
 }

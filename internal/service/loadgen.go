@@ -73,6 +73,7 @@ type LoadgenReport struct {
 	Throughput float64 // completed jobs per second
 	LatP50     time.Duration
 	LatP95     time.Duration
+	LatP99     time.Duration
 	LatMax     time.Duration
 	DepthP50   int64
 	DepthP95   int64
@@ -107,8 +108,9 @@ func (r *LoadgenReport) Format() string {
 	fmt.Fprintf(&b, "cache hits:            %d (duplicate-stream hit rate %.0f%%), %d coalesced\n", r.CacheHits, 100*r.DupHitRate, r.Coalesced)
 	fmt.Fprintf(&b, "wall time:             %v\n", r.Wall.Round(time.Millisecond))
 	fmt.Fprintf(&b, "throughput:            %.1f jobs/s\n", r.Throughput)
-	fmt.Fprintf(&b, "completion latency:    p50 %v  p95 %v  max %v\n",
-		r.LatP50.Round(time.Millisecond), r.LatP95.Round(time.Millisecond), r.LatMax.Round(time.Millisecond))
+	fmt.Fprintf(&b, "completion latency:    p50 %v  p95 %v  p99 %v  max %v\n",
+		r.LatP50.Round(time.Millisecond), r.LatP95.Round(time.Millisecond),
+		r.LatP99.Round(time.Millisecond), r.LatMax.Round(time.Millisecond))
 	fmt.Fprintf(&b, "queue depth:           p50 %d  p95 %d  max %d (cap was exercised)\n", r.DepthP50, r.DepthP95, r.DepthMax)
 	return b.String()
 }
@@ -353,6 +355,7 @@ func RunLoadgen(opt LoadgenOptions) (*LoadgenReport, error) {
 	if n := len(latencies); n > 0 {
 		rep.LatP50 = latencies[n/2]
 		rep.LatP95 = latencies[(n*95)/100]
+		rep.LatP99 = latencies[min((n*99)/100, n-1)]
 		rep.LatMax = latencies[n-1]
 	}
 	depth := srv.tel.Histogram("svc.queue.depth")

@@ -1,0 +1,347 @@
+package service
+
+// The observability experiment (EXP-OBS): a 3-replica fleet serves one
+// traced request end to end, and the gates verify the nervous system —
+//
+//   - a submit to a NON-owning replica is forwarded to the owner with
+//     its trace ID riding the X-HF-Trace header, and the owner's
+//     stitched waterfall (GET /v1/jobs/{id}/trace) spans every layer:
+//     service (svc.job) → runner (job.run) → SCF (scf.iter) → Fock
+//     (fock.build, fock.task) → DDI/MPI (dlb.draw, mpi.op), all under
+//     the single trace ID the client saw;
+//   - a repeat submit to a third replica is served by a peer cache
+//     fetch (cached result, svc.fleet.peer_hit), with its own trace;
+//   - a deliberately unconvergeable job fails terminally and triggers a
+//     flight-recorder dump, served at GET /v1/debug/flight;
+//   - the replicas' recorders merge (pid offset per replica) into one
+//     fleet-wide Chrome trace that passes both structural validation
+//     (ValidateTrace) and trace-ID continuity (ValidateContinuity) —
+//     the same checks cmd/tracecheck re-runs over the emitted file.
+//
+// Submissions are sequential — each job completes before the next
+// starts — so span nesting on shared lanes stays strict and the merged
+// trace is validatable.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/jobs"
+	"repro/internal/telemetry"
+)
+
+// ObsOptions shapes RunObservability.
+type ObsOptions struct {
+	TracePath string // merged fleet trace output path; "" skips the file
+	Out       io.Writer
+}
+
+// waterfallCategories are the span categories the stitched waterfall
+// must contain for the chain to count as end-to-end.
+var waterfallCategories = []string{
+	"svc.job", "job.run", "scf.iter", "fock.build", "fock.task", "mpi.op", "dlb.draw",
+}
+
+// ObsReport is the experiment outcome; Failures lists every violated
+// gate (empty = pass).
+type ObsReport struct {
+	TraceID        string         // the forwarded request's trace
+	ForwardedJob   string         // job ID on the owning replica
+	Owner          string         // replica that owned and ran the job
+	Ingress        string         // replica the client submitted to
+	WaterfallSpans int            // spans in the stitched waterfall
+	Categories     map[string]int // per-category span counts in the waterfall
+	PeerHitJob     string         // job served by the third replica's peer fetch
+	PeerCached     bool
+	FailedJob      string // the unconvergeable job
+	FlightEntries  int    // entries in the failure flight dump
+	TraceEvents    int    // events in the merged fleet trace
+	ContinuityOK   bool
+	Failures       []string
+}
+
+// Passed reports whether every gate held.
+func (r *ObsReport) Passed() bool { return len(r.Failures) == 0 }
+
+func (r *ObsReport) fail(format string, a ...any) {
+	r.Failures = append(r.Failures, fmt.Sprintf(format, a...))
+}
+
+// waitReady polls every replica's /readyz until all report ready.
+func (h *fleetHarness) waitReady(within time.Duration) error {
+	deadline := time.Now().Add(within)
+	for _, name := range h.names {
+		for {
+			resp, err := h.client.Get("http://" + h.addrs[name] + "/readyz")
+			if err == nil {
+				code := resp.StatusCode
+				resp.Body.Close()
+				if code == http.StatusOK {
+					break
+				}
+			}
+			if time.Now().After(deadline) {
+				return fmt.Errorf("replica %s never became ready", name)
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}
+	return nil
+}
+
+// obsSubmit POSTs spec to the named replica and decodes the response.
+func (h *fleetHarness) obsSubmit(name string, spec jobs.Spec) (submitResponse, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return submitResponse{}, err
+	}
+	resp, err := h.client.Post("http://"+h.addrs[name]+"/v1/jobs", "application/json",
+		strings.NewReader(string(body)))
+	if err != nil {
+		return submitResponse{}, fmt.Errorf("POST to %s: %w", name, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode >= 400 {
+		var e errorResponse
+		_ = json.NewDecoder(resp.Body).Decode(&e)
+		return submitResponse{}, fmt.Errorf("replica %s: status %d (%s)", name, resp.StatusCode, e.Error)
+	}
+	var out submitResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return submitResponse{}, fmt.Errorf("replica %s: bad response: %w", name, err)
+	}
+	return out, nil
+}
+
+// waitState polls the job on the named replica until it reaches want.
+func (h *fleetHarness) waitState(name, id string, want jobs.State, within time.Duration) (jobs.Status, error) {
+	deadline := time.Now().Add(within)
+	var st jobs.Status
+	for time.Now().Before(deadline) {
+		resp, err := h.client.Get(fmt.Sprintf("http://%s/v1/jobs/%s", h.addrs[name], id))
+		if err == nil {
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if err == nil && st.State == want {
+				return st, nil
+			}
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return st, fmt.Errorf("job %s on %s: state %q, wanted %q (timeout %v)",
+		id, name, st.State, want, within)
+}
+
+// fetchWaterfall GETs the stitched waterfall for a job.
+func (h *fleetHarness) fetchWaterfall(name, id string) (waterfallResponse, error) {
+	var wf waterfallResponse
+	resp, err := h.client.Get(fmt.Sprintf("http://%s/v1/jobs/%s/trace", h.addrs[name], id))
+	if err != nil {
+		return wf, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return wf, fmt.Errorf("waterfall for %s on %s: status %d", id, name, resp.StatusCode)
+	}
+	err = json.NewDecoder(resp.Body).Decode(&wf)
+	return wf, err
+}
+
+// mergedFleetTrace concatenates every replica's recorder into one event
+// slice, offsetting pids by 100 per replica so lanes never collide.
+func (h *fleetHarness) mergedFleetTrace() []telemetry.Event {
+	var events []telemetry.Event
+	for i, name := range h.names {
+		for _, e := range h.servers[name].Telemetry().Recorder.Events() {
+			e.Pid += 100 * i
+			events = append(events, e)
+		}
+	}
+	return events
+}
+
+// RunObservability executes the experiment and returns the report (the
+// error return is for harness failures — gate violations land in
+// report.Failures so the caller can print them all).
+func RunObservability(opt ObsOptions) (*ObsReport, error) {
+	if opt.Out == nil {
+		opt.Out = io.Discard
+	}
+	rep := &ObsReport{Categories: map[string]int{}}
+
+	fopt := FleetOptions{Replicas: 3, Workers: 2, Distinct: 1}.withDefaults()
+	h, err := bootFleet(fopt)
+	if err != nil {
+		return nil, fmt.Errorf("booting fleet: %w", err)
+	}
+	defer h.drainAll()
+	if err := h.waitReady(10 * time.Second); err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(opt.Out, "  fleet of %d ready: %v\n", len(h.names), h.names)
+	ring, _ := h.servers[h.names[0]].Fleet()
+
+	// --- Gate 1: forwarded submit, end-to-end waterfall ---------------
+	spec := jobs.Spec{Molecule: "water", Basis: "sto-3g", Mode: jobs.ModeResilient,
+		Ranks: 2, Threads: 2}
+	hash, err := spec.CanonicalHash()
+	if err != nil {
+		return nil, err
+	}
+	owner := ring.Owner(hash)
+	var ingress, third string
+	for _, name := range h.names {
+		if name == owner {
+			continue
+		}
+		if ingress == "" {
+			ingress = name
+		} else {
+			third = name
+		}
+	}
+	rep.Owner, rep.Ingress = owner, ingress
+
+	sub, err := h.obsSubmit(ingress, spec)
+	if err != nil {
+		return nil, fmt.Errorf("forwarded submit: %w", err)
+	}
+	rep.TraceID, rep.ForwardedJob = sub.TraceID, sub.ID
+	if sub.TraceID == "" {
+		rep.fail("submit response carried no trace ID")
+	}
+	if sub.Replica != owner {
+		rep.fail("submit to %s was answered by %q, expected forward to owner %q",
+			ingress, sub.Replica, owner)
+	}
+	if _, err := h.waitState(owner, sub.ID, jobs.StateDone, time.Minute); err != nil {
+		return nil, err
+	}
+	wf, err := h.fetchWaterfall(owner, sub.ID)
+	if err != nil {
+		return nil, err
+	}
+	rep.WaterfallSpans, rep.Categories = len(wf.Spans), wf.Categories
+	if wf.TraceID != sub.TraceID {
+		rep.fail("waterfall trace %q != submit trace %q", wf.TraceID, sub.TraceID)
+	}
+	for _, cat := range waterfallCategories {
+		if wf.Categories[cat] == 0 {
+			rep.fail("waterfall missing %s spans (chain broken at that layer)", cat)
+		}
+	}
+	fmt.Fprintf(opt.Out, "  forwarded %s→%s: job %s trace %s, waterfall %d spans %v\n",
+		ingress, owner, sub.ID, sub.TraceID, len(wf.Spans), wf.Categories)
+
+	// --- Gate 2: peer cache fetch on a third replica ------------------
+	peerHitsBefore := h.servers[third].Telemetry().Counter("svc.fleet.peer_hit").Value()
+	sub2, err := h.obsSubmit(third, spec)
+	if err != nil {
+		return nil, fmt.Errorf("peer-fetch submit: %w", err)
+	}
+	rep.PeerHitJob, rep.PeerCached = sub2.ID, sub2.Cached
+	if !sub2.Cached {
+		rep.fail("submit to third replica %s was not served from cache", third)
+	}
+	if got := h.servers[third].Telemetry().Counter("svc.fleet.peer_hit").Value(); got <= peerHitsBefore {
+		rep.fail("no svc.fleet.peer_hit recorded on %s (before=%d after=%d)", third, peerHitsBefore, got)
+	}
+	if sub2.TraceID == "" {
+		rep.fail("peer-fetched submit carried no trace ID")
+	}
+	fmt.Fprintf(opt.Out, "  peer fetch on %s: job %s cached=%v trace %s\n",
+		third, sub2.ID, sub2.Cached, sub2.TraceID)
+
+	// --- Gate 3: failure flight dump ----------------------------------
+	failSpec := jobs.Spec{Molecule: "water", Basis: "sto-3g", Mode: jobs.ModeSerial, MaxIter: 1}
+	failHash, err := failSpec.CanonicalHash()
+	if err != nil {
+		return nil, err
+	}
+	failOwner := ring.Owner(failHash)
+	sub3, err := h.obsSubmit(failOwner, failSpec)
+	if err != nil {
+		return nil, fmt.Errorf("failing submit: %w", err)
+	}
+	rep.FailedJob = sub3.ID
+	if _, err := h.waitState(failOwner, sub3.ID, jobs.StateFailed, time.Minute); err != nil {
+		return nil, err
+	}
+	resp, err := h.client.Get("http://" + h.addrs[failOwner] + "/v1/debug/flight")
+	if err != nil {
+		return nil, err
+	}
+	var dump telemetry.FlightDump
+	decErr := json.NewDecoder(resp.Body).Decode(&dump)
+	resp.Body.Close()
+	switch {
+	case resp.StatusCode != http.StatusOK:
+		rep.fail("GET /v1/debug/flight on %s: status %d, want 200 after job failure", failOwner, resp.StatusCode)
+	case decErr != nil:
+		rep.fail("flight dump unreadable: %v", decErr)
+	case len(dump.Entries) == 0:
+		rep.fail("flight dump has no entries")
+	default:
+		rep.FlightEntries = len(dump.Entries)
+	}
+	fmt.Fprintf(opt.Out, "  failure on %s: job %s failed, flight dump %d entries (reason %q)\n",
+		failOwner, sub3.ID, len(dump.Entries), dump.Reason)
+
+	// --- Gate 4: merged fleet trace validates, continuity holds -------
+	events := h.mergedFleetTrace()
+	rep.TraceEvents = len(events)
+	var buf bytes.Buffer
+	if err := telemetry.WriteTraceEvents(&buf, events); err != nil {
+		return nil, err
+	}
+	if _, err := telemetry.ValidateTrace(buf.Bytes()); err != nil {
+		rep.fail("merged fleet trace invalid: %v", err)
+	}
+	cont, err := telemetry.ValidateContinuity(buf.Bytes())
+	if err != nil {
+		rep.fail("trace continuity broken: %v", err)
+	} else {
+		rep.ContinuityOK = true
+		fmt.Fprintf(opt.Out, "  merged trace: %d events, %d request traces, %d traced spans\n",
+			len(events), cont.Traces, cont.Spans)
+	}
+	if opt.TracePath != "" {
+		f, err := os.Create(opt.TracePath)
+		if err != nil {
+			return nil, fmt.Errorf("writing trace: %w", err)
+		}
+		_, wErr := f.Write(buf.Bytes())
+		if cErr := f.Close(); wErr == nil {
+			wErr = cErr
+		}
+		if wErr != nil {
+			return nil, fmt.Errorf("writing trace: %w", wErr)
+		}
+		fmt.Fprintf(opt.Out, "  fleet trace written to %s\n", opt.TracePath)
+	}
+	return rep, nil
+}
+
+// FormatObservability renders the report.
+func FormatObservability(r *ObsReport) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "  forwarded submit    %s → %s (job %s, trace %s)\n",
+		r.Ingress, r.Owner, r.ForwardedJob, r.TraceID)
+	fmt.Fprintf(&b, "  waterfall           %d spans: %v\n", r.WaterfallSpans, r.Categories)
+	fmt.Fprintf(&b, "  peer cache fetch    job %s cached=%v\n", r.PeerHitJob, r.PeerCached)
+	fmt.Fprintf(&b, "  failure flight dump job %s, %d entries\n", r.FailedJob, r.FlightEntries)
+	fmt.Fprintf(&b, "  merged fleet trace  %d events, continuity ok=%v\n", r.TraceEvents, r.ContinuityOK)
+	for _, f := range r.Failures {
+		fmt.Fprintf(&b, "  GATE FAILED: %s\n", f)
+	}
+	if r.Passed() {
+		b.WriteString("  all observability gates held\n")
+	}
+	return b.String()
+}

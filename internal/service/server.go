@@ -27,8 +27,14 @@
 //	GET    /v1/cache/{hash} result-cache probe (200 cached, 202 in flight,
 //	                       404 miss) — the intra-fleet peer-fetch path
 //	GET    /v1/queue       queue depth, capacity, per-state totals
-//	GET    /healthz        liveness (503 while draining)
-//	GET    /metrics        telemetry registry snapshot (JSON)
+//	GET    /v1/jobs/{id}/trace  stitched per-job waterfall (queue wait,
+//	                       lookup, run, per-iteration/per-build spans)
+//	GET    /v1/debug/flight last flight-recorder dump (404 before any)
+//	GET    /healthz        liveness (always 200 while the process serves)
+//	GET    /readyz         readiness (503 draining/killed; replica ID, WAL
+//	                       segments, queue depth, ring membership)
+//	GET    /metrics        Prometheus text exposition (?format=json for
+//	                       the registry snapshot JSON)
 //
 // Counter taxonomy (on the shared telemetry registry):
 //
@@ -43,6 +49,11 @@
 //	svc.queue.depth                          gauge + histogram (percentiles)
 //	svc.queue.wait_ns, svc.job.run_ns        latency histograms
 //	svc.request.post_ns                      POST /v1/jobs handler latency
+//	svc.trace.minted / propagated            trace IDs created vs inherited
+//	svc.trace.waterfalls                     waterfall endpoint renders
+//	svc.http.requests{route=,code=}          per-route/status request counts
+//	obs.flight.records / obs.flight.dumps    flight-recorder activity
+//	build_info{version=,go_version=,revision=}  constant-1 build stamp
 //
 // The runtime's performance-fault counters (chaos.* transport chaos,
 // dlb.hedged/reissued/dedup_dropped straggler mitigation, ddi.lease.*
@@ -51,7 +62,11 @@
 // zeros included — for scrapers that alert on it.
 //
 // Spans: one "svc.job" span per run attempt on the DriverPid lane, tid =
-// worker index.
+// worker index, plus "svc.lookup" spans for the last-chance dedup passes.
+// Every accepted submission carries a request trace ID (minted at
+// ingress or inherited from the X-HF-Trace header) that the runner's
+// derived telemetry session stamps into every span down to individual
+// MPI operations — see internal/telemetry/tracectx.go.
 package service
 
 import (
@@ -60,6 +75,9 @@ import (
 	"fmt"
 	"net"
 	"net/http"
+	"os"
+	"path/filepath"
+	"runtime/debug"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -79,14 +97,14 @@ type Config struct {
 	RetryAfter     time.Duration // Retry-After floor/fallback on 429s; default 1s
 	MaxRetryAfter  time.Duration // Retry-After ceiling; default 60s
 
-	WALDir       string // write-ahead log directory; "" disables durability
-	WALNoSync    bool   // skip per-append fsync (tests)
-	WALSegment   int64  // WAL segment rotation size; default 1 MiB
-	WALKeepDone  int    // terminal jobs retained by compaction; default 512
-	TenantQuota  int    // max active (queued+running) jobs per tenant; 0 = unlimited
-	AgeAfter     time.Duration // priority-aging interval; 0 disables aging
-	AgeBoost     int           // effective-priority boost per AgeAfter waited
-	Telemetry    *telemetry.Session
+	WALDir      string        // write-ahead log directory; "" disables durability
+	WALNoSync   bool          // skip per-append fsync (tests)
+	WALSegment  int64         // WAL segment rotation size; default 1 MiB
+	WALKeepDone int           // terminal jobs retained by compaction; default 512
+	TenantQuota int           // max active (queued+running) jobs per tenant; 0 = unlimited
+	AgeAfter    time.Duration // priority-aging interval; 0 disables aging
+	AgeBoost    int           // effective-priority boost per AgeAfter waited
+	Telemetry   *telemetry.Session
 }
 
 func (c Config) withDefaults() Config {
@@ -186,10 +204,13 @@ func New(cfg Config) (*Server, error) {
 		"svc.wal.appends", "svc.wal.bytes", "svc.wal.compactions",
 		"svc.wal.replayed_jobs", "svc.wal.replayed_records", "svc.wal.corrupt_tail_bytes",
 		"svc.fleet.peer_hit", "svc.fleet.forwarded", "svc.fleet.handoff",
+		"svc.trace.minted", "svc.trace.propagated", "svc.trace.waterfalls",
+		"obs.flight.records", "obs.flight.dumps",
 	} {
 		s.tel.Counter(name)
 	}
 	s.tel.Gauge("straggler.flagged")
+	registerBuildInfo(s.tel)
 	s.cache.Instrument(s.tel.Counter("svc.cache.hit"), s.tel.Counter("svc.cache.miss"),
 		s.tel.Counter("svc.cache.evict"))
 
@@ -202,9 +223,53 @@ func New(cfg Config) (*Server, error) {
 			return nil, fmt.Errorf("service: opening wal: %w", err)
 		}
 		s.wal = wal
+		// Persist flight dumps next to the WAL so a postmortem after a
+		// crash-and-replay has the pre-crash ring on disk.
+		s.tel.Flight.SetOnDump(flightPersister(cfg.WALDir))
 		s.restoreFromReplay(rep)
+		if s.recoveredPending > 0 {
+			s.tel.Logf("svc", "wal replay re-enqueued %d jobs (restored %d terminal)",
+				s.recoveredPending, s.recoveredDone)
+			s.tel.DumpFlight("wal-replay")
+		}
 	}
 	return s, nil
+}
+
+// registerBuildInfo publishes the constant-1 build_info gauge carrying
+// the module version, Go toolchain, and VCS revision as labels — the
+// standard Prometheus idiom for joining metrics to a build.
+func registerBuildInfo(tel *telemetry.Session) {
+	version, goVersion, revision := "unknown", "unknown", "unknown"
+	if bi, ok := debug.ReadBuildInfo(); ok {
+		goVersion = bi.GoVersion
+		if bi.Main.Version != "" {
+			version = bi.Main.Version
+		}
+		for _, st := range bi.Settings {
+			if st.Key == "vcs.revision" && st.Value != "" {
+				revision = st.Value
+			}
+		}
+	}
+	tel.Gauge(fmt.Sprintf("build_info{version=%q,go_version=%q,revision=%q}",
+		version, goVersion, revision)).Set(1)
+}
+
+// flightPersister returns an OnDump callback writing each flight dump as
+// flight-NNNNNN.json under dir. Persistence failures are silent: a dump
+// is best-effort postmortem context, never worth failing a request over.
+func flightPersister(dir string) func(*telemetry.FlightDump) {
+	var seq atomic.Uint64
+	return func(d *telemetry.FlightDump) {
+		path := filepath.Join(dir, fmt.Sprintf("flight-%06d.json", seq.Add(1)))
+		f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+		if err != nil {
+			return
+		}
+		_ = d.WriteJSON(f)
+		_ = f.Close()
+	}
 }
 
 // restoreFromReplay folds a WAL replay into the fresh server: terminal
@@ -403,7 +468,7 @@ func (s *Server) replayTable() []*jobs.ReplayJob {
 			continue // cache-hit ephemera: never WAL-logged, nothing to keep
 		}
 		table = append(table, &jobs.ReplayJob{
-			ID: j.ID, Hash: j.Hash, Spec: j.Spec, State: st.State,
+			ID: j.ID, Hash: j.Hash, Spec: j.Spec, Trace: j.Trace, State: st.State,
 			Attempts: st.Attempts, Error: st.Error, Outcome: st.Result,
 		})
 	}
@@ -574,6 +639,11 @@ func (s *Server) runJob(worker int, j *jobs.Job) {
 	now := time.Now()
 	ctx, cancel := context.WithTimeout(context.Background(), s.jobTimeout(j.Spec))
 	defer cancel()
+	// Thread the request trace through the run: the context carries it to
+	// the runner (which derives a traced session for the compute layers),
+	// and ttel stamps it into the service-layer spans recorded here.
+	ctx = telemetry.ContextWithTrace(ctx, telemetry.TraceContext{TraceID: j.Trace, Tid: worker})
+	ttel := s.tel.WithTrace(j.Trace)
 	if err := j.MarkRunning(cancel, now); err != nil {
 		// Canceled between Remove-miss and Claim: the job is already
 		// terminal; nothing to run.
@@ -587,23 +657,28 @@ func (s *Server) runJob(worker int, j *jobs.Job) {
 	// Last-chance dedup, layer 1: the local cache may have warmed while
 	// this job sat queued (peek — the admission path already counted the
 	// authoritative hit/miss for this submission).
-	if out, ok := s.cache.Peek(j.Hash); ok {
+	endLookup := ttel.SpanArgsAtEnd("svc.lookup", "local-cache", telemetry.DriverPid, worker)
+	out, ok := s.cache.Peek(j.Hash)
+	endLookup(map[string]any{"job": j.ID, "hit": ok})
+	if ok {
 		s.recordDone(j, out, false)
 		return
 	}
 	// Layer 2: a fleet peer may hold (or be computing) the result.
 	if s.currentFleet() != nil {
+		endSweep := ttel.SpanArgsAtEnd("svc.lookup", "peer-sweep", telemetry.DriverPid, worker)
 		out, inflight := s.sweepPeerCaches(j.Hash)
 		if out == nil && inflight {
 			out = s.awaitPeerResult(j.Hash, s.peerWaitBudget(j.Spec))
 		}
+		endSweep(map[string]any{"job": j.ID, "hit": out != nil})
 		if out != nil {
 			s.recordDone(j, out, false)
 			return
 		}
 	}
 
-	endSpan := s.tel.Span("svc.job", j.ID, telemetry.DriverPid, worker,
+	endSpan := ttel.Span("svc.job", j.ID, telemetry.DriverPid, worker,
 		map[string]any{"hash": j.Hash, "attempt": j.Attempts(), "mode": j.Spec.Mode})
 	runStart := time.Now()
 	out, err := s.runner.RunOnce(ctx, j.Spec)
@@ -649,6 +724,10 @@ func (s *Server) runJob(worker int, j *jobs.Job) {
 		_ = s.wal.AppendState(j.ID, jobs.StateFailed, j.Attempts(), err.Error(), nil, tNow)
 		if mkErr := j.MarkFailed(err.Error(), tNow); mkErr == nil {
 			s.tel.Counter("svc.jobs.failed").Add(1)
+			// Terminal failure: snapshot the flight ring so the postmortem
+			// has the job's last spans and log lines even with no live trace.
+			ttel.Logf("svc", "job %s failed after %d attempts: %v", j.ID, j.Attempts(), err)
+			ttel.DumpFlight("job-failed")
 		}
 		s.retireHash(j)
 	}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"net/http/httptest"
 	"strings"
@@ -331,7 +332,7 @@ func TestServeQueueHealthMetrics(t *testing.T) {
 		}
 	}
 
-	resp, err = http.Get(ts.URL + "/metrics")
+	resp, err = http.Get(ts.URL + "/metrics?format=json")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -353,7 +354,27 @@ func TestServeQueueHealthMetrics(t *testing.T) {
 		}
 	}
 
-	// Drain flips healthz and POST to 503 while the backlog finishes.
+	// The default exposition is Prometheus text: counters end in _total
+	// and the hf_ prefix namespaces every family.
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	promBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("prometheus content type %q", ct)
+	}
+	if !strings.Contains(string(promBody), "hf_svc_jobs_accepted_total 2") {
+		t.Errorf("prometheus exposition missing hf_svc_jobs_accepted_total 2:\n%s", promBody)
+	}
+
+	// Drain flips readiness and POST to 503 while the backlog finishes;
+	// liveness (/healthz) stays 200 so the supervisor does not kill a
+	// replica that is deliberately draining.
 	s.StartWorkers()
 	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
 	defer cancel()
@@ -370,8 +391,16 @@ func TestServeQueueHealthMetrics(t *testing.T) {
 		t.Fatal(err)
 	} else {
 		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("healthz while drained: HTTP %d, want 200 (liveness only)", resp.StatusCode)
+		}
+	}
+	if resp, err := http.Get(ts.URL + "/readyz"); err != nil {
+		t.Fatal(err)
+	} else {
+		resp.Body.Close()
 		if resp.StatusCode != http.StatusServiceUnavailable {
-			t.Errorf("healthz while drained: HTTP %d, want 503", resp.StatusCode)
+			t.Errorf("readyz while drained: HTTP %d, want 503", resp.StatusCode)
 		}
 	}
 	// Zero lost jobs: everything submitted before the drain is terminal.

@@ -1,0 +1,189 @@
+package telemetry
+
+// Prometheus text exposition (format 0.0.4) of a Registry snapshot.
+//
+// The registry's dotted names map to Prometheus conventions:
+//
+//   - every name is prefixed "hf_" and sanitized (dots → underscores);
+//   - counters gain the "_total" suffix;
+//   - a registry name of the form `base{k="v",...}` is a labeled series:
+//     the base becomes the family, the braces become labels (the JSON
+//     form keeps the raw name — both views stay complete);
+//   - histograms whose name ends in "_ns" are exported in seconds
+//     (suffix "_seconds") with cumulative le buckets at the registry's
+//     power-of-two bounds; other histograms keep their raw unit;
+//   - const labels (e.g. replica="r0") are attached to every series;
+//   - a histogram whose family name would collide with a gauge of the
+//     same name (svc.queue.depth is both) gains a "_hist" suffix.
+//
+// Output is deterministic: families and series sort lexicographically.
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// promPrefix namespaces every exported family.
+const promPrefix = "hf_"
+
+// promName sanitizes a dotted registry name into a Prometheus metric
+// name: [a-zA-Z0-9_:] survive, everything else becomes '_'.
+func promName(name string) string {
+	var b strings.Builder
+	b.Grow(len(promPrefix) + len(name))
+	b.WriteString(promPrefix)
+	for _, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == ':':
+			b.WriteRune(c)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// splitLabeledName splits `base{k="v",...}` into base and the raw label
+// body; a plain name returns ("", base-unchanged... ) with empty labels.
+func splitLabeledName(name string) (base, labels string) {
+	i := strings.IndexByte(name, '{')
+	if i < 0 || !strings.HasSuffix(name, "}") {
+		return name, ""
+	}
+	return name[:i], name[i+1 : len(name)-1]
+}
+
+// escapeLabelValue escapes a label value per the exposition format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, "\n", `\n`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return v
+}
+
+// renderLabels joins const labels, parsed labels, and extras into a
+// `{...}` block ("" when empty). Const labels render first, sorted.
+func renderLabels(constLabels map[string]string, parsed string, extra ...string) string {
+	var parts []string
+	keys := make([]string, 0, len(constLabels))
+	for k := range constLabels {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		parts = append(parts, fmt.Sprintf("%s=%q", k, escapeLabelValue(constLabels[k])))
+	}
+	if parsed != "" {
+		parts = append(parts, parsed)
+	}
+	parts = append(parts, extra...)
+	if len(parts) == 0 {
+		return ""
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// promFloat renders a float without exponent surprises.
+func promFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promSeries is one output line of a family.
+type promSeries struct {
+	labels string // rendered label block ("" or "{...}")
+	value  string
+}
+
+// promFamily collects one metric family for sorted emission.
+type promFamily struct {
+	name   string
+	typ    string // counter | gauge | histogram
+	series []promSeries
+	// raw lines for histograms (already label-rendered, name-suffixed)
+	lines []string
+}
+
+// WritePrometheus writes the registry snapshot in Prometheus text
+// exposition format. constLabels are attached to every series.
+func (r *Registry) WritePrometheus(w io.Writer, constLabels map[string]string) error {
+	snap := r.Snapshot()
+	fams := map[string]*promFamily{}
+	add := func(name, typ string) *promFamily {
+		f := fams[name]
+		if f == nil {
+			f = &promFamily{name: name, typ: typ}
+			fams[name] = f
+		}
+		return f
+	}
+
+	for raw, v := range snap.Counters {
+		base, labels := splitLabeledName(raw)
+		fam := add(promName(base)+"_total", "counter")
+		fam.series = append(fam.series, promSeries{
+			labels: renderLabels(constLabels, labels),
+			value:  strconv.FormatInt(v, 10),
+		})
+	}
+	gaugeFams := map[string]bool{}
+	for raw, v := range snap.Gauges {
+		base, labels := splitLabeledName(raw)
+		famName := promName(base)
+		gaugeFams[famName] = true
+		fam := add(famName, "gauge")
+		fam.series = append(fam.series, promSeries{
+			labels: renderLabels(constLabels, labels),
+			value:  promFloat(v),
+		})
+	}
+	for raw, h := range snap.Histograms {
+		base, labels := splitLabeledName(raw)
+		scale := 1.0
+		famName := ""
+		if strings.HasSuffix(base, "_ns") {
+			famName = promName(strings.TrimSuffix(base, "_ns")) + "_seconds"
+			scale = 1e-9
+		} else {
+			famName = promName(base)
+			if gaugeFams[famName] {
+				famName += "_hist" // e.g. svc.queue.depth is both gauge and histogram
+			}
+		}
+		fam := add(famName, "histogram")
+		var cum int64
+		for _, b := range h.Buckets {
+			cum += b.Count
+			le := fmt.Sprintf("le=%q", promFloat(float64(b.Le)*scale))
+			fam.lines = append(fam.lines, fmt.Sprintf("%s_bucket%s %d",
+				famName, renderLabels(constLabels, labels, le), cum))
+		}
+		fam.lines = append(fam.lines,
+			fmt.Sprintf("%s_bucket%s %d", famName, renderLabels(constLabels, labels, `le="+Inf"`), h.Count),
+			fmt.Sprintf("%s_sum%s %s", famName, renderLabels(constLabels, labels), promFloat(float64(h.Sum)*scale)),
+			fmt.Sprintf("%s_count%s %d", famName, renderLabels(constLabels, labels), h.Count))
+	}
+
+	names := make([]string, 0, len(fams))
+	for n := range fams {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	for _, n := range names {
+		fam := fams[n]
+		fmt.Fprintf(&b, "# TYPE %s %s\n", fam.name, fam.typ)
+		sort.Slice(fam.series, func(i, j int) bool { return fam.series[i].labels < fam.series[j].labels })
+		for _, s := range fam.series {
+			fmt.Fprintf(&b, "%s%s %s\n", fam.name, s.labels, s.value)
+		}
+		for _, line := range fam.lines {
+			b.WriteString(line)
+			b.WriteByte('\n')
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

@@ -83,6 +83,28 @@
 //	ddi.lease.draws          lease-cursor draws
 //	straggler.flagged        gauge: ranks currently over the EWMA k-bar
 //
+// Request-tracing and observability taxonomy (internal/service; see
+// tracectx.go, flight.go, prom.go):
+//
+//	job.run                  span: one runner attempt (jobs layer), named
+//	                         by mode, nested inside its svc.job span
+//	svc.lookup               span: last-chance cache/peer dedup lookups
+//	                         before a worker pays for a run
+//	svc.submit               instant: one POST /v1/jobs admission outcome
+//	svc.trace.minted         trace IDs minted at HTTP ingress
+//	svc.trace.propagated     trace IDs accepted from X-HF-Trace (fleet
+//	                         forwarding or client-supplied)
+//	svc.trace.waterfalls     GET /v1/jobs/{id}/trace requests served
+//	obs.flight.records       structured log lines recorded in the ring
+//	obs.flight.dumps         flight-recorder dumps (job failure, watchdog
+//	                         escalation, WAL crash replay)
+//	svc.http.requests{route=,code=}  HTTP responses by route and status
+//
+// Spans recorded through a Session derived with WithTrace carry the
+// originating request's trace ID in their args (key "trace"), so one
+// request stitches into a single waterfall across service → jobs → scf →
+// fock → ddi/mpi, validated by ValidateContinuity / tracecheck -continuity.
+//
 // Lanes: pid = MPI rank (DriverPid for events outside any rank), tid = 0
 // for the rank's main goroutine, 1..T for OpenMP team threads.
 //
@@ -92,6 +114,7 @@
 package telemetry
 
 import (
+	"fmt"
 	"io"
 	"strings"
 	"time"
@@ -101,16 +124,52 @@ import (
 // recovery driver between attempts).
 const DriverPid = -1
 
-// Session bundles the three collectors for one run.
+// Session bundles the collectors for one run. A Session may carry a
+// trace ID (see WithTrace): every span and instant it records then
+// stamps the ID into its args, so request-scoped waterfalls can be
+// stitched out of the shared Recorder after the fact.
 type Session struct {
 	Registry *Registry
 	Recorder *Recorder
 	Loads    *LoadCollector
+	Flight   *FlightRecorder
+
+	// TraceID, when non-empty, is stamped into the args of every event
+	// this session records (key TraceArgKey). Derived sessions from
+	// WithTrace share every collector with their parent.
+	TraceID string
 }
 
 // NewSession returns a session recording wall-clock events.
 func NewSession() *Session {
-	return &Session{Registry: NewRegistry(), Recorder: NewRecorder(), Loads: NewLoadCollector()}
+	return &Session{Registry: NewRegistry(), Recorder: NewRecorder(),
+		Loads: NewLoadCollector(), Flight: NewFlightRecorder(0)}
+}
+
+// WithTrace returns a session that records into the same collectors but
+// stamps traceID into every span and instant. An empty traceID (or a nil
+// receiver) returns the receiver unchanged, so untraced call paths pay
+// nothing.
+func (s *Session) WithTrace(traceID string) *Session {
+	if s == nil || traceID == "" || traceID == s.TraceID {
+		return s
+	}
+	d := *s
+	d.TraceID = traceID
+	return &d
+}
+
+// traceArgs stamps the session's trace ID into args (allocating the map
+// when needed). Untraced sessions pass args through untouched.
+func (s *Session) traceArgs(args map[string]any) map[string]any {
+	if s.TraceID == "" {
+		return args
+	}
+	if args == nil {
+		return map[string]any{TraceArgKey: s.TraceID}
+	}
+	args[TraceArgKey] = s.TraceID
+	return args
 }
 
 // noop is the shared end function returned by spans on a nil session.
@@ -127,7 +186,12 @@ func (s *Session) Span(cat, name string, pid, tid int, args map[string]any) func
 	}
 	start := s.Recorder.Now()
 	return func() {
-		s.Recorder.Complete(cat, name, pid, tid, start, s.Recorder.Now(), args)
+		end := s.Recorder.Now()
+		args = s.traceArgs(args)
+		s.Recorder.Complete(cat, name, pid, tid, start, end, args)
+		s.Flight.Note(FlightEntry{At: end, Kind: FlightSpan, Cat: cat, Name: name,
+			Pid: pid, Tid: tid, DurUS: float64(end.Sub(start).Nanoseconds()) / 1e3,
+			Trace: s.TraceID, Args: args})
 	}
 }
 
@@ -139,7 +203,12 @@ func (s *Session) SpanArgsAtEnd(cat, name string, pid, tid int) func(args map[st
 	}
 	start := s.Recorder.Now()
 	return func(args map[string]any) {
-		s.Recorder.Complete(cat, name, pid, tid, start, s.Recorder.Now(), args)
+		end := s.Recorder.Now()
+		args = s.traceArgs(args)
+		s.Recorder.Complete(cat, name, pid, tid, start, end, args)
+		s.Flight.Note(FlightEntry{At: end, Kind: FlightSpan, Cat: cat, Name: name,
+			Pid: pid, Tid: tid, DurUS: float64(end.Sub(start).Nanoseconds()) / 1e3,
+			Trace: s.TraceID, Args: args})
 	}
 }
 
@@ -154,8 +223,11 @@ func (s *Session) TimedOp(cat, name string, pid, tid int) func() {
 	start := s.Recorder.Now()
 	return func() {
 		end := s.Recorder.Now()
-		s.Recorder.Complete(cat, name, pid, tid, start, end, nil)
+		s.Recorder.Complete(cat, name, pid, tid, start, end, s.traceArgs(nil))
 		hist.Observe(end.Sub(start).Nanoseconds())
+		s.Flight.Note(FlightEntry{At: end, Kind: FlightSpan, Cat: cat, Name: name,
+			Pid: pid, Tid: tid, DurUS: float64(end.Sub(start).Nanoseconds()) / 1e3,
+			Trace: s.TraceID})
 	}
 }
 
@@ -164,7 +236,33 @@ func (s *Session) Instant(cat, name string, pid, tid int, args map[string]any) {
 	if s == nil {
 		return
 	}
+	args = s.traceArgs(args)
 	s.Recorder.Instant(cat, name, pid, tid, args)
+	s.Flight.Note(FlightEntry{Kind: FlightInstant, Cat: cat, Name: name,
+		Pid: pid, Tid: tid, Trace: s.TraceID, Args: args})
+}
+
+// Logf records a structured log line into the flight ring (and counts it
+// on the obs.flight.records counter). Log lines are postmortem context —
+// they never reach the Chrome trace, only flight dumps.
+func (s *Session) Logf(cat, format string, a ...any) {
+	if s == nil || s.Flight == nil {
+		return
+	}
+	s.Flight.Note(FlightEntry{Kind: FlightLog, Cat: cat,
+		Trace: s.TraceID, Msg: fmt.Sprintf(format, a...)})
+	s.Counter("obs.flight.records").Add(1)
+}
+
+// DumpFlight snapshots the flight ring with the given reason, firing any
+// registered persistence callback. Nil-safe; returns the dump (nil when
+// the session has no flight recorder).
+func (s *Session) DumpFlight(reason string) *FlightDump {
+	if s == nil || s.Flight == nil {
+		return nil
+	}
+	s.Counter("obs.flight.dumps").Add(1)
+	return s.Flight.Dump(reason)
 }
 
 // Counter returns the named counter (nil, a no-op handle, when the

@@ -174,6 +174,22 @@ func (r *Recorder) WriteJSON(w io.Writer) error {
 	return err
 }
 
+// WriteTraceEvents writes an arbitrary event slice as a Chrome trace
+// JSON object — used to merge several replicas' recorders (with their
+// pids offset per replica) into one fleet-wide trace file.
+func WriteTraceEvents(w io.Writer, events []Event) error {
+	if events == nil {
+		events = []Event{}
+	}
+	data, err := json.MarshalIndent(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"}, "", " ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	_, err = w.Write(data)
+	return err
+}
+
 // --- validation (shared by tests and cmd/tracecheck) ---
 
 // TraceStats summarizes a validated trace.
