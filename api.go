@@ -21,6 +21,7 @@ import (
 	"time"
 
 	"repro/internal/basis"
+	"repro/internal/cluster"
 	"repro/internal/ddi"
 	"repro/internal/fock"
 	"repro/internal/integrals"
@@ -277,6 +278,92 @@ func RunResilientRHFCtx(ctx context.Context, mol *Molecule, basisName string, cf
 		Fault:       cfg.Fault,
 		Checkpoint:  cfg.Checkpoint,
 		Telemetry:   cfg.Telemetry,
+	})
+}
+
+// Membership is an elastic rank pool: candidates announce joins on its
+// bus, the elastic SCF driver admits them at iteration boundaries, and
+// rank death or straggler migration advances its epoch.
+type Membership = cluster.Membership
+
+// NewMembership creates a rank pool of the given initial size. tel
+// (optional) receives the elastic.* counters and gauges.
+func NewMembership(size int, tel *Telemetry) *Membership {
+	return cluster.NewMembership(size, tel)
+}
+
+// ElasticConfig shapes an elastically-scheduled parallel RHF run.
+type ElasticConfig struct {
+	Ranks         int           // initial ranks when Membership is nil; defaults to 2
+	MaxRanks      int           // join admission cap; defaults to 4× initial
+	Threads       int           // OpenMP threads per rank; defaults per fock.Config
+	Algorithm     Algorithm     // defaults to ResilientFock
+	Deadline      time.Duration // per-blocking-op bound; defaults to 30s
+	Grace         time.Duration // unwind window past the deadline
+	MaxRebalances int           // membership-transition budget; defaults to 6
+	// Membership shares a rank pool with the caller (e.g. an autoscaler);
+	// nil constructs a fresh pool of Ranks.
+	Membership *Membership
+	// FaultFor supplies the fault plan per membership epoch (nil = clean).
+	FaultFor func(epoch int64) *mpi.FaultPlan
+	// MigrateK enables straggler migration at k× the median task-latency
+	// EWMA; 0 disables it.
+	MigrateK          float64
+	MigrateMinSamples int64
+	// OnIteration runs on rank 0 after each iteration's checkpoint — the
+	// hook experiments use to announce joins mid-run.
+	OnIteration func(epoch int64, iter int)
+	Checkpoint  []byte     // optional prior checkpoint to warm-start from
+	Telemetry   *Telemetry // optional observability session
+}
+
+// ElasticTrace reports how an elastic run's membership evolved.
+type ElasticTrace = scf.ElasticTrace
+
+// ErrRebalance is the cancellation cause of an SCF epoch stopped for a
+// membership transition (grow or migrate) rather than by the caller.
+var ErrRebalance = scf.ErrRebalance
+
+// RunElasticRHF runs a restricted Hartree-Fock calculation under an
+// elastic rank pool: ranks join at SCF iteration boundaries via the
+// membership's checkpoint handshake (grow-restart), straggler-flagged
+// ranks are re-hosted (migrate), and rank death shrinks the pool — every
+// transition restarting from the last CRC-verified checkpoint, with the
+// converged energy invariant under all of it.
+func RunElasticRHF(mol *Molecule, basisName string, cfg ElasticConfig, opt SCFOptions) (*Result, *ElasticTrace, error) {
+	return RunElasticRHFCtx(context.Background(), mol, basisName, cfg, opt)
+}
+
+// RunElasticRHFCtx is RunElasticRHF under a context: caller cancellation
+// stops the run collectively at the next iteration boundary with
+// ErrCanceled, distinct from the driver's own rebalance stops.
+func RunElasticRHFCtx(ctx context.Context, mol *Molecule, basisName string, cfg ElasticConfig, opt SCFOptions) (*Result, *ElasticTrace, error) {
+	b, err := basis.Build(mol, basisName)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ctx != nil && ctx.Done() != nil {
+		opt.Context = ctx
+	}
+	eng := integrals.NewEngine(b)
+	sch := integrals.ComputeSchwarz(eng)
+	cache := integrals.NewPairCache(eng, 0)
+	return scf.RunRHFElastic(eng, sch, scf.ElasticOptions{
+		Ranks:             cfg.Ranks,
+		MaxRanks:          cfg.MaxRanks,
+		Algorithm:         cfg.Algorithm,
+		Fock:              fock.Config{Threads: cfg.Threads, Quartets: cache},
+		SCF:               opt,
+		Deadline:          cfg.Deadline,
+		Grace:             cfg.Grace,
+		MaxRebalances:     cfg.MaxRebalances,
+		Membership:        cfg.Membership,
+		FaultFor:          cfg.FaultFor,
+		MigrateK:          cfg.MigrateK,
+		MigrateMinSamples: cfg.MigrateMinSamples,
+		OnIteration:       cfg.OnIteration,
+		Checkpoint:        cfg.Checkpoint,
+		Telemetry:         cfg.Telemetry,
 	})
 }
 

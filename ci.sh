@@ -60,6 +60,19 @@
 # committed bench file — machines differ; the committed BENCH_*.json
 # trajectory is for humans and for same-machine comparisons.
 #
+# Tier 9 (elastic gate): `scaling -exp elastic` — the elastic rank
+# runtime end to end: a live SCF doubles its rank pool mid-run through
+# the join handshake (announce -> checkpoint handshake -> re-sized
+# restart) with the converged energy unchanged to 1e-10 Ha; a 6x
+# straggler is migrated off its node by the EWMA detector with the same
+# energy bar; the synthetic lease workload shows mid-run doubling
+# cutting wall time (<= 0.85x) and migration bounding a 4x straggler's
+# tail (<= 1.6x clean) with every task pushed exactly once; and one
+# hfserve replica rides a 40-job burst through the autoscaler (grow via
+# the join protocol, zero jobs lost, hysteresis shrink back to the
+# floor). The membership/join-bus/elastic-driver tests rerun under
+# -race.
+#
 # Usage: ./ci.sh [-short]   (-short skips the slow simulator sweeps)
 set -eu
 
@@ -178,5 +191,10 @@ if go run ./cmd/benchrun -compare "$tracedir/bench_ci.json" -in "$tracedir/bench
 	exit 1
 fi
 echo "obs gate: waterfall + continuity + benchrun comparator all held"
+
+echo "== tier 9: elastic gate (scaling -exp elastic + -race membership tests) =="
+go run ./cmd/scaling -exp elastic
+go test -race -run 'TestJoinBus|TestJoinBackoff|TestMembership|TestElastic|TestCheckpointGrow|TestAutoscaler|TestResize|TestFleetFetch|TestFetchBackoff|TestReadyzRebalancing' \
+	./internal/mpi/ ./internal/cluster/ ./internal/scf/ ./internal/service/
 
 echo "ci: all green"

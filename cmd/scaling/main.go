@@ -13,6 +13,7 @@
 //	scaling -exp chaos    # straggler/partition chaos: live mitigation gate
 //	scaling -exp fleet    # 3 WAL-backed replicas, kill-one chaos, exactly-once gate
 //	scaling -exp obs      # fleet-wide request tracing: waterfall + continuity gate
+//	scaling -exp elastic  # elastic membership: grow/migrate/autoscaler gates
 //	scaling -exp all
 package main
 
@@ -36,7 +37,7 @@ import (
 // unknown-id error advertises exactly this list so it can never drift.
 var experiments = []string{
 	"table2", "table3", "fig3", "fig4", "fig5", "fig7",
-	"sweep", "breakdown", "ablation", "resilience", "sdc", "chaos", "fleet", "obs",
+	"sweep", "breakdown", "ablation", "resilience", "sdc", "chaos", "fleet", "obs", "elastic",
 }
 
 func main() {
@@ -161,6 +162,11 @@ func main() {
 		case "obs":
 			fmt.Println("== Observability: fleet-wide request tracing, waterfall + continuity gate ==")
 			if !liveObs(*obsTrace) {
+				os.Exit(1)
+			}
+		case "elastic":
+			fmt.Println("== Elastic: grow-and-shrink membership, migration, autoscaler gates ==")
+			if !liveElastic(*grace, writeCSV) {
 				os.Exit(1)
 			}
 		default:

@@ -26,6 +26,11 @@ type Context struct {
 	epoch      int64
 	leaseCycle int64            // lease-based DLB cycle sequence (see lease.go)
 	ewma       loadbalance.EWMA // this rank's task-latency average (see straggler.go)
+	// memberEpoch keys the shared straggler window by membership epoch
+	// (see straggler.go): after an elastic grow/shrink/migration the
+	// world size changes, and a resized world must never read the stale
+	// EWMA vector a differently-sized predecessor published.
+	memberEpoch int64
 }
 
 // New wraps an MPI communicator with DDI services.

@@ -7,15 +7,35 @@ package ddi
 // outstanding leases become candidates for speculative re-issue.
 
 import (
+	"fmt"
 	"time"
 
 	"repro/internal/loadbalance"
 )
 
-// stragglerWindow holds, for a communicator of size P, slots [0, P) =
-// per-rank latency EWMA in nanoseconds and slots [P, 2P) = per-rank
-// sample counts.
-const stragglerWindow = "ddi.straggler"
+// stragglerWindowBase holds, for a communicator of size P, slots [0, P)
+// = per-rank latency EWMA in nanoseconds and slots [P, 2P) = per-rank
+// sample counts. Under an elastic membership the window name is keyed by
+// the membership epoch (see stragglerWindow), so a resized world starts
+// from a fresh vector instead of reading — or colliding with the
+// different-sized allocation of — a stale epoch's data.
+const stragglerWindowBase = "ddi.straggler"
+
+// SetMembershipEpoch keys this context's straggler window by the given
+// membership epoch. The elastic SCF driver calls it once per epoch;
+// fixed-membership runs (epoch 0) keep the unsuffixed window name.
+func (d *Context) SetMembershipEpoch(e int64) { d.memberEpoch = e }
+
+// MembershipEpoch returns the epoch set by SetMembershipEpoch.
+func (d *Context) MembershipEpoch() int64 { return d.memberEpoch }
+
+// stragglerWindow returns the epoch-keyed shared window name.
+func (d *Context) stragglerWindow() string {
+	if d.memberEpoch == 0 {
+		return stragglerWindowBase
+	}
+	return fmt.Sprintf("%s.e%d", stragglerWindowBase, d.memberEpoch)
+}
 
 // ObserveTaskLatency folds one completed task's wall time into this
 // rank's latency EWMA and publishes the updated (EWMA, count) pair to
@@ -24,11 +44,12 @@ const stragglerWindow = "ddi.straggler"
 // is whatever LOOKS slow from outside).
 func (d *Context) ObserveTaskLatency(dur time.Duration) {
 	size := d.Comm.Size()
-	d.Comm.WinCreateCounters(stragglerWindow, 2*size)
+	win := d.stragglerWindow()
+	d.Comm.WinCreateCounters(win, 2*size)
 	v := d.ewma.Observe(float64(dur.Nanoseconds()))
 	r := d.Comm.Rank()
-	d.Comm.CounterStore(stragglerWindow, r, int64(v))
-	d.Comm.CounterStore(stragglerWindow, size+r, d.ewma.Count())
+	d.Comm.CounterStore(win, r, int64(v))
+	d.Comm.CounterStore(win, size+r, d.ewma.Count())
 }
 
 // Stragglers reads every rank's published latency EWMA and returns the
@@ -36,17 +57,27 @@ func (d *Context) ObserveTaskLatency(dur time.Duration) {
 // observations each; see loadbalance.FlagStragglers for the exact
 // policy). The flagged count is exported as the straggler.flagged gauge.
 func (d *Context) Stragglers(k float64, minSamples int64) []int {
-	size := d.Comm.Size()
-	d.Comm.WinCreateCounters(stragglerWindow, 2*size)
-	ewma := make([]float64, size)
-	counts := make([]int64, size)
-	for r := 0; r < size; r++ {
-		ewma[r] = float64(d.Comm.CounterLoad(stragglerWindow, r))
-		counts[r] = d.Comm.CounterLoad(stragglerWindow, size+r)
-	}
+	ewma, counts := d.PublishedLatencies()
 	flagged := loadbalance.FlagStragglers(ewma, counts, k, minSamples)
 	if tel := d.Comm.Telemetry(); tel != nil {
 		tel.Gauge("straggler.flagged").Set(float64(len(flagged)))
 	}
 	return flagged
+}
+
+// PublishedLatencies reads the shared straggler window for the current
+// membership epoch: per-rank latency EWMAs (ns) and sample counts. The
+// elastic driver and the autoscaler read these directly when deciding
+// migrations.
+func (d *Context) PublishedLatencies() ([]float64, []int64) {
+	size := d.Comm.Size()
+	win := d.stragglerWindow()
+	d.Comm.WinCreateCounters(win, 2*size)
+	ewma := make([]float64, size)
+	counts := make([]int64, size)
+	for r := 0; r < size; r++ {
+		ewma[r] = float64(d.Comm.CounterLoad(win, r))
+		counts[r] = d.Comm.CounterLoad(win, size+r)
+	}
+	return ewma, counts
 }

@@ -4,6 +4,7 @@ import (
 	"container/heap"
 	"errors"
 	"sync"
+	"sync/atomic"
 	"time"
 )
 
@@ -120,6 +121,37 @@ func (q *Queue) Claim() *Job {
 		}
 		q.cond.Wait()
 	}
+}
+
+// ClaimUntil is Claim with a retirement flag: it additionally returns
+// nil — without popping anything — once retired is set, so an elastic
+// worker being scaled down stops promptly even while jobs are queued
+// (the survivors claim them instead). Pair with Kick to wake blocked
+// claimants after flipping the flag.
+func (q *Queue) ClaimUntil(retired *atomic.Bool) *Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	for {
+		if retired.Load() {
+			return nil
+		}
+		if q.items.Len() > 0 {
+			return heap.Pop(&q.items).(*pqItem).job
+		}
+		if q.closed {
+			return nil
+		}
+		q.cond.Wait()
+	}
+}
+
+// Kick wakes every blocked Claim/ClaimUntil without changing queue
+// state, so callers that flipped an external condition (worker
+// retirement) get it re-checked.
+func (q *Queue) Kick() {
+	q.mu.Lock()
+	q.cond.Broadcast()
+	q.mu.Unlock()
 }
 
 // TryClaim is Claim without blocking: nil when nothing is queued.

@@ -1,0 +1,410 @@
+package scf
+
+// Elastic driver: the grow-and-migrate counterpart of recovery.go's
+// shrink-restart. RunRHFElastic runs a parallel RHF whose world size is
+// governed by a cluster.Membership instead of a fixed rank count:
+//
+//   - JOIN (grow-restart): candidates announce themselves on the
+//     membership's join bus; at the next iteration boundary rank 0 — the
+//     checkpoint writer, so it holds the freshest CRC-verified state —
+//     begins the checkpoint handshake, the running epoch stops
+//     collectively (the same max-allreduce cancellation gate a context
+//     cancel uses, with an ErrRebalance cause), the joins commit, and
+//     the next epoch restarts at the larger size from the checkpoint.
+//     Symmetric to shrink-restart: same checkpoint, opposite direction.
+//
+//   - MIGRATE: when the EWMA straggler detector flags a rank (k×median
+//     over the epoch-keyed shared latency window), the epoch stops at
+//     the iteration boundary — the lease window is fully drained there,
+//     every task of the build is committed — the flagged rank is
+//     re-hosted (membership epoch advances, the fault schedule that
+//     modeled the sick node does not follow it), and the run resumes
+//     from the checkpoint at the same size.
+//
+//   - SHRINK: rank death is handled exactly as in recovery.go, with the
+//     membership recording the transition.
+//
+// Every transition restarts from the last CRC-verified checkpoint; a
+// corrupt checkpoint is diagnosed and the restart falls back to the
+// standard guess. The energy is invariant under all of this — the
+// density in the checkpoint does not depend on the rank count.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/ddi"
+	"repro/internal/fock"
+	"repro/internal/integrals"
+	"repro/internal/mpi"
+	"repro/internal/telemetry"
+)
+
+// ErrRebalance is the cancellation cause (via errors.Is) of an epoch
+// stopped for a membership transition rather than by the caller.
+var ErrRebalance = errors.New("scf: elastic rebalance requested")
+
+// RebalanceSignal records why an epoch was stopped at an iteration
+// boundary. It is the context-cancellation cause, so every rank's
+// CanceledError unwraps to it.
+type RebalanceSignal struct {
+	Kind       string // "join" | "migrate"
+	Stragglers []int  // flagged ranks (migrate)
+	Iter       int    // iteration boundary the stop was requested at
+}
+
+func (r *RebalanceSignal) Error() string {
+	if r.Kind == "migrate" {
+		return fmt.Sprintf("scf: elastic rebalance (%s ranks %v) at iteration %d", r.Kind, r.Stragglers, r.Iter)
+	}
+	return fmt.Sprintf("scf: elastic rebalance (%s) at iteration %d", r.Kind, r.Iter)
+}
+
+// Is makes errors.Is(err, ErrRebalance) hold for every RebalanceSignal.
+func (r *RebalanceSignal) Is(target error) bool { return target == ErrRebalance }
+
+// ElasticOptions configures RunRHFElastic.
+type ElasticOptions struct {
+	Ranks     int       // initial rank count when Membership is nil; default 2
+	MaxRanks  int       // join admission cap; default 4×initial
+	Algorithm Algorithm // default AlgResilientFock
+	Fock      fock.Config
+	SCF       Options
+	Deadline  time.Duration // per-blocking-op bound; default 30s
+	Grace     time.Duration // unwind window past the deadline
+	// MaxRebalances caps membership transitions (grow + migrate + shrink
+	// restarts) after the first epoch; default 6.
+	MaxRebalances int
+	// Membership governs the rank pool. Nil constructs a fresh pool of
+	// Ranks; supply one to share it with an autoscaler or to announce
+	// joins from outside the run.
+	Membership *cluster.Membership
+	// FaultFor, when set, supplies the fault plan for each membership
+	// epoch (nil = clean). Unlike ResilientOptions.Fault (first attempt
+	// only), elastic chaos legs need per-epoch control: a migration is
+	// modeled by the slowdown not following the re-hosted rank into the
+	// next epoch.
+	FaultFor func(epoch int64) *mpi.FaultPlan
+	// MigrateK enables straggler migration: a rank whose task-latency
+	// EWMA exceeds MigrateK× the rank median (with at least
+	// MigrateMinSamples observations per rank) is re-hosted at the next
+	// iteration boundary. 0 disables migration.
+	MigrateK          float64
+	MigrateMinSamples int64 // default 3
+	// OnIteration, when set, is invoked on rank 0 after every completed
+	// iteration (after the checkpoint write) with the membership epoch —
+	// the deterministic hook experiments use to announce joins mid-run.
+	OnIteration func(epoch int64, iter int)
+	// Checkpoint optionally warm-starts the first epoch.
+	Checkpoint []byte
+	Telemetry  *telemetry.Session
+}
+
+func (o ElasticOptions) withDefaults() ElasticOptions {
+	if o.Ranks <= 0 {
+		o.Ranks = 2
+	}
+	if o.Membership == nil {
+		o.Membership = cluster.NewMembership(o.Ranks, o.Telemetry)
+	}
+	if o.MaxRanks <= 0 {
+		o.MaxRanks = 4 * o.Membership.Size()
+	}
+	if o.Algorithm == "" {
+		o.Algorithm = AlgResilientFock
+	}
+	if o.Deadline == 0 {
+		o.Deadline = 30 * time.Second
+	}
+	if o.MaxRebalances == 0 {
+		o.MaxRebalances = 6
+	}
+	if o.MigrateMinSamples == 0 {
+		o.MigrateMinSamples = 3
+	}
+	if o.Telemetry == nil {
+		o.Telemetry = o.SCF.Telemetry
+	}
+	return o
+}
+
+// EpochRun records one membership epoch of an elastic run.
+type EpochRun struct {
+	Epoch      int64 // membership epoch the attempt ran under
+	Ranks      int
+	Iterations int // SCF iterations completed in this epoch
+	Wall       time.Duration
+	Outcome    string // converged | join-rebalance | migrate-rebalance | shrink | canceled | error
+}
+
+// ElasticTrace reports how an elastic run's membership evolved.
+type ElasticTrace struct {
+	Epochs []EpochRun
+
+	JoinsCommitted int // ranks admitted across all grow events
+	Migrations     int // ranks re-hosted off straggler-flagged nodes
+	GrowRestarts   int
+	ShrinkRestarts int
+	MigrateRestart int
+
+	CheckpointRestores int // restarts warm-started from a checkpoint
+	GuessRestarts      int // restarts from the standard guess
+	CorruptCheckpoints int
+
+	FinalRanks int
+	FinalEpoch int64
+	Reports    []*mpi.RunReport
+}
+
+// RunRHFElastic runs a parallel RHF under an elastic membership, per the
+// package comment above. It returns the converged result, the elastic
+// trace, and an error only when the caller canceled or the transition
+// budget was exhausted.
+func RunRHFElastic(eng *integrals.Engine, sch *integrals.Schwarz,
+	opt ElasticOptions) (*Result, *ElasticTrace, error) {
+	opt = opt.withDefaults()
+	m := opt.Membership
+	tel := opt.Telemetry
+	tr := &ElasticTrace{}
+	store := &ckptStore{buf: opt.Checkpoint}
+	molName := eng.Basis.Mol.Name
+	basisName := eng.Basis.Name
+
+	parent := opt.SCF.Context
+	if parent == nil {
+		parent = context.Background()
+	}
+
+	transitions := 0
+	var lastErr error
+	for {
+		if parent.Err() != nil {
+			return nil, tr, &CanceledError{Cause: context.Cause(parent)}
+		}
+		epoch := m.Epoch()
+		ranks := m.Size()
+		attempt := len(tr.Epochs)
+
+		scfOpt := opt.SCF
+		cp, had, err := store.load()
+		if err != nil {
+			tr.CorruptCheckpoints++
+			if tel != nil {
+				tel.Counter("recovery.corrupt_checkpoints").Add(1)
+				tel.Counter("sdc.detected").Add(1)
+				tel.Counter("sdc.detected.checkpoint").Add(1)
+				tel.Instant("recovery.restore", "checkpoint-corrupt", telemetry.DriverPid, 0,
+					map[string]any{"epoch": epoch, "cause": err.Error()})
+			}
+		} else if cp != nil {
+			scfOpt.InitialDensity = cp.DensityMatrix()
+			if tel != nil && attempt > 0 {
+				tel.Counter("recovery.checkpoint_restores").Add(1)
+				tel.Instant("recovery.restore", "checkpoint-restore", telemetry.DriverPid, 0,
+					map[string]any{"epoch": epoch, "iter": cp.Iterations})
+			}
+		}
+		if attempt > 0 {
+			if had && err == nil {
+				tr.CheckpointRestores++
+			} else {
+				tr.GuessRestarts++
+			}
+		}
+
+		var fault *mpi.FaultPlan
+		if opt.FaultFor != nil {
+			fault = opt.FaultFor(epoch)
+		}
+
+		// The per-epoch stop gate: rank 0 cancels with a RebalanceSignal
+		// cause, and every rank agrees collectively at the next iteration
+		// boundary — nobody is left blocked in a collective.
+		epochCtx, cancelEpoch := context.WithCancelCause(parent)
+		var signal atomic.Pointer[RebalanceSignal]
+		var itersDone atomic.Int64
+		budgetLeft := transitions < opt.MaxRebalances
+
+		results := make([]*Result, ranks)
+		errs := make([]error, ranks)
+		start := time.Now()
+		report, runErr := mpi.RunWithOptions(ranks,
+			mpi.RunOptions{Deadline: opt.Deadline, Grace: opt.Grace, Fault: fault, Telemetry: tel},
+			func(c *mpi.Comm) {
+				dx := ddi.New(c)
+				dx.SetMembershipEpoch(epoch)
+				builder := ParallelBuilder(opt.Algorithm, dx, eng, sch, opt.Fock)
+				o := scfOpt
+				o.Telemetry = tel
+				o.TelemetryRank = c.Rank()
+				o.Context = epochCtx
+				o.CancelAgree = CollectiveCancel(c)
+				if c.Rank() == 0 {
+					o.OnIteration = func(iter int, r *Result) {
+						itersDone.Store(int64(iter))
+						// Checkpoint first — the handshake below hands these
+						// exact bytes to joining ranks.
+						data, encErr := EncodeCheckpoint(molName, basisName, r)
+						if encErr == nil {
+							c.InjectSDCBytes(mpi.SiteCheckpoint, data)
+							store.put(data)
+						}
+						if opt.OnIteration != nil {
+							opt.OnIteration(epoch, iter)
+						}
+						if signal.Load() != nil || !budgetLeft {
+							return
+						}
+						// Grow: begin the checkpoint handshake when candidates
+						// fit under the admission cap.
+						if m.PendingJoins() > 0 && ranks+m.PendingRanks() <= opt.MaxRanks {
+							if m.BeginRebalance() {
+								sig := &RebalanceSignal{Kind: "join", Iter: iter}
+								signal.Store(sig)
+								cancelEpoch(sig)
+								return
+							}
+						}
+						// Migrate: the detector reads the epoch-keyed window the
+						// builders published this epoch's latencies into.
+						if opt.MigrateK > 0 {
+							if slow := dx.Stragglers(opt.MigrateK, opt.MigrateMinSamples); len(slow) > 0 {
+								sig := &RebalanceSignal{Kind: "migrate", Stragglers: slow, Iter: iter}
+								signal.Store(sig)
+								cancelEpoch(sig)
+								return
+							}
+						}
+					}
+				}
+				res, err := RunRHF(eng, builder, o)
+				results[c.Rank()] = res
+				errs[c.Rank()] = err
+			})
+		cancelEpoch(nil)
+		wall := time.Since(start)
+		tr.Reports = append(tr.Reports, report)
+
+		record := func(outcome string) {
+			tr.Epochs = append(tr.Epochs, EpochRun{
+				Epoch: epoch, Ranks: ranks, Iterations: int(itersDone.Load()) + 1,
+				Wall: wall, Outcome: outcome,
+			})
+		}
+
+		// Converged: any completed rank holds the full result.
+		for _, r := range report.Completed {
+			if results[r] != nil && errs[r] == nil {
+				record("converged")
+				tr.FinalRanks = ranks
+				tr.FinalEpoch = m.Epoch()
+				return results[r], tr, nil
+			}
+		}
+
+		// Rebalance stop: every rank returned a CanceledError whose cause
+		// is the signal. Apply the transition and restart.
+		if sig := signal.Load(); sig != nil && runErr == nil && rebalanceStop(errs) {
+			transitions++
+			switch sig.Kind {
+			case "join":
+				added := m.CommitJoins(store.snapshot())
+				tr.JoinsCommitted += added
+				tr.GrowRestarts++
+				record("join-rebalance")
+				if tel != nil {
+					tel.Counter("elastic.grow_restarts").Add(1)
+					tel.Instant("recovery.restart", "grow-restart", telemetry.DriverPid, 0,
+						map[string]any{"epoch": m.Epoch(), "ranks": m.Size(), "joined": added})
+				}
+			case "migrate":
+				m.RecordMigration(sig.Stragglers)
+				tr.Migrations += len(sig.Stragglers)
+				tr.MigrateRestart++
+				record("migrate-rebalance")
+				if tel != nil {
+					tel.Counter("elastic.migrate_restarts").Add(1)
+					tel.Instant("recovery.restart", "migrate-restart", telemetry.DriverPid, 0,
+						map[string]any{"epoch": m.Epoch(), "stragglers": fmt.Sprint(sig.Stragglers)})
+				}
+			}
+			continue
+		}
+
+		// Caller cancellation (not a rebalance): propagate the first one.
+		if runErr == nil {
+			for _, err := range errs {
+				if err != nil && errors.Is(err, ErrCanceled) {
+					record("canceled")
+					return nil, tr, err
+				}
+			}
+			for _, err := range errs {
+				if err != nil {
+					record("error")
+					return nil, tr, err
+				}
+			}
+			record("error")
+			return nil, tr, fmt.Errorf("scf: elastic run produced no result")
+		}
+		lastErr = runErr
+
+		// Rank failure: shrink to the survivors, exactly as recovery.go.
+		// A handshake that lost the race to a rank death is aborted — the
+		// candidates re-announce with backoff.
+		if m.Rebalancing() {
+			m.AbortRebalance("epoch failed before commit")
+		}
+		dead := len(report.DeadRanks())
+		if dead == 0 {
+			dead = 1 // pure timeout: fence one wedged rank
+		}
+		if ranks-dead < 1 {
+			record("error")
+			return nil, tr, fmt.Errorf("scf: no ranks left to restart with: %w", lastErr)
+		}
+		transitions++
+		if transitions > opt.MaxRebalances {
+			record("error")
+			return nil, tr, fmt.Errorf("scf: rebalance budget (%d) exhausted: %w", opt.MaxRebalances, lastErr)
+		}
+		m.Shrink(dead)
+		tr.ShrinkRestarts++
+		record("shrink")
+		if tel != nil {
+			tel.Counter("elastic.shrink_restarts").Add(1)
+			tel.Counter("recovery.restarts").Add(1)
+			tel.Instant("recovery.restart", "shrink-restart", telemetry.DriverPid, 0,
+				map[string]any{"epoch": m.Epoch(), "ranks": m.Size(), "lost": dead})
+		}
+	}
+}
+
+// snapshot returns the stored checkpoint bytes (the payload the commit
+// handshake hands to joining ranks), or nil when none exists.
+func (s *ckptStore) snapshot() []byte {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.buf
+}
+
+// rebalanceStop reports whether every rank error is the collective
+// rebalance cancellation (no rank failed for a different reason).
+func rebalanceStop(errs []error) bool {
+	any := false
+	for _, err := range errs {
+		if err == nil {
+			continue
+		}
+		if !errors.Is(err, ErrRebalance) {
+			return false
+		}
+		any = true
+	}
+	return any
+}

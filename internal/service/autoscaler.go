@@ -1,0 +1,119 @@
+package service
+
+// Telemetry-driven worker-pool autoscaler: sizes the rank pool from the
+// signals the server already exports — queue depth (svc.queue.depth),
+// in-flight run count, and the pool gauges — instead of a side channel.
+// Policy, deliberately asymmetric:
+//
+//   - Scale UP eagerly: when queued depth exceeds HighDepthPerWorker ×
+//     workers, double the pool (capped at Max). A burst is cheapest to
+//     absorb immediately; the join handshake makes admission safe.
+//   - Scale DOWN cautiously (hysteresis): only after DownAfterTicks
+//     consecutive idle observations (empty queue AND zero running jobs),
+//     halve the pool (floored at Min). One busy tick resets the streak,
+//     so oscillating load cannot flap the pool.
+//   - Cooldown between any two scaling events bounds the rate of epoch
+//     churn regardless of how noisy the signals get.
+//
+// Retired workers finish their current job before exiting (see
+// Server.Resize), so a scale-down can never lose work.
+
+import (
+	"time"
+)
+
+// AutoscalerConfig shapes StartAutoscaler. Zero values take defaults.
+type AutoscalerConfig struct {
+	Min      int           // pool floor; default 1
+	Max      int           // pool ceiling; default 8
+	Interval time.Duration // observation period; default 20ms
+	// HighDepthPerWorker is the queued-jobs-per-worker threshold that
+	// triggers a scale-up; default 2.
+	HighDepthPerWorker float64
+	// DownAfterTicks is how many consecutive idle observations precede a
+	// scale-down; default 8.
+	DownAfterTicks int
+	// Cooldown is the minimum gap between scaling events; default
+	// 2×Interval.
+	Cooldown time.Duration
+}
+
+func (c AutoscalerConfig) withDefaults() AutoscalerConfig {
+	if c.Min <= 0 {
+		c.Min = 1
+	}
+	if c.Max <= 0 {
+		c.Max = 8
+	}
+	if c.Max < c.Min {
+		c.Max = c.Min
+	}
+	if c.Interval <= 0 {
+		c.Interval = 20 * time.Millisecond
+	}
+	if c.HighDepthPerWorker <= 0 {
+		c.HighDepthPerWorker = 2
+	}
+	if c.DownAfterTicks <= 0 {
+		c.DownAfterTicks = 8
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2 * c.Interval
+	}
+	return c
+}
+
+// StartAutoscaler runs the scaling loop in a background goroutine until
+// the server's background channel closes (Drain/Kill/Close). Call after
+// StartWorkers.
+func (s *Server) StartAutoscaler(cfg AutoscalerConfig) {
+	cfg = cfg.withDefaults()
+	go s.autoscaleLoop(cfg)
+}
+
+func (s *Server) autoscaleLoop(cfg AutoscalerConfig) {
+	t := time.NewTicker(cfg.Interval)
+	defer t.Stop()
+	idleTicks := 0
+	var lastEvent time.Time
+	for {
+		select {
+		case <-s.stopBg:
+			return
+		case now := <-t.C:
+			if s.killed.Load() {
+				return
+			}
+			depth := s.queue.Len()
+			running := s.running.Load()
+			workers := s.WorkerCount()
+
+			if depth == 0 && running == 0 {
+				idleTicks++
+			} else {
+				idleTicks = 0
+			}
+			if now.Sub(lastEvent) < cfg.Cooldown {
+				continue
+			}
+			switch {
+			case float64(depth) > cfg.HighDepthPerWorker*float64(workers) && workers < cfg.Max:
+				target := workers * 2
+				if target > cfg.Max {
+					target = cfg.Max
+				}
+				s.Resize(target)
+				lastEvent = now
+				idleTicks = 0
+			case idleTicks >= cfg.DownAfterTicks && workers > cfg.Min:
+				target := workers / 2
+				if target < cfg.Min {
+					target = cfg.Min
+				}
+				s.Resize(target)
+				lastEvent = now
+				idleTicks = 0
+			}
+		}
+	}
+}

@@ -1,0 +1,168 @@
+package service
+
+// The elastic serving experiment: one hfserve replica boots with a
+// single worker, an attached membership, and the telemetry-driven
+// autoscaler, then takes a burst of distinct submissions over real HTTP.
+// The gates assert the elastic loop end to end:
+//
+//   - the autoscaler grows the pool while the burst is queued (scale-up
+//     events fire, the pool peaks above its floor, and the growth rode
+//     the membership join protocol — joins announced and committed);
+//   - zero jobs are lost across the grows and shrinks: every accepted
+//     job reaches a terminal Done state;
+//   - once the burst drains, hysteresis shrinks the pool back to the
+//     floor (scale-down events fire) — capacity is returned, not leaked.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"repro/internal/cluster"
+	"repro/internal/jobs"
+	"repro/internal/telemetry"
+)
+
+// ElasticServeOptions shapes RunElasticServe.
+type ElasticServeOptions struct {
+	Jobs    int // burst size (distinct specs); default 40
+	MaxPool int // autoscaler ceiling; default 8
+	Out     io.Writer
+}
+
+func (o ElasticServeOptions) withDefaults() ElasticServeOptions {
+	if o.Jobs <= 0 {
+		o.Jobs = 40
+	}
+	if o.MaxPool <= 0 {
+		o.MaxPool = 8
+	}
+	if o.Out == nil {
+		o.Out = io.Discard
+	}
+	return o
+}
+
+// ElasticServeResult is the outcome of the elastic serving run.
+type ElasticServeResult struct {
+	Submitted      int
+	Done           int
+	Lost           int // accepted jobs that never reached Done
+	PeakPool       int
+	FinalPool      int
+	ScaleUps       int64
+	ScaleDowns     int64
+	JoinsAnnounced int64
+	JoinsCommitted int64
+	PoolEpoch      int64
+	WallMS         float64
+}
+
+// RunElasticServe runs the elastic serving experiment per the package
+// comment above. It returns an error only on harness failures (bind,
+// HTTP transport); gate evaluation belongs to the caller.
+func RunElasticServe(opt ElasticServeOptions) (*ElasticServeResult, error) {
+	opt = opt.withDefaults()
+	tel := telemetry.NewSession()
+	s, err := New(Config{
+		Workers:        1,
+		QueueCap:       2 * opt.Jobs,
+		DefaultTimeout: time.Minute,
+		Telemetry:      tel,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.AttachMembership(cluster.NewMembership(1, tel))
+	addr, err := s.Start("127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	s.StartAutoscaler(AutoscalerConfig{
+		Min: 1, Max: opt.MaxPool,
+		Interval:       10 * time.Millisecond,
+		DownAfterTicks: 5,
+	})
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		_ = s.Drain(ctx)
+		cancel()
+	}()
+
+	client := &http.Client{Timeout: 30 * time.Second}
+	res := &ElasticServeResult{}
+	start := time.Now()
+
+	// The burst: distinct specs (MaxIter varies) so every job pays for a
+	// real SCF run — no cache hits to hide lost work behind. Water rather
+	// than H2 so one worker cannot drain the burst as fast as it arrives;
+	// the queue must actually back up for the autoscaler to see it.
+	ids := make([]string, 0, opt.Jobs)
+	for i := 0; i < opt.Jobs; i++ {
+		spec := jobs.Spec{Molecule: "water", Basis: "sto-3g", Mode: jobs.ModeSerial, MaxIter: 20 + i}
+		body, err := json.Marshal(spec)
+		if err != nil {
+			return nil, err
+		}
+		resp, err := client.Post("http://"+addr+"/v1/jobs", "application/json",
+			strings.NewReader(string(body)))
+		if err != nil {
+			return nil, fmt.Errorf("POST: %w", err)
+		}
+		var out struct {
+			ID    string `json:"id"`
+			Error string `json:"error"`
+		}
+		decErr := json.NewDecoder(resp.Body).Decode(&out)
+		resp.Body.Close()
+		if resp.StatusCode >= 400 {
+			return nil, fmt.Errorf("submit %d: status %d (%s)", i, resp.StatusCode, out.Error)
+		}
+		if decErr != nil {
+			return nil, fmt.Errorf("submit %d: bad response: %w", i, decErr)
+		}
+		ids = append(ids, out.ID)
+		res.Submitted++
+	}
+
+	// Track the pool peak while the burst drains.
+	deadline := time.Now().Add(2 * time.Minute)
+	for time.Now().Before(deadline) {
+		if w := s.WorkerCount(); w > res.PeakPool {
+			res.PeakPool = w
+		}
+		done := 0
+		for _, id := range ids {
+			if j := s.lookup(id); j != nil && j.State() == jobs.StateDone {
+				done++
+			}
+		}
+		res.Done = done
+		if done == len(ids) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	res.Lost = res.Submitted - res.Done
+
+	// Let hysteresis return the pool to the floor.
+	shrinkBy := time.Now().Add(5 * time.Second)
+	for time.Now().Before(shrinkBy) && s.WorkerCount() > 1 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	res.FinalPool = s.WorkerCount()
+	res.ScaleUps = tel.Counter("elastic.scale_up").Value()
+	res.ScaleDowns = tel.Counter("elastic.scale_down").Value()
+	res.JoinsAnnounced = tel.Counter("elastic.joins.announced").Value()
+	res.JoinsCommitted = tel.Counter("elastic.joins.committed").Value()
+	res.PoolEpoch = s.PoolEpoch()
+	res.WallMS = float64(time.Since(start).Microseconds()) / 1000
+
+	fmt.Fprintf(opt.Out, "elastic serve: %d jobs, pool 1 -> peak %d -> final %d, %d ups / %d downs, %d lost, %.0f ms\n",
+		res.Submitted, res.PeakPool, res.FinalPool, res.ScaleUps, res.ScaleDowns, res.Lost, res.WallMS)
+	return res, nil
+}

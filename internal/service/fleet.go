@@ -33,6 +33,7 @@ type fleet struct {
 	addrs map[string]string // replica name → host:port (includes self)
 	ring  *Ring
 	hc    *http.Client
+	tel   *telemetry.Session // retry accounting (svc.fleet.fetch_retries)
 }
 
 // ConfigureFleet joins the server to a replica group. self names this
@@ -53,6 +54,7 @@ func (s *Server) ConfigureFleet(self string, addrs map[string]string, vnodes int
 		addrs: cp,
 		ring:  NewRing(names, vnodes),
 		hc:    &http.Client{Timeout: 5 * time.Second},
+		tel:   s.tel,
 	}
 	s.fleetMu.Unlock()
 }
@@ -92,8 +94,52 @@ type peerCacheResult struct {
 	outcome *jobs.Outcome
 }
 
-// fetchPeerCache probes one peer's result cache for hash.
+// fetchRetries bounds the re-probes of an unreachable peer: one probe
+// plus up to two retries. A transient connection refusal (peer
+// restarting, listener backlog full) is worth a short wait; a peer that
+// stays dark through three probes is treated as down and the sweep moves
+// on — availability over completeness, exactly like the forward path.
+const fetchRetries = 2
+
+// fetchPeerCache probes one peer's result cache for hash, retrying
+// transport-level failures (status 0) with full-jitter backoff. HTTP
+// responses — including 404 and 202 — are answers, not failures, and
+// never retried.
 func (f *fleet) fetchPeerCache(peer, hash string) peerCacheResult {
+	if _, ok := f.addrs[peer]; !ok {
+		return peerCacheResult{} // unknown member: nothing to retry against
+	}
+	res := f.fetchPeerCacheOnce(peer, hash)
+	for attempt := 0; res.status == 0 && attempt < fetchRetries; attempt++ {
+		if f.tel != nil {
+			f.tel.Counter("svc.fleet.fetch_retries").Add(1)
+		}
+		time.Sleep(fetchBackoff(peer, hash, attempt))
+		res = f.fetchPeerCacheOnce(peer, hash)
+	}
+	return res
+}
+
+// fetchBackoff is the full-jitter retry delay for attempt (0-based):
+// uniform in [0, 5ms·2^attempt). Deterministic per (peer, hash, attempt)
+// so runs reproduce; jittered across keys so a fleet-wide sweep against
+// a restarting peer does not re-probe in a synchronized wave.
+func fetchBackoff(peer, hash string, attempt int) time.Duration {
+	window := uint64(5 * time.Millisecond << uint(attempt))
+	seed := uint64(attempt) << 48
+	for _, c := range []byte(peer + "/" + hash) {
+		seed = seed<<7 ^ seed>>57 ^ uint64(c)
+	}
+	// splitmix64 finalizer over the folded seed.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return time.Duration(z % window)
+}
+
+// fetchPeerCacheOnce is one unretried cache probe.
+func (f *fleet) fetchPeerCacheOnce(peer, hash string) peerCacheResult {
 	addr, ok := f.addrs[peer]
 	if !ok {
 		return peerCacheResult{}

@@ -83,6 +83,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/jobs"
 	"repro/internal/telemetry"
 )
@@ -161,6 +162,17 @@ type Server struct {
 	recoveredPending int // jobs re-enqueued from the WAL at boot
 	recoveredDone    int // terminal jobs replayed from the WAL at boot
 
+	// Elastic worker pool (see Resize/StartAutoscaler): pool holds the
+	// live worker handles, poolEpoch advances on every resize, and
+	// membership (optional) mirrors pool transitions into a
+	// cluster.Membership so scale-ups ride the join handshake.
+	poolMu     sync.Mutex
+	pool       []*workerHandle
+	nextWorker int
+	poolEpoch  atomic.Int64
+	membership *cluster.Membership
+	running    atomic.Int64 // jobs currently inside runJob
+
 	draining atomic.Bool
 	killed   atomic.Bool
 	workers  sync.WaitGroup
@@ -205,7 +217,11 @@ func New(cfg Config) (*Server, error) {
 		"svc.wal.replayed_jobs", "svc.wal.replayed_records", "svc.wal.corrupt_tail_bytes",
 		"svc.fleet.peer_hit", "svc.fleet.forwarded", "svc.fleet.handoff",
 		"svc.trace.minted", "svc.trace.propagated", "svc.trace.waterfalls",
+		"svc.fleet.fetch_retries",
 		"obs.flight.records", "obs.flight.dumps",
+		"elastic.joins.announced", "elastic.joins.committed", "elastic.joins.expired",
+		"elastic.join.retransmits", "elastic.join.dup_dropped",
+		"elastic.migrations", "elastic.scale_up", "elastic.scale_down",
 	} {
 		s.tel.Counter(name)
 	}
@@ -315,19 +331,135 @@ func (s *Server) Telemetry() *telemetry.Session { return s.tel }
 // counts and warm entries).
 func (s *Server) Cache() *jobs.Cache { return s.cache }
 
+// workerHandle identifies one live worker; retired tells its loop to
+// exit at the next claim boundary (never mid-job).
+type workerHandle struct {
+	idx     int
+	retired atomic.Bool
+}
+
 // StartWorkers launches the worker pool (and the priority-aging ticker
 // when configured). Idempotent.
 func (s *Server) StartWorkers() {
 	if s.started.Swap(true) {
 		return
 	}
+	s.poolMu.Lock()
 	for i := 0; i < s.cfg.Workers; i++ {
-		s.workers.Add(1)
-		go s.workerLoop(i)
+		s.spawnWorkerLocked()
 	}
+	s.poolMu.Unlock()
+	s.observePool()
 	if s.cfg.AgeAfter > 0 && s.cfg.AgeBoost > 0 {
 		go s.agingLoop()
 	}
+}
+
+// spawnWorkerLocked adds one worker to the pool (poolMu held).
+func (s *Server) spawnWorkerLocked() {
+	h := &workerHandle{idx: s.nextWorker}
+	s.nextWorker++
+	s.pool = append(s.pool, h)
+	s.workers.Add(1)
+	go s.workerLoop(h)
+}
+
+// AttachMembership mirrors pool transitions into m: Resize scale-ups run
+// the announce → handshake → commit join protocol against it, and
+// scale-downs shrink it, so /readyz and the elastic.* telemetry report
+// the same epochs a compute-layer membership would.
+func (s *Server) AttachMembership(m *cluster.Membership) {
+	s.poolMu.Lock()
+	s.membership = m
+	s.poolMu.Unlock()
+}
+
+// WorkerCount returns the live (non-retired) worker-pool size.
+func (s *Server) WorkerCount() int {
+	s.poolMu.Lock()
+	defer s.poolMu.Unlock()
+	return len(s.pool)
+}
+
+// PoolEpoch returns the pool generation: 0 at boot, +1 per Resize.
+func (s *Server) PoolEpoch() int64 { return s.poolEpoch.Load() }
+
+// Rebalancing reports whether an attached membership is mid-handshake.
+func (s *Server) Rebalancing() bool {
+	s.poolMu.Lock()
+	m := s.membership
+	s.poolMu.Unlock()
+	return m != nil && m.Rebalancing()
+}
+
+// Running returns how many jobs are currently executing in workers.
+func (s *Server) Running() int64 { return s.running.Load() }
+
+// Resize grows or shrinks the worker pool to target (clamped to ≥1).
+// Growth spawns workers immediately; shrink retires the newest workers
+// at their next claim boundary — a mid-job worker finishes its job
+// first, so no job is ever lost to a scale-down. With a membership
+// attached, growth runs the join protocol (announce → handshake →
+// commit) and shrink records the departure, advancing the shared epoch.
+// Returns the pool size before and after.
+func (s *Server) Resize(target int) (from, to int) {
+	if target < 1 {
+		target = 1
+	}
+	s.poolMu.Lock()
+	from = len(s.pool)
+	m := s.membership
+	switch {
+	case target > from:
+		added := target - from
+		if m != nil {
+			// The pool's join rides the same protocol compute ranks use; a
+			// worker pool has no checkpoint to hand over, so the commit
+			// payload is empty.
+			host := "pool"
+			if f := s.currentFleet(); f != nil {
+				host = f.self + "-pool"
+			}
+			t := m.Announce(added, host)
+			if m.BeginRebalance() {
+				m.CommitJoins(nil)
+			} else {
+				_ = t // ticket expired under us; grow the pool regardless
+			}
+		}
+		for i := 0; i < added; i++ {
+			s.spawnWorkerLocked()
+		}
+		s.tel.Counter("elastic.scale_up").Add(1)
+	case target < from:
+		// Retire from the tail: newest first, preserving the original
+		// workers' indices for stable telemetry lanes.
+		removed := from - target
+		for _, h := range s.pool[target:] {
+			h.retired.Store(true)
+		}
+		s.pool = s.pool[:target]
+		if m != nil {
+			m.Shrink(removed)
+		}
+		s.tel.Counter("elastic.scale_down").Add(1)
+	default:
+		s.poolMu.Unlock()
+		return from, from
+	}
+	s.poolMu.Unlock()
+	s.poolEpoch.Add(1)
+	s.queue.Kick() // wake blocked claimants so retirees re-check their flag
+	s.observePool()
+	s.tel.Instant("svc.submit", "pool-resize", telemetry.DriverPid, 0,
+		map[string]any{"from": from, "to": target, "epoch": s.poolEpoch.Load()})
+	return from, target
+}
+
+// observePool exports the pool gauges.
+func (s *Server) observePool() {
+	s.tel.Gauge("elastic.pool_size").Set(float64(s.WorkerCount()))
+	s.tel.Gauge("elastic.pool_epoch").Set(float64(s.poolEpoch.Load()))
 }
 
 // agingLoop periodically applies priority aging so low-priority jobs
@@ -597,11 +729,13 @@ func (s *Server) jobRetries(spec jobs.Spec) int {
 	return s.cfg.MaxRetries
 }
 
-// workerLoop claims and runs jobs until the queue closes and drains.
-func (s *Server) workerLoop(worker int) {
+// workerLoop claims and runs jobs until the queue closes and drains, or
+// the worker is retired by a scale-down (checked only between jobs — a
+// retiree finishes its current job first).
+func (s *Server) workerLoop(h *workerHandle) {
 	defer s.workers.Done()
 	for {
-		j := s.queue.Claim()
+		j := s.queue.ClaimUntil(&h.retired)
 		if j == nil {
 			return
 		}
@@ -609,7 +743,9 @@ func (s *Server) workerLoop(worker int) {
 			return // the process is "dead": abandon the claim mid-air
 		}
 		s.observeDepth()
-		s.runJob(worker, j)
+		s.running.Add(1)
+		s.runJob(h.idx, j)
+		s.running.Add(-1)
 	}
 }
 

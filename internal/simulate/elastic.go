@@ -1,0 +1,257 @@
+package simulate
+
+// Elastic workload: the measured counterpart of the membership story,
+// isolating the two elastic transitions on the live runtime with a
+// synthetic lease-DLB task mix (fixed task cost, round-per-iteration —
+// the shape of one SCF Fock build per round).
+//
+// Leg A (grow): the same task schedule is run twice. The fixed run keeps
+// elasticBaseRanks ranks for all rounds; the elastic run executes the
+// first half at elasticBaseRanks and the second half at
+// 2×elasticBaseRanks — two membership epochs, exactly how the elastic
+// SCF driver restarts a grown world at an iteration boundary. With
+// per-round work constant, doubling mid-run should cut the second
+// half's wall in half: expected ratio 0.75, gated ≤ 0.85 in cmd/scaling.
+//
+// Leg B (migrate): one rank runs migrateSlowFactor× slow. In the
+// unmigrated run the sickness persists all rounds and the job crawls at
+// the straggler's pace (~slowFactor×). In the migrated run, rank 0
+// checks the straggler detector at each round boundary and — once the
+// slow rank is flagged — "re-hosts" it: the slowness stops, modeling
+// the rank landing on a healthy node (the flag is a shared one-sided
+// counter, since a real fault plan cannot be edited mid-run). Detection
+// needs one round of samples, so the expected tail is
+// (slowFactor + rounds-1)/rounds ≈ 1.375×, gated ≤ 1.6×.
+//
+// Every mode pushes each task's contribution as a fetch-and-add inside
+// the Reserve→push→Finish critical section; the final count must equal
+// the task count — membership changes must not lose or double work.
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/ddi"
+	"repro/internal/mpi"
+	"repro/internal/telemetry"
+)
+
+const (
+	elasticBaseRanks = 2
+	elasticRounds    = 8
+	elasticTasks     = 8 // per round; divisible by both world sizes
+	elasticTaskCost  = 5 * time.Millisecond
+	elasticPushWin   = "elastic.pushes"
+
+	migrateRanks      = 4
+	migrateRounds     = 8
+	migrateTasks      = 12 // per round
+	migrateSlowRank   = 1
+	migrateSlowFactor = 4
+	migrateFlagWin    = "elastic.migrated"
+)
+
+// ElasticResult holds both legs' wall times and audits.
+type ElasticResult struct {
+	// Leg A: grow.
+	GrowTasks     int
+	FixedWall     time.Duration // elasticBaseRanks ranks throughout
+	ElasticWall   time.Duration // doubled halfway
+	GrowRatio     float64       // ElasticWall / FixedWall; expect ~0.75
+	FixedPushes   int64
+	ElasticPushes int64
+
+	// Leg B: migrate.
+	MigrateTasks     int
+	MigCleanWall     time.Duration
+	UnmigratedWall   time.Duration
+	MigratedWall     time.Duration
+	UnmigratedRatio  float64 // vs clean; expect ~slowFactor×
+	MigratedRatio    float64 // vs clean; expect ~1.375×
+	MigrateDetected  bool    // the straggler detector flagged the slow rank
+	MigCleanPushes   int64
+	UnmigratedPushes int64
+	MigratedPushes   int64
+}
+
+// RunElasticWorkload runs both legs and gathers the comparison.
+func RunElasticWorkload() (*ElasticResult, error) {
+	res := &ElasticResult{
+		GrowTasks:    elasticRounds * elasticTasks,
+		MigrateTasks: migrateRounds * migrateTasks,
+	}
+
+	// Leg A: fixed = one world for every round; elastic = the same rounds
+	// split across two worlds, the second twice the size.
+	fixedStart := time.Now()
+	p, err := runGrowEpoch(elasticBaseRanks, 0, elasticRounds)
+	if err != nil {
+		return nil, fmt.Errorf("fixed run: %w", err)
+	}
+	res.FixedWall = time.Since(fixedStart)
+	res.FixedPushes = p
+
+	elasticStart := time.Now()
+	half := elasticRounds / 2
+	p1, err := runGrowEpoch(elasticBaseRanks, 0, half)
+	if err != nil {
+		return nil, fmt.Errorf("elastic epoch 0: %w", err)
+	}
+	p2, err := runGrowEpoch(2*elasticBaseRanks, half, elasticRounds)
+	if err != nil {
+		return nil, fmt.Errorf("elastic epoch 1: %w", err)
+	}
+	res.ElasticWall = time.Since(elasticStart)
+	res.ElasticPushes = p1 + p2
+	res.GrowRatio = float64(res.ElasticWall) / float64(res.FixedWall)
+
+	// Leg B: clean, unmigrated, migrated.
+	if res.MigCleanWall, res.MigCleanPushes, _, err = runMigrateMode(false, false); err != nil {
+		return nil, fmt.Errorf("migrate clean run: %w", err)
+	}
+	if res.UnmigratedWall, res.UnmigratedPushes, _, err = runMigrateMode(true, false); err != nil {
+		return nil, fmt.Errorf("unmigrated run: %w", err)
+	}
+	var detected bool
+	if res.MigratedWall, res.MigratedPushes, detected, err = runMigrateMode(true, true); err != nil {
+		return nil, fmt.Errorf("migrated run: %w", err)
+	}
+	res.MigrateDetected = detected
+	res.UnmigratedRatio = float64(res.UnmigratedWall) / float64(res.MigCleanWall)
+	res.MigratedRatio = float64(res.MigratedWall) / float64(res.MigCleanWall)
+	return res, nil
+}
+
+// runGrowEpoch runs rounds [lo, hi) of the grow-leg schedule on a world
+// of the given size and returns the epoch's push count.
+func runGrowEpoch(ranks, lo, hi int) (int64, error) {
+	tel := telemetry.NewSession()
+	var pushes int64
+	_, err := mpi.RunWithOptions(ranks, mpi.RunOptions{
+		Deadline:  30 * time.Second,
+		Telemetry: tel,
+	}, func(c *mpi.Comm) {
+		dx := ddi.New(c)
+		c.WinCreateCounters(elasticPushWin, 1)
+		for round := lo; round < hi; round++ {
+			l := dx.NewLeaseDLB(elasticTasks)
+			runLeaseRound(c, dx, l, elasticPushWin, func() { time.Sleep(elasticTaskCost) })
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			pushes = c.CounterLoad(elasticPushWin, 0)
+		}
+	})
+	return pushes, err
+}
+
+// runMigrateMode runs the migrate-leg schedule. slow injects the
+// in-workload slowdown on migrateSlowRank; mitigate lets rank 0 re-host
+// the flagged rank at round boundaries (clearing the slowdown). Returns
+// wall, pushes, and whether the detector flagged anyone.
+func runMigrateMode(slow, mitigate bool) (time.Duration, int64, bool, error) {
+	tel := telemetry.NewSession()
+	var pushes int64
+	var detected bool
+	start := time.Now()
+	_, err := mpi.RunWithOptions(migrateRanks, mpi.RunOptions{
+		Deadline:  30 * time.Second,
+		Telemetry: tel,
+	}, func(c *mpi.Comm) {
+		dx := ddi.New(c)
+		c.WinCreateCounters(migrateFlagWin, 1)
+		c.WinCreateCounters(elasticPushWin, 1)
+		for round := 0; round < migrateRounds; round++ {
+			l := dx.NewLeaseDLB(migrateTasks)
+			runLeaseRound(c, dx, l, elasticPushWin, func() {
+				cost := elasticTaskCost
+				// The sick host: slow until the migration flag is raised
+				// (the rank's leases land on a healthy node afterwards).
+				if slow && c.Rank() == migrateSlowRank && c.CounterLoad(migrateFlagWin, 0) == 0 {
+					cost *= migrateSlowFactor
+				}
+				time.Sleep(cost)
+			})
+			// Round boundary = iteration boundary: the detector reads the
+			// shared latency window and rank 0 re-hosts the flagged rank.
+			if mitigate && c.Rank() == 0 && c.CounterLoad(migrateFlagWin, 0) == 0 {
+				if flagged := dx.Stragglers(2, 2); len(flagged) > 0 {
+					detected = true
+					c.CounterStore(migrateFlagWin, 0, 1)
+				}
+			}
+			c.Barrier()
+		}
+		c.Barrier()
+		if c.Rank() == 0 {
+			pushes = c.CounterLoad(elasticPushWin, 0)
+		}
+	})
+	return time.Since(start), pushes, detected, err
+}
+
+// runLeaseRound drains one lease-DLB round: chunked draws, the
+// exactly-once push inside Reserve→Finish, and a steal loop so idle
+// ranks scavenge free tasks at the tail.
+func runLeaseRound(c *mpi.Comm, dx *ddi.Context, l *ddi.LeaseDLB, pushWin string, task func()) {
+	chunk := l.Total() / c.Size()
+	if chunk < 1 {
+		chunk = 1
+	}
+	work := func(idx, owner int) {
+		t0 := time.Now()
+		task()
+		elapsed := time.Since(t0)
+		elapsed += c.TaskStall(mpi.SiteFock, elapsed)
+		dx.ObserveTaskLatency(elapsed)
+		if l.Reserve(idx, owner) {
+			c.FetchAdd(pushWin, 0, 1)
+			l.Finish(idx)
+		}
+	}
+	for {
+		drawn := l.DrawChunk(chunk)
+		if len(drawn) == 0 {
+			break
+		}
+		for _, idx := range drawn {
+			if !l.Mine(idx) {
+				continue
+			}
+			work(idx, c.Rank())
+		}
+	}
+	drainStart := time.Now()
+	for !l.AllComplete() {
+		if idx, ok := l.Steal(); ok {
+			work(idx, c.Rank())
+			continue
+		}
+		c.CheckDeadline("elastic-workload drain", drainStart)
+		time.Sleep(200 * time.Microsecond)
+	}
+	c.Barrier()
+}
+
+// FormatElastic renders the elastic-workload comparison.
+func FormatElastic(r *ElasticResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "grow leg (%d tasks, %d ranks -> %d mid-run):\n",
+		r.GrowTasks, elasticBaseRanks, 2*elasticBaseRanks)
+	fmt.Fprintf(&b, "  %-10s %10v %8s %8d pushes\n", "fixed",
+		r.FixedWall.Round(time.Millisecond), "1.00x", r.FixedPushes)
+	fmt.Fprintf(&b, "  %-10s %10v %7.2fx %8d pushes\n", "elastic",
+		r.ElasticWall.Round(time.Millisecond), r.GrowRatio, r.ElasticPushes)
+	fmt.Fprintf(&b, "migrate leg (%d tasks, rank %d at %dx):\n",
+		r.MigrateTasks, migrateSlowRank, migrateSlowFactor)
+	row := func(name string, wall time.Duration, ratio float64, pushes int64) {
+		fmt.Fprintf(&b, "  %-10s %10v %7.2fx %8d pushes\n",
+			name, wall.Round(time.Millisecond), ratio, pushes)
+	}
+	row("clean", r.MigCleanWall, 1.0, r.MigCleanPushes)
+	row("unmigrated", r.UnmigratedWall, r.UnmigratedRatio, r.UnmigratedPushes)
+	row("migrated", r.MigratedWall, r.MigratedRatio, r.MigratedPushes)
+	fmt.Fprintf(&b, "  straggler detected: %v\n", r.MigrateDetected)
+	return b.String()
+}
