@@ -281,6 +281,68 @@ func RunResilientRHFCtx(ctx context.Context, mol *Molecule, basisName string, cf
 	})
 }
 
+// PurifiedConfig shapes a distributed-data RHF run: every iteration
+// matrix lives as 2D block-cyclic tiles over the rank grid
+// (internal/distmat) and the density update is SP2 purification instead
+// of a replicated eigensolve.
+type PurifiedConfig struct {
+	Ranks     int // MPI ranks (the Pr x Pc grid covers them); defaults to 4
+	BlockSize int // tile edge; 0 picks a grid-appropriate default
+	// CacheTiles / AccTiles bound the Fock build's per-rank density cache
+	// and Fock write combiner (in tiles); 0 = twice the block dimension.
+	CacheTiles int
+	AccTiles   int
+	DIISSize   int           // orthonormal-basis DIIS depth; defaults to 4
+	PurifyTol  float64       // purification idempotency threshold; defaults to 1e-12
+	MaxSweeps  int           // sweep cap per SCF iteration; defaults to 100
+	Deadline   time.Duration // per-blocking-op bound; defaults to 30s
+	Grace      time.Duration // unwind window past the deadline; 0 = runtime default
+	Telemetry  *Telemetry    // optional observability session
+}
+
+// PurifyInfo reports a purified run's grid layout, purification sweeps,
+// per-rank peak working set and one-sided traffic.
+type PurifyInfo = scf.PurifyInfo
+
+// RunPurifiedRHF runs a restricted Hartree-Fock calculation on fully
+// distributed matrices: no rank ever holds a replicated N x N iteration
+// matrix, which is what lets systems whose replicated working set
+// exceeds a node's MCDRAM run at all. Result.C and
+// Result.OrbitalEnergies are nil — purification never forms orbitals.
+func RunPurifiedRHF(mol *Molecule, basisName string, cfg PurifiedConfig, opt SCFOptions) (*Result, *PurifyInfo, error) {
+	return RunPurifiedRHFCtx(context.Background(), mol, basisName, cfg, opt)
+}
+
+// RunPurifiedRHFCtx is RunPurifiedRHF under a context: cancellation is
+// agreed collectively at iteration boundaries, returning ErrCanceled. A
+// background/TODO context disables the check.
+func RunPurifiedRHFCtx(ctx context.Context, mol *Molecule, basisName string, cfg PurifiedConfig, opt SCFOptions) (*Result, *PurifyInfo, error) {
+	b, err := basis.Build(mol, basisName)
+	if err != nil {
+		return nil, nil, err
+	}
+	if ctx != nil && ctx.Done() != nil {
+		opt.Context = ctx
+	}
+	eng := integrals.NewEngine(b)
+	sch := integrals.ComputeSchwarz(eng)
+	cache := integrals.NewPairCache(eng, 0)
+	return scf.RunRHFPurified(eng, sch, scf.PurifiedOptions{
+		Ranks:      cfg.Ranks,
+		BlockSize:  cfg.BlockSize,
+		CacheTiles: cfg.CacheTiles,
+		AccTiles:   cfg.AccTiles,
+		DIISSize:   cfg.DIISSize,
+		PurifyTol:  cfg.PurifyTol,
+		MaxSweeps:  cfg.MaxSweeps,
+		Fock:       fock.Config{Quartets: cache},
+		SCF:        opt,
+		Deadline:   cfg.Deadline,
+		Grace:      cfg.Grace,
+		Telemetry:  cfg.Telemetry,
+	})
+}
+
 // Membership is an elastic rank pool: candidates announce joins on its
 // bus, the elastic SCF driver admits them at iteration boundaries, and
 // rank death or straggler migration advances its epoch.

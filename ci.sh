@@ -73,128 +73,212 @@
 # floor). The membership/join-bus/elastic-driver tests rerun under
 # -race.
 #
-# Usage: ./ci.sh [-short]   (-short skips the slow simulator sweeps)
+# Tier 10 (distmat gate): `scaling -exp distmat` — the distributed
+# 2D-blocked matrix runtime end to end: the purification SCF must match
+# the replicated eigensolve on water (energy to 1e-10 Ha, density to
+# 1e-8), and a benzene run on a 4x4 tile grid must converge to the
+# replicated energy while its per-rank peak distributed bytes stay
+# under a budget the replicated N^2 storage provably exceeds — the
+# memory wall the layout exists to cross. The distmat suite and the
+# bounded tiled-Fock / purified-SCF tests rerun under -race.
+#
+# Usage: ./ci.sh [-short] [tier]
+#   -short skips the slow simulator sweeps; a bare tier number (1-10)
+#   runs only that tier. Anything else exits 2.
 set -eu
 
 short=""
-[ "${1:-}" = "-short" ] && short="-short"
+tier=""
+for arg in "$@"; do
+	case "$arg" in
+	-short)
+		short="-short"
+		;;
+	1 | 2 | 3 | 4 | 5 | 6 | 7 | 8 | 9 | 10)
+		if [ -n "$tier" ]; then
+			echo "ci.sh: at most one tier may be selected (got $tier and $arg)" >&2
+			exit 2
+		fi
+		tier="$arg"
+		;;
+	*)
+		echo "ci.sh: unknown argument '$arg'" >&2
+		echo "usage: ./ci.sh [-short] [tier]   (tier is a number 1-10; default runs all)" >&2
+		exit 2
+		;;
+	esac
+done
 
-echo "== tier 1: vet + build + test =="
-go vet ./...
-go build ./...
-go test $short ./...
-
-echo "== tier 2: race detector (mpi, ddi, fock, scf, integrity, telemetry, jobs, service) =="
-go test $short -race ./internal/mpi/ ./internal/ddi/ ./internal/fock/ ./internal/scf/ ./internal/integrity/ ./internal/telemetry/ ./internal/jobs/ ./internal/service/
-
-echo "== tier 3: trace gate (hfrun -trace -> tracecheck) =="
+# Scratch shared across tiers: tier 3 writes the trace that tier 8's
+# bench files sit beside, and tier 5 parks the server binary + logs.
 tracedir=$(mktemp -d)
-trap 'rm -rf "$tracedir"' EXIT
-go run ./cmd/hfrun -mol water -basis sto-3g -alg shared-fock -ranks 2 -threads 2 \
-	-trace "$tracedir/ci_trace.json" -metrics "$tracedir/ci_metrics.json" >/dev/null
-go run ./cmd/tracecheck -q \
-	-require scf.iter,fock.build,fock.task,mpi.op,dlb.draw "$tracedir/ci_trace.json"
+servedir=""
+servepid=""
+cleanup() {
+	if [ -n "$servepid" ]; then
+		kill "$servepid" 2>/dev/null || true
+	fi
+	rm -rf "$tracedir"
+	if [ -n "$servedir" ]; then
+		rm -rf "$servedir"
+	fi
+}
+trap cleanup EXIT
 
-echo "== tier 4: chaos gate (scaling -exp sdc: 100% SDC detection) =="
-go run ./cmd/scaling -exp sdc
+tier_1() {
+	echo "== tier 1: vet + build + test =="
+	go vet ./...
+	go build ./...
+	go test $short ./...
+}
 
-echo "== tier 5: serve gate (hfserve HTTP round-trip, cache hit, 429 backpressure) =="
-servedir=$(mktemp -d)
-go build -o "$servedir/hfserve" ./cmd/hfserve
-"$servedir/hfserve" -addr 127.0.0.1:0 -portfile "$servedir/port" \
-	-workers 1 -queue-cap 1 -drain-timeout 30s >"$servedir/serve.log" 2>&1 &
-servepid=$!
-trap 'rm -rf "$tracedir" "$servedir"; kill "$servepid" 2>/dev/null || true' EXIT
+tier_2() {
+	echo "== tier 2: race detector (mpi, ddi, fock, scf, integrity, telemetry, jobs, service, distmat) =="
+	go test $short -race ./internal/mpi/ ./internal/ddi/ ./internal/fock/ ./internal/scf/ ./internal/integrity/ ./internal/telemetry/ ./internal/jobs/ ./internal/service/ ./internal/distmat/
+}
 
-i=0
-while [ ! -s "$servedir/port" ]; do
-	i=$((i + 1))
-	[ "$i" -gt 100 ] && { echo "serve gate: server never bound"; cat "$servedir/serve.log"; exit 1; }
-	sleep 0.1
-done
-base="http://$(cat "$servedir/port")"
+tier_3() {
+	echo "== tier 3: trace gate (hfrun -trace -> tracecheck) =="
+	go run ./cmd/hfrun -mol water -basis sto-3g -alg shared-fock -ranks 2 -threads 2 \
+		-trace "$tracedir/ci_trace.json" -metrics "$tracedir/ci_metrics.json" >/dev/null
+	go run ./cmd/tracecheck -q \
+		-require scf.iter,fock.build,fock.task,mpi.op,dlb.draw "$tracedir/ci_trace.json"
+}
 
-# Submit a job and poll it to a terminal state.
-id=$(curl -sf -X POST "$base/v1/jobs" \
-	-d '{"molecule":"water","basis":"sto-3g","mode":"serial"}' | jq -r .id)
-state=queued
-i=0
-while [ "$state" != "done" ]; do
-	i=$((i + 1))
-	[ "$i" -gt 300 ] && { echo "serve gate: job $id stuck in $state"; exit 1; }
-	state=$(curl -sf "$base/v1/jobs/$id" | jq -r .state)
-	[ "$state" = "failed" ] || [ "$state" = "canceled" ] && { echo "serve gate: job $id ended $state"; exit 1; }
-	sleep 0.1
-done
-echo "serve gate: job $id done"
+tier_4() {
+	echo "== tier 4: chaos gate (scaling -exp sdc: 100% SDC detection) =="
+	go run ./cmd/scaling -exp sdc
+}
 
-# The identical resubmission must be a synchronous cache hit: state done
-# and a result in the POST response itself, no polling needed.
-resub=$(curl -sf -X POST "$base/v1/jobs" \
-	-d '{"molecule":"water","basis":"sto-3g","mode":"serial"}')
-[ "$(echo "$resub" | jq -r .cached)" = "true" ] || { echo "serve gate: resubmission missed the cache: $resub"; exit 1; }
-[ "$(echo "$resub" | jq -r .state)" = "done" ] || { echo "serve gate: cached resubmission not instantly done: $resub"; exit 1; }
-echo "serve gate: cached resubmission served instantly"
+tier_5() {
+	echo "== tier 5: serve gate (hfserve HTTP round-trip, cache hit, 429 backpressure) =="
+	servedir=$(mktemp -d)
+	go build -o "$servedir/hfserve" ./cmd/hfserve
+	"$servedir/hfserve" -addr 127.0.0.1:0 -portfile "$servedir/port" \
+		-workers 1 -queue-cap 1 -drain-timeout 30s >"$servedir/serve.log" 2>&1 &
+	servepid=$!
 
-# Backpressure: benzene occupies the only worker for ~20s; a distinct
-# quick job fills the queue (cap 1); the next distinct submission must
-# bounce with 429 + Retry-After.
-slow=$(curl -sf -X POST "$base/v1/jobs" -d '{"molecule":"benzene","basis":"sto-3g","mode":"serial"}' | jq -r .id)
-# Fill the queue slot once the worker has claimed benzene (retry the
-# harmless 429 window between submit and claim).
-q1=""
-i=0
-while [ -z "$q1" ]; do
-	i=$((i + 1))
-	[ "$i" -gt 50 ] && { echo "serve gate: queue slot never freed"; exit 1; }
-	q1=$(curl -s -X POST "$base/v1/jobs" \
-		-d '{"molecule":"water","basis":"sto-3g","mode":"serial","max_iter":99}' | jq -r '.id // empty')
-	[ -z "$q1" ] && sleep 0.1
-done
-code=$(curl -s -o "$servedir/resp429" -w '%{http_code}' -X POST "$base/v1/jobs" \
-	-d '{"molecule":"water","basis":"sto-3g","mode":"serial","max_iter":98}')
-[ "$code" = "429" ] || { echo "serve gate: expected 429, got $code: $(cat "$servedir/resp429")"; exit 1; }
-retry_after=$(curl -s -D - -o /dev/null -X POST "$base/v1/jobs" \
-	-d '{"molecule":"water","basis":"sto-3g","mode":"serial","max_iter":98}' | tr -d '\r' | awk 'tolower($1)=="retry-after:"{print $2}')
-[ -n "$retry_after" ] || { echo "serve gate: 429 carried no Retry-After"; exit 1; }
-echo "serve gate: backpressure 429 observed (Retry-After ${retry_after}s)"
+	i=0
+	while [ ! -s "$servedir/port" ]; do
+		i=$((i + 1))
+		[ "$i" -gt 100 ] && { echo "serve gate: server never bound"; cat "$servedir/serve.log"; exit 1; }
+		sleep 0.1
+	done
+	base="http://$(cat "$servedir/port")"
 
-# Cancel the backlog (DELETE must stop both the running benzene and the
-# queued water) so the drain below is quick.
-curl -sf -X DELETE "$base/v1/jobs/$slow" >/dev/null
-curl -sf -X DELETE "$base/v1/jobs/$q1" >/dev/null
+	# Submit a job and poll it to a terminal state.
+	id=$(curl -sf -X POST "$base/v1/jobs" \
+		-d '{"molecule":"water","basis":"sto-3g","mode":"serial"}' | jq -r .id)
+	state=queued
+	i=0
+	while [ "$state" != "done" ]; do
+		i=$((i + 1))
+		[ "$i" -gt 300 ] && { echo "serve gate: job $id stuck in $state"; exit 1; }
+		state=$(curl -sf "$base/v1/jobs/$id" | jq -r .state)
+		[ "$state" = "failed" ] || [ "$state" = "canceled" ] && { echo "serve gate: job $id ended $state"; exit 1; }
+		sleep 0.1
+	done
+	echo "serve gate: job $id done"
 
-kill -TERM "$servepid"
-wait "$servepid" || { echo "serve gate: drain failed"; cat "$servedir/serve.log"; exit 1; }
-grep -q "drained cleanly" "$servedir/serve.log" || { echo "serve gate: no clean-drain confirmation"; cat "$servedir/serve.log"; exit 1; }
-echo "serve gate: drained cleanly"
+	# The identical resubmission must be a synchronous cache hit: state done
+	# and a result in the POST response itself, no polling needed.
+	resub=$(curl -sf -X POST "$base/v1/jobs" \
+		-d '{"molecule":"water","basis":"sto-3g","mode":"serial"}')
+	[ "$(echo "$resub" | jq -r .cached)" = "true" ] || { echo "serve gate: resubmission missed the cache: $resub"; exit 1; }
+	[ "$(echo "$resub" | jq -r .state)" = "done" ] || { echo "serve gate: cached resubmission not instantly done: $resub"; exit 1; }
+	echo "serve gate: cached resubmission served instantly"
 
-echo "== tier 6: performance-fault gate (scaling -exp chaos + -race property tests) =="
-go run ./cmd/scaling -exp chaos
-go test -race -run 'TestChaos|TestLeaseHedge|TestLeaseExpired|TestStraggler|TestResilientHedges|TestRetryBackoffJitter' \
-	./internal/mpi/ ./internal/ddi/ ./internal/fock/ ./internal/simulate/
+	# Backpressure: benzene occupies the only worker for ~20s; a distinct
+	# quick job fills the queue (cap 1); the next distinct submission must
+	# bounce with 429 + Retry-After.
+	slow=$(curl -sf -X POST "$base/v1/jobs" -d '{"molecule":"benzene","basis":"sto-3g","mode":"serial"}' | jq -r .id)
+	# Fill the queue slot once the worker has claimed benzene (retry the
+	# harmless 429 window between submit and claim).
+	q1=""
+	i=0
+	while [ -z "$q1" ]; do
+		i=$((i + 1))
+		[ "$i" -gt 50 ] && { echo "serve gate: queue slot never freed"; exit 1; }
+		q1=$(curl -s -X POST "$base/v1/jobs" \
+			-d '{"molecule":"water","basis":"sto-3g","mode":"serial","max_iter":99}' | jq -r '.id // empty')
+		[ -z "$q1" ] && sleep 0.1
+	done
+	code=$(curl -s -o "$servedir/resp429" -w '%{http_code}' -X POST "$base/v1/jobs" \
+		-d '{"molecule":"water","basis":"sto-3g","mode":"serial","max_iter":98}')
+	[ "$code" = "429" ] || { echo "serve gate: expected 429, got $code: $(cat "$servedir/resp429")"; exit 1; }
+	retry_after=$(curl -s -D - -o /dev/null -X POST "$base/v1/jobs" \
+		-d '{"molecule":"water","basis":"sto-3g","mode":"serial","max_iter":98}' | tr -d '\r' | awk 'tolower($1)=="retry-after:"{print $2}')
+	[ -n "$retry_after" ] || { echo "serve gate: 429 carried no Retry-After"; exit 1; }
+	echo "serve gate: backpressure 429 observed (Retry-After ${retry_after}s)"
 
-echo "== tier 7: fleet gate (scaling -exp fleet + -race WAL fuzz) =="
-go run ./cmd/scaling -exp fleet
-go test -race -run 'TestWALCrashPoint|TestWALReplay|TestWALSegment|TestWALDisable|TestCrashReplay|TestFleet' \
-	./internal/jobs/ ./internal/service/
+	# Cancel the backlog (DELETE must stop both the running benzene and the
+	# queued water) so the drain below is quick.
+	curl -sf -X DELETE "$base/v1/jobs/$slow" >/dev/null
+	curl -sf -X DELETE "$base/v1/jobs/$q1" >/dev/null
 
-echo "== tier 8: observability gate (scaling -exp obs + tracecheck -continuity + benchrun comparator) =="
-go run ./cmd/scaling -exp obs -obs-trace "$tracedir/obs_trace.json"
-go run ./cmd/tracecheck -q -continuity \
-	-require svc.job,job.run,scf.iter,fock.build,mpi.op,dlb.draw "$tracedir/obs_trace.json"
-go run ./cmd/benchrun -quick -o "$tracedir/bench_ci.json" >/dev/null
-go run ./cmd/benchrun -compare "$tracedir/bench_ci.json" -in "$tracedir/bench_ci.json" >/dev/null \
-	|| { echo "obs gate: self-comparison regressed"; exit 1; }
-if go run ./cmd/benchrun -compare "$tracedir/bench_ci.json" -in "$tracedir/bench_ci.json" -degrade 20 >/dev/null 2>&1; then
-	echo "obs gate: comparator failed to flag a 20% regression"
-	exit 1
+	kill -TERM "$servepid"
+	wait "$servepid" || { echo "serve gate: drain failed"; cat "$servedir/serve.log"; exit 1; }
+	servepid=""
+	grep -q "drained cleanly" "$servedir/serve.log" || { echo "serve gate: no clean-drain confirmation"; cat "$servedir/serve.log"; exit 1; }
+	echo "serve gate: drained cleanly"
+}
+
+tier_6() {
+	echo "== tier 6: performance-fault gate (scaling -exp chaos + -race property tests) =="
+	go run ./cmd/scaling -exp chaos
+	go test -race -run 'TestChaos|TestLeaseHedge|TestLeaseExpired|TestStraggler|TestResilientHedges|TestRetryBackoffJitter' \
+		./internal/mpi/ ./internal/ddi/ ./internal/fock/ ./internal/simulate/
+}
+
+tier_7() {
+	echo "== tier 7: fleet gate (scaling -exp fleet + -race WAL fuzz) =="
+	go run ./cmd/scaling -exp fleet
+	go test -race -run 'TestWALCrashPoint|TestWALReplay|TestWALSegment|TestWALDisable|TestCrashReplay|TestFleet' \
+		./internal/jobs/ ./internal/service/
+}
+
+tier_8() {
+	echo "== tier 8: observability gate (scaling -exp obs + tracecheck -continuity + benchrun comparator) =="
+	go run ./cmd/scaling -exp obs -obs-trace "$tracedir/obs_trace.json"
+	go run ./cmd/tracecheck -q -continuity \
+		-require svc.job,job.run,scf.iter,fock.build,mpi.op,dlb.draw "$tracedir/obs_trace.json"
+	go run ./cmd/benchrun -quick -o "$tracedir/bench_ci.json" >/dev/null
+	go run ./cmd/benchrun -compare "$tracedir/bench_ci.json" -in "$tracedir/bench_ci.json" >/dev/null \
+		|| { echo "obs gate: self-comparison regressed"; exit 1; }
+	if go run ./cmd/benchrun -compare "$tracedir/bench_ci.json" -in "$tracedir/bench_ci.json" -degrade 20 >/dev/null 2>&1; then
+		echo "obs gate: comparator failed to flag a 20% regression"
+		exit 1
+	fi
+	echo "obs gate: waterfall + continuity + benchrun comparator all held"
+}
+
+tier_9() {
+	echo "== tier 9: elastic gate (scaling -exp elastic + -race membership tests) =="
+	go run ./cmd/scaling -exp elastic
+	go test -race -run 'TestJoinBus|TestJoinBackoff|TestMembership|TestElastic|TestCheckpointGrow|TestAutoscaler|TestResize|TestFleetFetch|TestFetchBackoff|TestReadyzRebalancing' \
+		./internal/mpi/ ./internal/cluster/ ./internal/scf/ ./internal/service/
+}
+
+tier_10() {
+	echo "== tier 10: distmat gate (scaling -exp distmat + -race tile/purification tests) =="
+	go run ./cmd/scaling -exp distmat
+	go test -race ./internal/distmat/
+	go test -race -run 'TestTiledBuild|TestRunRHFPurified' ./internal/fock/ ./internal/scf/
+}
+
+if [ -n "$tier" ]; then
+	"tier_$tier"
+	echo "ci: tier $tier green"
+else
+	tier_1
+	tier_2
+	tier_3
+	tier_4
+	tier_5
+	tier_6
+	tier_7
+	tier_8
+	tier_9
+	tier_10
+	echo "ci: all green"
 fi
-echo "obs gate: waterfall + continuity + benchrun comparator all held"
-
-echo "== tier 9: elastic gate (scaling -exp elastic + -race membership tests) =="
-go run ./cmd/scaling -exp elastic
-go test -race -run 'TestJoinBus|TestJoinBackoff|TestMembership|TestElastic|TestCheckpointGrow|TestAutoscaler|TestResize|TestFleetFetch|TestFetchBackoff|TestReadyzRebalancing' \
-	./internal/mpi/ ./internal/cluster/ ./internal/scf/ ./internal/service/
-
-echo "ci: all green"

@@ -30,13 +30,17 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"os"
 	"runtime"
 	"testing"
 	"time"
 
 	"repro"
+	"repro/internal/distmat"
 	"repro/internal/jobs"
+	"repro/internal/linalg"
+	"repro/internal/scf"
 	"repro/internal/service"
 )
 
@@ -143,6 +147,25 @@ func measure(quick bool) *BenchFile {
 	})
 	add("scf_serial_wall_ns", scfNS, "ns/run", "lower")
 
+	// The two density-update routes on the same synthetic orthonormal
+	// Fock (clean spectral gap, the regime both methods are built for):
+	// diagonalize-and-occupy vs SP2 purification. The pair tracks when
+	// the eigensolve-free route starts paying off on this hardware.
+	fmt.Println("benchrun: density build, eigensolve vs purification (n=96, nocc=48)")
+	const benchN, benchNocc = 96, 48
+	fp := syntheticGappedFock(benchN, benchNocc)
+	eigNS := medianRun(reps, func() {
+		_, c := linalg.EigenSym(fp.Clone())
+		scf.DensityFromC(c, benchNocc)
+	})
+	add("density_eig_ns", eigNS, "ns/run", "lower")
+	purNS := medianRun(reps, func() {
+		if _, _, err := distmat.SP2Dense(fp, benchNocc, 1e-12, 200); err != nil {
+			fatal(err)
+		}
+	})
+	add("density_purify_ns", purNS, "ns/run", "lower")
+
 	fmt.Println("benchrun: job-spec canonical hash")
 	spec := jobs.Spec{Molecule: "water", Basis: "sto-3g", Mode: jobs.ModeResilient, Ranks: 2, Threads: 2}.Normalized()
 	hashRes := testing.Benchmark(func(b *testing.B) {
@@ -182,6 +205,27 @@ func measure(quick bool) *BenchFile {
 	add("serve_p99_ms", float64(rep.LatP99)/1e6, "ms", "lower")
 	add("serve_throughput_jobs_s", rep.Throughput, "jobs/s", "higher")
 	return bf
+}
+
+// syntheticGappedFock builds an orthonormal-basis Fock with a clean
+// HOMO-LUMO gap: occupied levels near -1, virtuals near +1, plus a
+// small fixed-seed symmetric perturbation well under half the gap.
+func syntheticGappedFock(n, nocc int) *linalg.Matrix {
+	rng := rand.New(rand.NewSource(1234))
+	m := linalg.NewSquare(n)
+	for i := 0; i < n; i++ {
+		if i < nocc {
+			m.Set(i, i, -1)
+		} else {
+			m.Set(i, i, 1)
+		}
+		for j := 0; j < i; j++ {
+			v := 0.05 * rng.NormFloat64() / float64(n)
+			m.Set(i, j, v)
+			m.Set(j, i, v)
+		}
+	}
+	return m
 }
 
 // medianRun times reps executions of f and returns the median in ns —

@@ -8,7 +8,9 @@ package main
 import (
 	"flag"
 	"fmt"
+	"os"
 
+	"repro/internal/distmat"
 	"repro/internal/fock"
 	"repro/internal/simulate"
 )
@@ -20,6 +22,13 @@ func main() {
 		threads = flag.Int("threads", 64, "threads per rank for the hybrid rows")
 	)
 	flag.Parse()
+
+	if *nbf < 0 || *ranks < 1 {
+		fmt.Fprintf(os.Stderr, "memfoot: -nbf must be >= 0 and -ranks >= 1 (got -nbf %d -ranks %d)\n",
+			*nbf, *ranks)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *nbf == 0 {
 		fmt.Println("Memory footprints of the three SCF codes (eqs. 3a-3c; see EXPERIMENTS.md)")
@@ -37,4 +46,7 @@ func main() {
 	fmt.Printf("  shared-fock  (4 ranks):                 %10.2f GB/node\n", float64(sh.PerNodeBytes())/gb)
 	fmt.Printf("  shared-fock FI/FJ buffers:              %10.2f GB/node\n",
 		4*float64(fock.BufferBytes(*nbf, 6, *threads))/gb)
+	pr2, pc := distmat.Factor2D(*ranks)
+	fmt.Printf("  distributed  (%dx%d tile grid):          %10.4f GB/rank\n",
+		pr2, pc, float64(distmat.FootprintPerRank(*nbf, *ranks))/gb)
 }

@@ -14,6 +14,7 @@
 //	scaling -exp fleet    # 3 WAL-backed replicas, kill-one chaos, exactly-once gate
 //	scaling -exp obs      # fleet-wide request tracing: waterfall + continuity gate
 //	scaling -exp elastic  # elastic membership: grow/migrate/autoscaler gates
+//	scaling -exp distmat  # distributed tiles + purification SCF: memory-wall gate
 //	scaling -exp all
 package main
 
@@ -38,6 +39,7 @@ import (
 var experiments = []string{
 	"table2", "table3", "fig3", "fig4", "fig5", "fig7",
 	"sweep", "breakdown", "ablation", "resilience", "sdc", "chaos", "fleet", "obs", "elastic",
+	"distmat",
 }
 
 func main() {
@@ -167,6 +169,11 @@ func main() {
 		case "elastic":
 			fmt.Println("== Elastic: grow-and-shrink membership, migration, autoscaler gates ==")
 			if !liveElastic(*grace, writeCSV) {
+				os.Exit(1)
+			}
+		case "distmat":
+			fmt.Println("== Distmat: distributed 2D-blocked matrices + purification SCF gates ==")
+			if !liveDistmat(writeCSV) {
 				os.Exit(1)
 			}
 		default:

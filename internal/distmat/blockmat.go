@@ -1,0 +1,263 @@
+package distmat
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/ddi"
+	"repro/internal/integrity"
+	"repro/internal/linalg"
+)
+
+// matSeq provides process-wide unique distributed matrix ids (same
+// scheme as ddi.CreateDArray: rank 0 draws, shares through a counter
+// window, so every rank in a world agrees on the id).
+var matSeq atomic.Int64
+
+// BlockMat is an n x n matrix distributed in bs x bs tiles over the
+// process grid (see the package comment for the layout). All collective
+// methods (New, Zero, Scatter/Gather, the ops in ops.go) must be called
+// by every rank of the world at the same point; Get/Put/AccTile and At
+// are one-sided and may be called by any rank at any time between
+// barriers.
+type BlockMat struct {
+	G  *Grid
+	Dx *ddi.Context
+	N  int // logical dimension
+	BS int // tile edge (trailing tiles zero-padded)
+	NB int // tiles per dimension: ceil(N/BS)
+
+	id     int64
+	owner  []int // tile (bi,bj) -> owning rank, row-major over blocks
+	offset []int // tile (bi,bj) -> float offset in the owner's window
+
+	ownedTiles int
+
+	// One-sided traffic accounting (off-rank bytes only), mirrored into
+	// the distmat.* telemetry counters when a session is attached.
+	getBytes, putBytes, accBytes atomic.Int64
+}
+
+// New collectively creates an n x n distributed matrix with tile edge bs
+// (0 = DefaultBlockSize for the grid). All ranks must call it in the
+// same order with the same shape.
+func New(g *Grid, dx *ddi.Context, n, bs int) *BlockMat {
+	comm := dx.Comm
+	if bs <= 0 {
+		bs = DefaultBlockSize(n, g.Pr, g.Pc)
+	}
+	nb := (n + bs - 1) / bs
+	m := &BlockMat{G: g, Dx: dx, N: n, BS: bs, NB: nb}
+
+	if comm.Rank() == 0 {
+		comm.CounterStore("dm.id", 0, matSeq.Add(1))
+	}
+	comm.Barrier()
+	m.id = comm.CounterLoad("dm.id", 0)
+
+	counts := make([]int, comm.Size())
+	m.owner = make([]int, nb*nb)
+	m.offset = make([]int, nb*nb)
+	for bi := 0; bi < nb; bi++ {
+		for bj := 0; bj < nb; bj++ {
+			o := g.OwnerOf(bi, bj)
+			m.owner[bi*nb+bj] = o
+			m.offset[bi*nb+bj] = counts[o] * bs * bs
+			counts[o]++
+		}
+	}
+	m.ownedTiles = counts[comm.Rank()]
+	for r, c := range counts {
+		if c > 0 {
+			comm.WinCreate(m.winName(r), c*bs*bs)
+		}
+	}
+	comm.Barrier()
+	return m
+}
+
+func (m *BlockMat) winName(rank int) string {
+	return fmt.Sprintf("dm.%d.%d", m.id, rank)
+}
+
+// sameShape panics unless b shares m's dimension, tile edge and grid —
+// the precondition of every tile-aligned binary op.
+func (m *BlockMat) sameShape(b *BlockMat) {
+	if m.N != b.N || m.BS != b.BS || m.G.Pr != b.G.Pr || m.G.Pc != b.G.Pc {
+		panic(fmt.Sprintf("distmat: shape mismatch: %dx%d/bs%d vs %dx%d/bs%d",
+			m.N, m.N, m.BS, b.N, b.N, b.BS))
+	}
+}
+
+func (m *BlockMat) tileIndex(bi, bj int) int {
+	if bi < 0 || bi >= m.NB || bj < 0 || bj >= m.NB {
+		panic(fmt.Sprintf("distmat: tile (%d,%d) out of range %d", bi, bj, m.NB))
+	}
+	return bi*m.NB + bj
+}
+
+// OwnerOf returns the rank owning tile (bi, bj).
+func (m *BlockMat) OwnerOf(bi, bj int) int { return m.owner[m.tileIndex(bi, bj)] }
+
+// OwnsTile reports whether the calling rank owns tile (bi, bj).
+func (m *BlockMat) OwnsTile(bi, bj int) bool {
+	return m.owner[m.tileIndex(bi, bj)] == m.Dx.Comm.Rank()
+}
+
+// OwnedTiles returns the number of tiles stored on the calling rank.
+func (m *BlockMat) OwnedTiles() int { return m.ownedTiles }
+
+// LocalBytes returns the tile storage held by the calling rank.
+func (m *BlockMat) LocalBytes() int64 {
+	return int64(m.ownedTiles) * int64(m.BS) * int64(m.BS) * 8
+}
+
+func (m *BlockMat) countTraffic(kind *atomic.Int64, name string, owner, n int) {
+	if owner == m.Dx.Comm.Rank() {
+		return
+	}
+	bytes := int64(n) * 8
+	kind.Add(bytes)
+	m.Dx.Comm.Telemetry().Counter(name).Add(bytes)
+}
+
+// GetTile fetches tile (bi, bj) into out (BS*BS floats, row-major,
+// zero-padded past N). One-sided.
+func (m *BlockMat) GetTile(bi, bj int, out []float64) {
+	t := m.tileIndex(bi, bj)
+	m.countTraffic(&m.getBytes, "distmat.get.bytes", m.owner[t], len(out))
+	m.Dx.Comm.WinGet(m.winName(m.owner[t]), m.offset[t], out)
+}
+
+// PutTile stores tile (bi, bj) from data (BS*BS floats). One-sided; the
+// caller is responsible for write ownership (concurrent Put and Acc to
+// the same tile race).
+func (m *BlockMat) PutTile(bi, bj int, data []float64) {
+	t := m.tileIndex(bi, bj)
+	m.countTraffic(&m.putBytes, "distmat.put.bytes", m.owner[t], len(data))
+	m.Dx.Comm.WinPut(m.winName(m.owner[t]), m.offset[t], data)
+}
+
+// AccTile element-wise adds data (BS*BS floats) into tile (bi, bj).
+// One-sided and atomic with respect to other AccTile calls (the window
+// lock serializes accumulates), the distmat analogue of DDI's acc.
+func (m *BlockMat) AccTile(bi, bj int, data []float64) {
+	t := m.tileIndex(bi, bj)
+	m.countTraffic(&m.accBytes, "distmat.acc.bytes", m.owner[t], len(data))
+	m.Dx.Comm.WinAcc(m.winName(m.owner[t]), m.offset[t], data)
+}
+
+// At reads one element, one-sided. Convenience for tests and spot
+// checks; bulk readers should move tiles (see TileReader).
+func (m *BlockMat) At(i, j int) float64 {
+	bi, bj := i/m.BS, j/m.BS
+	t := m.tileIndex(bi, bj)
+	var buf [1]float64
+	m.countTraffic(&m.getBytes, "distmat.get.bytes", m.owner[t], 1)
+	m.Dx.Comm.WinGet(m.winName(m.owner[t]), m.offset[t]+(i%m.BS)*m.BS+(j%m.BS), buf[:])
+	return buf[0]
+}
+
+// Traffic returns the off-rank one-sided bytes this rank moved through
+// the matrix since creation (get, put, acc).
+func (m *BlockMat) Traffic() (get, put, acc int64) {
+	return m.getBytes.Load(), m.putBytes.Load(), m.accBytes.Load()
+}
+
+// Zero collectively clears the matrix.
+func (m *BlockMat) Zero() {
+	m.Dx.Comm.Barrier() // fence in-flight one-sided reads before mutating
+	buf := make([]float64, m.BS*m.BS)
+	me := m.Dx.Comm.Rank()
+	for bi := 0; bi < m.NB; bi++ {
+		for bj := 0; bj < m.NB; bj++ {
+			if m.owner[bi*m.NB+bj] == me {
+				m.PutTile(bi, bj, buf)
+			}
+		}
+	}
+	m.Dx.Comm.Barrier()
+}
+
+// checksum windows: one int64 slot per rank, keyed by matrix id. The
+// two-barrier protocol (store, barrier, read+verify, barrier) makes the
+// window safely reusable across successive collective calls.
+func (m *BlockMat) verifySame(ck uint64, op string) error {
+	comm := m.Dx.Comm
+	name := fmt.Sprintf("dm.ck.%d", m.id)
+	comm.CounterStore(name, comm.Rank(), int64(ck))
+	comm.Barrier()
+	var err error
+	for r := 0; r < comm.Size(); r++ {
+		if got := uint64(comm.CounterLoad(name, r)); got != ck {
+			err = fmt.Errorf("distmat: %s checksum mismatch: rank %d has %016x, rank %d has %016x",
+				op, comm.Rank(), ck, r, got)
+			break
+		}
+	}
+	comm.Barrier()
+	return err
+}
+
+// ScatterDense collectively distributes a replicated dense matrix into
+// the tiles. Every rank passes its own copy of d; a Fletcher-64 checksum
+// agreement across ranks rejects divergent replicas — the checkpoint
+// interop guard: a warm-start density loaded from disk must be
+// bit-identical everywhere before it is sharded.
+func (m *BlockMat) ScatterDense(d *linalg.Matrix) error {
+	if d.Rows != m.N || d.Cols != m.N {
+		return fmt.Errorf("distmat: scatter of %dx%d into %dx%d", d.Rows, d.Cols, m.N, m.N)
+	}
+	ck := integrity.ChecksumPayload(d.Data, []int{d.Rows, d.Cols})
+	if err := m.verifySame(ck, "scatter"); err != nil {
+		return err
+	}
+	bs := m.BS
+	buf := make([]float64, bs*bs)
+	me := m.Dx.Comm.Rank()
+	for bi := 0; bi < m.NB; bi++ {
+		for bj := 0; bj < m.NB; bj++ {
+			if m.owner[bi*m.NB+bj] != me {
+				continue
+			}
+			for i := range buf {
+				buf[i] = 0
+			}
+			for r := 0; r < bs && bi*bs+r < m.N; r++ {
+				row := d.Row(bi*bs + r)
+				for c := 0; c < bs && bj*bs+c < m.N; c++ {
+					buf[r*bs+c] = row[bj*bs+c]
+				}
+			}
+			m.PutTile(bi, bj, buf)
+		}
+	}
+	m.Dx.Comm.Barrier()
+	return nil
+}
+
+// GatherVerified collectively rebuilds the replicated dense matrix on
+// every rank and verifies all ranks assembled a bit-identical copy
+// (Fletcher-64 agreement) — the checkpoint-interop path back out of the
+// distributed representation.
+func (m *BlockMat) GatherVerified() (*linalg.Matrix, error) {
+	bs := m.BS
+	out := linalg.NewSquare(m.N)
+	buf := make([]float64, bs*bs)
+	for bi := 0; bi < m.NB; bi++ {
+		for bj := 0; bj < m.NB; bj++ {
+			m.GetTile(bi, bj, buf)
+			for r := 0; r < bs && bi*bs+r < m.N; r++ {
+				row := out.Row(bi*bs + r)
+				for c := 0; c < bs && bj*bs+c < m.N; c++ {
+					row[bj*bs+c] = buf[r*bs+c]
+				}
+			}
+		}
+	}
+	ck := integrity.ChecksumPayload(out.Data, []int{out.Rows, out.Cols})
+	if err := m.verifySame(ck, "gather"); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
