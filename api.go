@@ -343,6 +343,64 @@ func RunPurifiedRHFCtx(ctx context.Context, mol *Molecule, basisName string, cfg
 	})
 }
 
+// ResilientPurifiedConfig shapes a distributed-data RHF run whose
+// matrices carry ABFT checksum tiles: rank death mid-iteration is
+// survived by reconstructing the lost tiles from parity and resuming
+// the interrupted iteration on the shrunken world, and resident bit
+// flips are caught and repaired by the per-sweep checksum audit.
+type ResilientPurifiedConfig struct {
+	Ranks      int           // MPI ranks (the Pr x Pc grid covers them); defaults to 4
+	BlockSize  int           // tile edge; 0 picks a grid-appropriate default
+	CacheTiles int           // Fock-build density cache bound (tiles); 0 = 2x block dim
+	AccTiles   int           // Fock write-combiner bound (tiles); 0 = 2x block dim
+	DIISSize   int           // orthonormal-basis DIIS depth; defaults to 4
+	PurifyTol  float64       // purification idempotency threshold; defaults to 1e-12
+	MaxSweeps  int           // sweep cap per SCF iteration; defaults to 100
+	Deadline   time.Duration // per-blocking-op bound; defaults to 30s
+	Grace      time.Duration // unwind window past the deadline; 0 = runtime default
+	// MaxRecoveries caps reconstruct-and-resume transitions; defaults to 3.
+	MaxRecoveries int
+	Fault         *mpi.FaultPlan // optional failure injection (first attempt only)
+	Telemetry     *Telemetry     // optional observability session
+}
+
+// PurifiedRecoveryInfo reports how a resilient purified run survived:
+// attempts, tiles reconstructed from parity, the iteration resumed at,
+// and the checksum audit's detection/repair tallies.
+type PurifiedRecoveryInfo = scf.PurifiedRecovery
+
+// RunResilientPurifiedRHF runs the distributed purified RHF of
+// RunPurifiedRHF over ABFT matrices: no restart and no replicated
+// fallback on rank death — survivors rebuild every lost tile from
+// checksum parity and the SCF resumes the iteration the failure hit.
+func RunResilientPurifiedRHF(mol *Molecule, basisName string, cfg ResilientPurifiedConfig, opt SCFOptions) (*Result, *PurifyInfo, *PurifiedRecoveryInfo, error) {
+	b, err := basis.Build(mol, basisName)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	eng := integrals.NewEngine(b)
+	sch := integrals.ComputeSchwarz(eng)
+	cache := integrals.NewPairCache(eng, 0)
+	return scf.RunRHFPurifiedResilient(eng, sch, scf.PurifiedResilientOptions{
+		PurifiedOptions: scf.PurifiedOptions{
+			Ranks:      cfg.Ranks,
+			BlockSize:  cfg.BlockSize,
+			CacheTiles: cfg.CacheTiles,
+			AccTiles:   cfg.AccTiles,
+			DIISSize:   cfg.DIISSize,
+			PurifyTol:  cfg.PurifyTol,
+			MaxSweeps:  cfg.MaxSweeps,
+			Fock:       fock.Config{Quartets: cache},
+			SCF:        opt,
+			Deadline:   cfg.Deadline,
+			Grace:      cfg.Grace,
+			Telemetry:  cfg.Telemetry,
+		},
+		MaxRecoveries: cfg.MaxRecoveries,
+		Fault:         cfg.Fault,
+	})
+}
+
 // Membership is an elastic rank pool: candidates announce joins on its
 // bus, the elastic SCF driver admits them at iteration boundaries, and
 // rank death or straggler migration advances its epoch.

@@ -82,8 +82,19 @@
 # memory wall the layout exists to cross. The distmat suite and the
 # bounded tiled-Fock / purified-SCF tests rerun under -race.
 #
+# Tier 11 (ABFT gate): `scaling -exp abft` — checksum-redundant
+# distributed matrices end to end on benzene/STO-3G over a 4x4 grid:
+# the clean ABFT run must match the replicated eigensolve to 1e-10 Ha
+# in one quiet attempt; a rank killed mid-purification must be survived
+# by rebuilding every lost tile from parity (reconstructed_tiles > 0)
+# and resuming the interrupted iteration on the shrunken world; and a
+# resident bit flip injected between sweeps must be detected and
+# repaired in place by the checksum audit (zero recoveries, zero silent
+# corruptions) with the energy still at the clean reference. The ABFT
+# and resilient-purified suites rerun under -race.
+#
 # Usage: ./ci.sh [-short] [tier]
-#   -short skips the slow simulator sweeps; a bare tier number (1-10)
+#   -short skips the slow simulator sweeps; a bare tier number (1-11)
 #   runs only that tier. Anything else exits 2.
 set -eu
 
@@ -94,7 +105,7 @@ for arg in "$@"; do
 	-short)
 		short="-short"
 		;;
-	1 | 2 | 3 | 4 | 5 | 6 | 7 | 8 | 9 | 10)
+	1 | 2 | 3 | 4 | 5 | 6 | 7 | 8 | 9 | 10 | 11)
 		if [ -n "$tier" ]; then
 			echo "ci.sh: at most one tier may be selected (got $tier and $arg)" >&2
 			exit 2
@@ -103,7 +114,7 @@ for arg in "$@"; do
 		;;
 	*)
 		echo "ci.sh: unknown argument '$arg'" >&2
-		echo "usage: ./ci.sh [-short] [tier]   (tier is a number 1-10; default runs all)" >&2
+		echo "usage: ./ci.sh [-short] [tier]   (tier is a number 1-11; default runs all)" >&2
 		exit 2
 		;;
 	esac
@@ -266,6 +277,13 @@ tier_10() {
 	go test -race -run 'TestTiledBuild|TestRunRHFPurified' ./internal/fock/ ./internal/scf/
 }
 
+tier_11() {
+	echo "== tier 11: ABFT gate (scaling -exp abft + -race checksum/resilient tests) =="
+	go run ./cmd/scaling -exp abft
+	go test -short -race -run 'TestABFT|TestSalvage|TestPurifyChaos|TestPurifiedResilient|TestTileReader|TestTileAccum' \
+		./internal/distmat/ ./internal/scf/
+}
+
 if [ -n "$tier" ]; then
 	"tier_$tier"
 	echo "ci: tier $tier green"
@@ -280,5 +298,6 @@ else
 	tier_8
 	tier_9
 	tier_10
+	tier_11
 	echo "ci: all green"
 fi

@@ -37,9 +37,11 @@ import (
 	"time"
 
 	"repro"
+	"repro/internal/ddi"
 	"repro/internal/distmat"
 	"repro/internal/jobs"
 	"repro/internal/linalg"
+	"repro/internal/mpi"
 	"repro/internal/scf"
 	"repro/internal/service"
 )
@@ -166,6 +168,60 @@ func measure(quick bool) *BenchFile {
 	})
 	add("density_purify_ns", purNS, "ns/run", "lower")
 
+	// The same purification over distributed tiles, plain vs ABFT
+	// checksum-redundant: the overhead column is the price of parity
+	// maintenance plus the per-sweep audit — the cost of surviving a
+	// rank death or a resident bit flip without restarting. Measured at
+	// a larger n than the dense pair: parity work scales with tile
+	// surface (bs²) against the multiply's bs³ volume, so a toy matrix
+	// overstates the overhead of any production-shaped run.
+	const distN, distNocc = 192, 96
+	fpDist := syntheticGappedFock(distN, distNocc)
+	fmt.Printf("benchrun: distributed purification, plain vs ABFT tiles (n=%d, 4 ranks)\n", distN)
+	runDistPurify := func(abft bool) {
+		mk := distmat.New
+		if abft {
+			mk = distmat.NewABFT
+		}
+		err := mpi.Run(4, func(c *mpi.Comm) {
+			g := distmat.NewGrid(c.Rank(), c.Size())
+			dx := ddi.New(c)
+			fpd := mk(g, dx, distN, 0)
+			dst := mk(g, dx, distN, 0)
+			xsq := mk(g, dx, distN, 0)
+			if err := fpd.ScatterDense(fpDist); err != nil {
+				fatal(err)
+			}
+			if _, err := distmat.Purify(dst, fpd, xsq, distNocc, 1e-12, 200); err != nil {
+				fatal(err)
+			}
+		})
+		if err != nil {
+			fatal(err)
+		}
+	}
+	// Warm both modes untimed, then measure them INTERLEAVED
+	// (plain, abft, plain, abft, ...): the pair is a ratio metric, and
+	// back-to-back blocks would fold process-lifetime drift (heap
+	// growth, GC pacing, machine load) into whichever mode ran last.
+	runDistPurify(false)
+	runDistPurify(true)
+	plainT := make([]float64, reps)
+	abftT := make([]float64, reps)
+	for i := 0; i < reps; i++ {
+		t0 := time.Now()
+		runDistPurify(false)
+		plainT[i] = float64(time.Since(t0).Nanoseconds())
+		t0 = time.Now()
+		runDistPurify(true)
+		abftT[i] = float64(time.Since(t0).Nanoseconds())
+	}
+	distNS := median(plainT)
+	add("density_purify_dist_ns", distNS, "ns/run", "lower")
+	distABFTNS := median(abftT)
+	add("density_purify_dist_abft_ns", distABFTNS, "ns/run", "lower")
+	add("purify_abft_overhead_pct", 100*(distABFTNS-distNS)/distNS, "%", "lower")
+
 	fmt.Println("benchrun: job-spec canonical hash")
 	spec := jobs.Spec{Molecule: "water", Basis: "sto-3g", Mode: jobs.ModeResilient, Ranks: 2, Threads: 2}.Normalized()
 	hashRes := testing.Benchmark(func(b *testing.B) {
@@ -237,6 +293,10 @@ func medianRun(reps int, f func()) float64 {
 		f()
 		times[i] = float64(time.Since(t0).Nanoseconds())
 	}
+	return median(times)
+}
+
+func median(times []float64) float64 {
 	for i := 1; i < len(times); i++ { // insertion sort; reps is tiny
 		for j := i; j > 0 && times[j] < times[j-1]; j-- {
 			times[j], times[j-1] = times[j-1], times[j]

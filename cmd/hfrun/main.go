@@ -28,7 +28,7 @@ func main() {
 		flakeN   = flag.Int("flake", 0, "run a graphene flake with N carbon atoms instead of -mol")
 		xyzPath  = flag.String("xyz", "", "read geometry from an XYZ file instead of -mol")
 		basis    = flag.String("basis", "sto-3g", "basis set: sto-3g, 6-31g, 6-31g(d)")
-		alg      = flag.String("alg", "", "parallel algorithm: mpi-only, private-fock, shared-fock (empty = serial)")
+		alg      = flag.String("alg", "", "parallel algorithm: mpi-only, private-fock, shared-fock, purified, purified-abft (empty = serial)")
 		ranks    = flag.Int("ranks", 2, "MPI ranks for parallel runs")
 		threads  = flag.Int("threads", 2, "OpenMP threads per rank for parallel runs")
 		deadline = flag.Duration("deadline", 0, "bound on every blocking runtime operation in parallel runs (0 = no watchdog)")
@@ -108,10 +108,27 @@ func main() {
 		return
 	}
 	var res *repro.Result
-	if *alg == "" {
+	var pinfo *repro.PurifyInfo
+	switch *alg {
+	case "":
 		fmt.Println("mode:     serial")
 		res, err = repro.RunRHF(mol, *basis, opt)
-	} else {
+	case "purified":
+		fmt.Printf("mode:     purified (distributed tiles), %d ranks\n", *ranks)
+		res, pinfo, err = repro.RunPurifiedRHF(mol, *basis, repro.PurifiedConfig{
+			Ranks: *ranks, Deadline: *deadline, Grace: *grace, Telemetry: tel,
+		}, opt)
+	case "purified-abft":
+		fmt.Printf("mode:     purified + ABFT checksum tiles, %d ranks\n", *ranks)
+		var rec *repro.PurifiedRecoveryInfo
+		res, pinfo, rec, err = repro.RunResilientPurifiedRHF(mol, *basis, repro.ResilientPurifiedConfig{
+			Ranks: *ranks, Deadline: *deadline, Grace: *grace, Telemetry: tel,
+		}, opt)
+		if err == nil && rec != nil {
+			fmt.Printf("abft:     %d attempt(s), %d recoveries, %d tiles reconstructed, %d audit repairs\n",
+				rec.Attempts, rec.Recoveries, rec.ReconstructedTiles, rec.RepairedTiles)
+		}
+	default:
 		fmt.Printf("mode:     %s, %d ranks x %d threads\n", *alg, *ranks, *threads)
 		res, err = repro.RunParallelRHF(mol, *basis, repro.ParallelConfig{
 			Algorithm: repro.Algorithm(*alg), Ranks: *ranks, Threads: *threads,
@@ -120,6 +137,11 @@ func main() {
 	}
 	if err != nil {
 		fatal(err)
+	}
+	if pinfo != nil {
+		fmt.Printf("distmat:  %dx%d grid, block %d, %d sweeps, peak %d bytes/rank (replicated %d)\n",
+			pinfo.GridPr, pinfo.GridPc, pinfo.BlockSize, pinfo.TotalSweeps,
+			pinfo.PeakRankBytes, pinfo.ReplicatedBytes)
 	}
 	elapsed := time.Since(start)
 

@@ -49,4 +49,7 @@ func main() {
 	pr2, pc := distmat.Factor2D(*ranks)
 	fmt.Printf("  distributed  (%dx%d tile grid):          %10.4f GB/rank\n",
 		pr2, pc, float64(distmat.FootprintPerRank(*nbf, *ranks))/gb)
+	parity, data := distmat.ABFTBytesPerRank(*nbf, *ranks, 0)
+	fmt.Printf("  ABFT checksum tiles:                    %10.4f GB/rank (%.1f%% of %.4f GB tile data)\n",
+		float64(parity)/gb, 100*float64(parity)/float64(data), float64(data)/gb)
 }

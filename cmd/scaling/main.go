@@ -15,6 +15,7 @@
 //	scaling -exp obs      # fleet-wide request tracing: waterfall + continuity gate
 //	scaling -exp elastic  # elastic membership: grow/migrate/autoscaler gates
 //	scaling -exp distmat  # distributed tiles + purification SCF: memory-wall gate
+//	scaling -exp abft     # ABFT checksum tiles: kill-a-rank + bit-flip audit gates
 //	scaling -exp all
 package main
 
@@ -39,7 +40,7 @@ import (
 var experiments = []string{
 	"table2", "table3", "fig3", "fig4", "fig5", "fig7",
 	"sweep", "breakdown", "ablation", "resilience", "sdc", "chaos", "fleet", "obs", "elastic",
-	"distmat",
+	"distmat", "abft",
 }
 
 func main() {
@@ -174,6 +175,11 @@ func main() {
 		case "distmat":
 			fmt.Println("== Distmat: distributed 2D-blocked matrices + purification SCF gates ==")
 			if !liveDistmat(writeCSV) {
+				os.Exit(1)
+			}
+		case "abft":
+			fmt.Println("== ABFT: checksum tiles, kill-a-rank reconstruction, bit-flip audit gates ==")
+			if !liveABFT(writeCSV) {
 				os.Exit(1)
 			}
 		default:

@@ -36,6 +36,18 @@ type Context struct {
 // New wraps an MPI communicator with DDI services.
 func New(c *mpi.Comm) *Context { return &Context{Comm: c} }
 
+// NewShrunk wraps a communicator of a world rebuilt after rank failure.
+// epoch keys the membership-scoped shared windows (the straggler EWMA
+// vector; see SetMembershipEpoch) so the reassigned world never reads
+// state a differently-sized predecessor published — the ddi half of
+// window reassignment when a distributed computation shrinks and its
+// tiles are reconstructed onto a new owner map (internal/distmat ABFT).
+func NewShrunk(c *mpi.Comm, epoch int64) *Context {
+	d := New(c)
+	d.SetMembershipEpoch(epoch)
+	return d
+}
+
 // dlbWindow is the shared window holding the DLB counter; the epoch index
 // separates successive DLB cycles without requiring counter zeroing races.
 const dlbWindow = "ddi.dlb"

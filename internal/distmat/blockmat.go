@@ -2,11 +2,13 @@ package distmat
 
 import (
 	"fmt"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/ddi"
 	"repro/internal/integrity"
 	"repro/internal/linalg"
+	"repro/internal/telemetry"
 )
 
 // matSeq provides process-wide unique distributed matrix ids (same
@@ -32,16 +34,43 @@ type BlockMat struct {
 	offset []int // tile (bi,bj) -> float offset in the owner's window
 
 	ownedTiles int
+	names      []string // per-rank data window names, precomputed
 
 	// One-sided traffic accounting (off-rank bytes only), mirrored into
-	// the distmat.* telemetry counters when a session is attached.
+	// the distmat.* telemetry counters when a session is attached. The
+	// counter handles are resolved once at construction — tile ops are
+	// the innermost loop of every collective, so a per-op map lookup is
+	// measurable overhead.
 	getBytes, putBytes, accBytes atomic.Int64
+	getCtr, putCtr, accCtr       *telemetry.Counter
+
+	// putScratch pools delta buffers for the ABFT read-old/put-new path
+	// in PutTile (pooled, not a single field: concurrent Puts to
+	// DIFFERENT tiles are legal and must not share scratch).
+	putScratch sync.Pool
+
+	// ab holds the checksum-tile state of an ABFT matrix (see abft.go);
+	// nil for a plain matrix.
+	ab *abftState
 }
 
 // New collectively creates an n x n distributed matrix with tile edge bs
 // (0 = DefaultBlockSize for the grid). All ranks must call it in the
 // same order with the same shape.
 func New(g *Grid, dx *ddi.Context, n, bs int) *BlockMat {
+	return newMat(g, dx, n, bs, false)
+}
+
+// NewABFT collectively creates an n x n distributed matrix that also
+// maintains Huang–Abraham checksum tiles (see abft.go): PutTile and
+// AccTile keep per-block-row and per-block-column parity tiles coherent,
+// AuditParity detects and repairs resident corruption, and Salvage
+// reconstructs tiles lost to rank death.
+func NewABFT(g *Grid, dx *ddi.Context, n, bs int) *BlockMat {
+	return newMat(g, dx, n, bs, true)
+}
+
+func newMat(g *Grid, dx *ddi.Context, n, bs int, abft bool) *BlockMat {
 	comm := dx.Comm
 	if bs <= 0 {
 		bs = DefaultBlockSize(n, g.Pr, g.Pc)
@@ -54,6 +83,17 @@ func New(g *Grid, dx *ddi.Context, n, bs int) *BlockMat {
 	}
 	comm.Barrier()
 	m.id = comm.CounterLoad("dm.id", 0)
+
+	m.names = make([]string, comm.Size())
+	for r := range m.names {
+		m.names[r] = fmt.Sprintf("dm.%d.%d", m.id, r)
+	}
+	tel := comm.Telemetry()
+	m.getCtr = tel.Counter("distmat.get.bytes")
+	m.putCtr = tel.Counter("distmat.put.bytes")
+	m.accCtr = tel.Counter("distmat.acc.bytes")
+	bs2 := bs * bs
+	m.putScratch.New = func() any { return make([]float64, bs2) }
 
 	counts := make([]int, comm.Size())
 	m.owner = make([]int, nb*nb)
@@ -72,13 +112,14 @@ func New(g *Grid, dx *ddi.Context, n, bs int) *BlockMat {
 			comm.WinCreate(m.winName(r), c*bs*bs)
 		}
 	}
+	if abft {
+		m.initABFT()
+	}
 	comm.Barrier()
 	return m
 }
 
-func (m *BlockMat) winName(rank int) string {
-	return fmt.Sprintf("dm.%d.%d", m.id, rank)
-}
+func (m *BlockMat) winName(rank int) string { return m.names[rank] }
 
 // sameShape panics unless b shares m's dimension, tile edge and grid —
 // the precondition of every tile-aligned binary op.
@@ -112,29 +153,42 @@ func (m *BlockMat) LocalBytes() int64 {
 	return int64(m.ownedTiles) * int64(m.BS) * int64(m.BS) * 8
 }
 
-func (m *BlockMat) countTraffic(kind *atomic.Int64, name string, owner, n int) {
+func (m *BlockMat) countTraffic(kind *atomic.Int64, ctr *telemetry.Counter, owner, n int) {
 	if owner == m.Dx.Comm.Rank() {
 		return
 	}
 	bytes := int64(n) * 8
 	kind.Add(bytes)
-	m.Dx.Comm.Telemetry().Counter(name).Add(bytes)
+	ctr.Add(bytes)
 }
 
 // GetTile fetches tile (bi, bj) into out (BS*BS floats, row-major,
 // zero-padded past N). One-sided.
 func (m *BlockMat) GetTile(bi, bj int, out []float64) {
 	t := m.tileIndex(bi, bj)
-	m.countTraffic(&m.getBytes, "distmat.get.bytes", m.owner[t], len(out))
+	m.countTraffic(&m.getBytes, m.getCtr, m.owner[t], len(out))
 	m.Dx.Comm.WinGet(m.winName(m.owner[t]), m.offset[t], out)
 }
 
 // PutTile stores tile (bi, bj) from data (BS*BS floats). One-sided; the
 // caller is responsible for write ownership (concurrent Put and Acc to
-// the same tile race).
+// the same tile race). On an ABFT matrix the overwrite becomes
+// read-old/put-new/accumulate-delta so the parity tiles stay coherent —
+// safe under the same single-writer-per-tile discipline.
 func (m *BlockMat) PutTile(bi, bj int, data []float64) {
 	t := m.tileIndex(bi, bj)
-	m.countTraffic(&m.putBytes, "distmat.put.bytes", m.owner[t], len(data))
+	m.countTraffic(&m.putBytes, m.putCtr, m.owner[t], len(data))
+	if m.ab != nil {
+		old := m.putScratch.Get().([]float64)[:len(data)]
+		m.Dx.Comm.WinGet(m.winName(m.owner[t]), m.offset[t], old)
+		for i := range old {
+			old[i] = data[i] - old[i]
+		}
+		m.Dx.Comm.WinPut(m.winName(m.owner[t]), m.offset[t], data)
+		m.accParity(bi, bj, old)
+		m.putScratch.Put(old)
+		return
+	}
 	m.Dx.Comm.WinPut(m.winName(m.owner[t]), m.offset[t], data)
 }
 
@@ -143,8 +197,11 @@ func (m *BlockMat) PutTile(bi, bj int, data []float64) {
 // lock serializes accumulates), the distmat analogue of DDI's acc.
 func (m *BlockMat) AccTile(bi, bj int, data []float64) {
 	t := m.tileIndex(bi, bj)
-	m.countTraffic(&m.accBytes, "distmat.acc.bytes", m.owner[t], len(data))
+	m.countTraffic(&m.accBytes, m.accCtr, m.owner[t], len(data))
 	m.Dx.Comm.WinAcc(m.winName(m.owner[t]), m.offset[t], data)
+	if m.ab != nil {
+		m.accParity(bi, bj, data)
+	}
 }
 
 // At reads one element, one-sided. Convenience for tests and spot
@@ -153,7 +210,7 @@ func (m *BlockMat) At(i, j int) float64 {
 	bi, bj := i/m.BS, j/m.BS
 	t := m.tileIndex(bi, bj)
 	var buf [1]float64
-	m.countTraffic(&m.getBytes, "distmat.get.bytes", m.owner[t], 1)
+	m.countTraffic(&m.getBytes, m.getCtr, m.owner[t], 1)
 	m.Dx.Comm.WinGet(m.winName(m.owner[t]), m.offset[t]+(i%m.BS)*m.BS+(j%m.BS), buf[:])
 	return buf[0]
 }
@@ -164,7 +221,10 @@ func (m *BlockMat) Traffic() (get, put, acc int64) {
 	return m.getBytes.Load(), m.putBytes.Load(), m.accBytes.Load()
 }
 
-// Zero collectively clears the matrix.
+// Zero collectively clears the matrix. On an ABFT matrix the parity
+// region is rewritten with zeros directly (not via PutTile deltas),
+// which also resets any accumulated floating-point drift in the
+// checksums.
 func (m *BlockMat) Zero() {
 	m.Dx.Comm.Barrier() // fence in-flight one-sided reads before mutating
 	buf := make([]float64, m.BS*m.BS)
@@ -172,9 +232,16 @@ func (m *BlockMat) Zero() {
 	for bi := 0; bi < m.NB; bi++ {
 		for bj := 0; bj < m.NB; bj++ {
 			if m.owner[bi*m.NB+bj] == me {
-				m.PutTile(bi, bj, buf)
+				if m.ab != nil {
+					m.rawPutTile(bi, bj, buf)
+				} else {
+					m.PutTile(bi, bj, buf)
+				}
 			}
 		}
+	}
+	if m.ab != nil {
+		m.zeroParity()
 	}
 	m.Dx.Comm.Barrier()
 }
@@ -241,6 +308,13 @@ func (m *BlockMat) ScatterDense(d *linalg.Matrix) error {
 // (Fletcher-64 agreement) — the checkpoint-interop path back out of the
 // distributed representation.
 func (m *BlockMat) GatherVerified() (*linalg.Matrix, error) {
+	if m.ab != nil {
+		// Verify-on-gather: never hand back a replicated copy assembled
+		// from tiles the checksum invariant would have rejected.
+		if _, err := m.AuditParity(); err != nil {
+			return nil, err
+		}
+	}
 	bs := m.BS
 	out := linalg.NewSquare(m.N)
 	buf := make([]float64, bs*bs)

@@ -44,6 +44,15 @@ func NewTileReader(m *BlockMat, capTiles int) *TileReader {
 	return r
 }
 
+// Retarget points the reader at a different matrix of the same shape
+// and drops the cache — the double-buffer swap of the resilient SCF,
+// where the density pointer flips between iterations instead of being
+// copied.
+func (r *TileReader) Retarget(m *BlockMat) {
+	r.m = m
+	r.Reset()
+}
+
 // Reset drops every cached tile (collectively irrelevant — purely
 // local).
 func (r *TileReader) Reset() {

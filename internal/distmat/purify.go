@@ -31,6 +31,12 @@ type PurifyStats struct {
 	IdemErr   float64 // final ||X - X^2||_F
 	TraceErr  float64 // final |tr X - nocc|
 	Converged bool
+	// Branches records the branch executed at each sweep that took one:
+	// 'S' for X <- X^2, 'R' for X <- 2X - X^2. The decisions depend only
+	// on deterministic allreduced traces, so the string must be
+	// bit-for-bit identical across ranks and across reruns — the
+	// determinism invariant the chaos property test pins down.
+	Branches string
 }
 
 // purifyTraceTol bounds the trace drift accepted at convergence; the
@@ -67,6 +73,16 @@ func Purify(dst, fp, xsq *BlockMat, nocc int, tol float64, maxSweeps int) (Purif
 	for sweep := 1; sweep <= maxSweeps; sweep++ {
 		st.Sweeps = sweep
 		tel.Counter("distmat.purify.sweeps").Add(1)
+		if dst.ABFT() {
+			// Give the fault plan its shot at resident tile memory (and
+			// at killing a rank mid-purification), then audit: a landed
+			// bit flip must be caught and repaired before it propagates
+			// through the squaring.
+			dst.injectResidentSDC()
+			if _, aerr := dst.AuditParity(); aerr != nil {
+				return st, fmt.Errorf("distmat: purification sweep %d: %w", sweep, aerr)
+			}
+		}
 		MatMul(xsq, dst, dst)
 		t := Trace(dst)
 		ts := Trace(xsq)
@@ -80,8 +96,10 @@ func Purify(dst, fp, xsq *BlockMat, nocc int, tol float64, maxSweeps int) (Purif
 			break
 		}
 		if math.Abs(ts-occ) <= math.Abs(2*t-ts-occ) {
+			st.Branches += "S"
 			Copy(dst, xsq) // X <- X^2
 		} else {
+			st.Branches += "R"
 			Axpby(dst, xsq, -1, 2) // X <- 2X - X^2
 		}
 	}
@@ -156,8 +174,10 @@ func SP2Dense(fp *linalg.Matrix, nocc int, tol float64, maxSweeps int) (*linalg.
 			break
 		}
 		if math.Abs(ts-occ) <= math.Abs(2*t-ts-occ) {
+			st.Branches += "S"
 			x, xsq = xsq, x
 		} else {
+			st.Branches += "R"
 			for i := range x.Data {
 				x.Data[i] = 2*x.Data[i] - xsq.Data[i]
 			}

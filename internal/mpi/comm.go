@@ -710,6 +710,13 @@ func (c *Comm) Barrier() {
 // counters. The first creator fixes the capacity, so a generous minimum is
 // applied; DLB windows only ever use a handful of counters.
 func (c *Comm) getWindow(name string, n int) *window {
+	// Fast path first: LoadOrStore would construct (and zero) a full
+	// window-sized allocation on every call just to discard it when the
+	// window already exists — and window ops are the innermost loop of
+	// every distributed-matrix collective.
+	if v, ok := c.world.windows.Load(name); ok {
+		return v.(*window)
+	}
 	capacity := n
 	if capacity < 64 {
 		capacity = 64

@@ -113,7 +113,11 @@ type FaultSite string
 // Fock-build task (corruption there models a bad FMA or memory error
 // inside the quartet loops) and SiteCheckpoint is one checkpoint write;
 // both are corruption-only sites counted by the layers that own them
-// (internal/fock task loops, the SCF recovery driver).
+// (internal/fock task loops, the SCF recovery driver). SitePurify is one
+// SP2 purification sweep on an ABFT-protected distributed matrix: a kill
+// there dies mid-purification (tiles in flight), and a corruption lands
+// in resident tile memory — the in-memory bit-flip the checksum audit
+// exists to catch.
 const (
 	SiteBarrier    FaultSite = "barrier"
 	SiteSend       FaultSite = "send"
@@ -121,6 +125,7 @@ const (
 	SiteDLB        FaultSite = "dlb"
 	SiteFock       FaultSite = "fock"
 	SiteCheckpoint FaultSite = "checkpoint"
+	SitePurify     FaultSite = "purify"
 )
 
 func siteIndex(s FaultSite) int {
@@ -135,6 +140,8 @@ func siteIndex(s FaultSite) int {
 		return 4
 	case SiteCheckpoint:
 		return 5
+	case SitePurify:
+		return 6
 	default:
 		return 3
 	}
@@ -302,7 +309,7 @@ func (p *FaultPlan) messageChaos() bool {
 	return len(p.Duplicates)+len(p.Reorders)+len(p.Partitions) > 0
 }
 
-type siteCounters [6]atomic.Int64
+type siteCounters [7]atomic.Int64
 
 // faultState tracks per-rank, per-site event counts against the plan.
 type faultState struct {

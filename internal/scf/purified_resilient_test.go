@@ -1,0 +1,165 @@
+package scf
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/molecule"
+	"repro/internal/mpi"
+	"repro/internal/telemetry"
+)
+
+// TestPurifiedResilientCleanMatchesEigensolve: with no fault injected
+// the resilient driver is the purified SCF over ABFT matrices — same
+// fixed point, one attempt, nothing reconstructed.
+func TestPurifiedResilientCleanMatchesEigensolve(t *testing.T) {
+	want, _ := serialSCF(t, molecule.Water(), "sto-3g",
+		Options{ConvDens: 1e-10, ConvEnergy: 1e-12})
+	eng, sch := purifiedSetup(t)
+	res, info, rec, err := RunRHFPurifiedResilient(eng, sch, PurifiedResilientOptions{
+		PurifiedOptions: PurifiedOptions{
+			Ranks:     4,
+			BlockSize: 3,
+			SCF:       Options{ConvDens: 1e-10, ConvEnergy: 1e-12},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge in %d iterations", res.Iterations)
+	}
+	if dE := math.Abs(res.Energy - want.Energy); dE > 1e-10 {
+		t.Errorf("clean resilient energy off by %g", dE)
+	}
+	if rec.Attempts != 1 || rec.Recoveries != 0 || rec.ReconstructedTiles != 0 {
+		t.Errorf("clean run recovery trace = %+v, want one quiet attempt", rec)
+	}
+	if info.TotalSweeps == 0 {
+		t.Errorf("no purification sweeps recorded")
+	}
+}
+
+// TestPurifiedResilientSurvivesKill is the tentpole test: a rank killed
+// mid-purification must be survived by parity reconstruction — the
+// shrunken world resumes the interrupted iteration and lands on the
+// reference energy, with tiles provably rebuilt from parity rather than
+// restarted from scratch.
+func TestPurifiedResilientSurvivesKill(t *testing.T) {
+	want, _ := serialSCF(t, molecule.Water(), "sto-3g",
+		Options{ConvDens: 1e-10, ConvEnergy: 1e-12})
+	eng, sch := purifiedSetup(t)
+	tel := telemetry.NewSession()
+	res, _, rec, err := RunRHFPurifiedResilient(eng, sch, PurifiedResilientOptions{
+		PurifiedOptions: PurifiedOptions{
+			Ranks:     4,
+			BlockSize: 3,
+			SCF:       Options{ConvDens: 1e-10, ConvEnergy: 1e-12},
+			Telemetry: tel,
+		},
+		// After 8 purification sweeps on rank 1 the kill fires inside a
+		// sweep — past the first iteration, mid-purification.
+		Fault: &mpi.FaultPlan{Kills: []mpi.Kill{{Rank: 1, Site: mpi.SitePurify, After: 8}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge after recovery (%d iterations)", res.Iterations)
+	}
+	if dE := math.Abs(res.Energy - want.Energy); dE > 1e-8 {
+		t.Errorf("post-recovery energy off by %g", dE)
+	}
+	if rec.Recoveries != 1 || rec.Attempts != 2 {
+		t.Errorf("Recoveries=%d Attempts=%d, want 1 recovery over 2 attempts", rec.Recoveries, rec.Attempts)
+	}
+	if len(rec.FailedRanks) != 1 || rec.FailedRanks[0] != 1 {
+		t.Errorf("FailedRanks = %v, want [1]", rec.FailedRanks)
+	}
+	if rec.ReconstructedTiles == 0 {
+		t.Errorf("no tiles reconstructed from parity — recovery did not exercise ABFT")
+	}
+	if rec.ResumedIter < 1 {
+		t.Errorf("ResumedIter = %d, want >= 1", rec.ResumedIter)
+	}
+	if got := tel.Counter("distmat.abft.reconstructed_tiles").Value(); got != rec.ReconstructedTiles {
+		t.Errorf("telemetry reconstructed_tiles = %d, recovery says %d", got, rec.ReconstructedTiles)
+	}
+	if len(rec.RanksPerAttempt) != 2 || rec.RanksPerAttempt[1] != 3 {
+		t.Errorf("RanksPerAttempt = %v, want [4 3]", rec.RanksPerAttempt)
+	}
+}
+
+// TestPurifiedResilientRepairsBitFlip: a resident bit flip injected
+// between sweeps must be caught by the per-sweep audit and repaired,
+// converging to the reference energy with zero recoveries (no rank
+// died) and a positive repair count.
+func TestPurifiedResilientRepairsBitFlip(t *testing.T) {
+	want, _ := serialSCF(t, molecule.Water(), "sto-3g",
+		Options{ConvDens: 1e-10, ConvEnergy: 1e-12})
+	eng, sch := purifiedSetup(t)
+	tel := telemetry.NewSession()
+	res, _, rec, err := RunRHFPurifiedResilient(eng, sch, PurifiedResilientOptions{
+		PurifiedOptions: PurifiedOptions{
+			Ranks:     4,
+			BlockSize: 3,
+			SCF:       Options{ConvDens: 1e-10, ConvEnergy: 1e-12},
+			Telemetry: tel,
+		},
+		// Flip a high mantissa bit in rank 2's first owned tile at the
+		// 6th sweep: large enough to clear the audit tolerance, resident
+		// (parity deliberately not updated by the injector). Index 4 —
+		// element (4,1) of the water density, O 2pz x O 2s — is nonzero
+		// by symmetry; index 0 would hit the out-of-plane 2py row, which
+		// is exactly zero, and a bit flip on 0.0 only reaches denormal
+		// territory no tolerance can see.
+		Fault: &mpi.FaultPlan{Corrupts: []mpi.Corrupt{{
+			Rank: 2, Site: mpi.SitePurify, After: 6,
+			Kind: mpi.CorruptBitFlip, Index: 4, Bit: 51,
+		}}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Converged {
+		t.Fatalf("did not converge (%d iterations)", res.Iterations)
+	}
+	if dE := math.Abs(res.Energy - want.Energy); dE > 1e-10 {
+		t.Errorf("post-repair energy off by %g", dE)
+	}
+	if rec.Recoveries != 0 {
+		t.Errorf("Recoveries = %d, want 0 (a bit flip is repaired in place)", rec.Recoveries)
+	}
+	if tel.Counter("sdc.injected").Value() == 0 {
+		t.Fatalf("fault plan never injected — the test is vacuous")
+	}
+	if rec.AuditMismatches == 0 || rec.RepairedTiles == 0 {
+		t.Errorf("audit tallies %d/%d, want the injected flip detected and repaired",
+			rec.AuditMismatches, rec.RepairedTiles)
+	}
+	if det := tel.Counter("sdc.detected").Value(); det == 0 {
+		t.Errorf("sdc.detected = 0: the integrity ladder never saw the corruption")
+	}
+}
+
+// TestPurifiedResilientExhaustsBudget: more kills than MaxRecoveries
+// must surface as a budget-exhausted error, not a hang or a wrong
+// answer.
+func TestPurifiedResilientExhaustsBudget(t *testing.T) {
+	eng, sch := purifiedSetup(t)
+	_, _, rec, err := RunRHFPurifiedResilient(eng, sch, PurifiedResilientOptions{
+		PurifiedOptions: PurifiedOptions{
+			Ranks:     2,
+			BlockSize: 3,
+			SCF:       Options{ConvDens: 1e-10, ConvEnergy: 1e-12},
+		},
+		MaxRecoveries: -1, // no budget at all (0 means default)
+		Fault:         &mpi.FaultPlan{Kills: []mpi.Kill{{Rank: 1, Site: mpi.SitePurify, After: 3}}},
+	})
+	if err == nil {
+		t.Fatal("expected a budget-exhausted error")
+	}
+	if rec.Recoveries != 0 {
+		t.Errorf("Recoveries = %d with a zero budget", rec.Recoveries)
+	}
+}

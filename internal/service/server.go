@@ -222,6 +222,11 @@ func New(cfg Config) (*Server, error) {
 		"elastic.joins.announced", "elastic.joins.committed", "elastic.joins.expired",
 		"elastic.join.retransmits", "elastic.join.dup_dropped",
 		"elastic.migrations", "elastic.scale_up", "elastic.scale_down",
+		"distmat.get.bytes", "distmat.put.bytes", "distmat.acc.bytes",
+		"distmat.purify.sweeps",
+		"distmat.abft.audits", "distmat.abft.mismatches",
+		"distmat.abft.repaired_tiles", "distmat.abft.parity_refreshes",
+		"distmat.abft.reconstructed_tiles", "distmat.abft.parity.bytes",
 	} {
 		s.tel.Counter(name)
 	}

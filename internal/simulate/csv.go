@@ -13,10 +13,10 @@ import (
 // CSVTable2 renders Table 2 rows as CSV.
 func CSVTable2(rows []Table2Row) string {
 	var b strings.Builder
-	b.WriteString("system,atoms,basis_functions,mpi_gb,private_fock_gb,shared_fock_gb,distributed_gb_per_rank,ratio_private,ratio_shared,ratio_distributed\n")
+	b.WriteString("system,atoms,basis_functions,mpi_gb,private_fock_gb,shared_fock_gb,distributed_gb_per_rank,abft_overhead_pct,ratio_private,ratio_shared,ratio_distributed\n")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%s,%d,%d,%.4f,%.4f,%.4f,%.6f,%.1f,%.1f,%.1f\n",
-			r.System, r.Atoms, r.BasisF, r.MPIGB, r.PrFGB, r.ShFGB, r.DistGB,
+		fmt.Fprintf(&b, "%s,%d,%d,%.4f,%.4f,%.4f,%.6f,%.2f,%.1f,%.1f,%.1f\n",
+			r.System, r.Atoms, r.BasisF, r.MPIGB, r.PrFGB, r.ShFGB, r.DistGB, r.ABFTPct,
 			r.RatioPr, r.RatioSh, r.RatioDist)
 	}
 	return b.String()

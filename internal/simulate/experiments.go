@@ -74,17 +74,21 @@ func (pc *ProfileCache) Get(system string) (*Profile, error) {
 
 // Table2Row is one benchmark system's memory footprints (GB).
 type Table2Row struct {
-	System  string
-	Atoms   int
-	BasisF  int
-	MPIGB   float64 // stock code: 256 compute ranks + 256 DDI data servers
-	PrFGB   float64 // hybrid, 4 ranks x 64 threads
-	ShFGB   float64 // hybrid, 4 ranks
+	System string
+	Atoms  int
+	BasisF int
+	MPIGB  float64 // stock code: 256 compute ranks + 256 DDI data servers
+	PrFGB  float64 // hybrid, 4 ranks x 64 threads
+	ShFGB  float64 // hybrid, 4 ranks
 	// DistGB is the per-RANK footprint when the five iteration matrices
 	// live as 2D block-cyclic tiles over the same 256 compute ranks
 	// (internal/distmat) instead of being replicated — the storage mode
 	// that keeps growing past the replication wall.
-	DistGB    float64
+	DistGB float64
+	// ABFTPct is the checksum-tile storage of the ABFT-hardened
+	// distributed layout as a percentage of its data-tile storage — the
+	// price of surviving a rank death without restarting.
+	ABFTPct   float64
 	RatioPr   float64
 	RatioSh   float64
 	RatioDist float64 // MPI per-node vs distributed per-rank
@@ -114,9 +118,11 @@ func RunTable2() []Table2Row {
 		sh := float64(fock.SharedFockFootprint(s.basisF, 4, 0).PerNodeBytes()) +
 			4*float64(fock.BufferBytes(s.basisF, 6, 64))
 		dist := float64(distmat.FootprintPerRank(s.basisF, 256))
+		parity, data := distmat.ABFTBytesPerRank(s.basisF, 256, 0)
 		rows = append(rows, Table2Row{
 			System: s.name, Atoms: s.atoms, BasisF: s.basisF,
 			MPIGB: mpi / gb, PrFGB: pr / gb, ShFGB: sh / gb, DistGB: dist / gb,
+			ABFTPct: 100 * float64(parity) / float64(data),
 			RatioPr: mpi / pr, RatioSh: mpi / sh, RatioDist: mpi / dist,
 		})
 	}
@@ -126,11 +132,11 @@ func RunTable2() []Table2Row {
 // FormatTable2 renders Table 2 rows.
 func FormatTable2(rows []Table2Row) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "%-7s %7s %8s | %10s %10s %10s %10s | %8s %8s %8s\n",
-		"system", "atoms", "BFs", "MPI GB", "Pr.F. GB", "Sh.F. GB", "Dist GB/r", "MPI/PrF", "MPI/ShF", "MPI/Dist")
+	fmt.Fprintf(&b, "%-7s %7s %8s | %10s %10s %10s %10s %7s | %8s %8s %8s\n",
+		"system", "atoms", "BFs", "MPI GB", "Pr.F. GB", "Sh.F. GB", "Dist GB/r", "ABFT %", "MPI/PrF", "MPI/ShF", "MPI/Dist")
 	for _, r := range rows {
-		fmt.Fprintf(&b, "%-7s %7d %8d | %10.2f %10.2f %10.2f %10.4f | %7.0fx %7.0fx %7.0fx\n",
-			r.System, r.Atoms, r.BasisF, r.MPIGB, r.PrFGB, r.ShFGB, r.DistGB,
+		fmt.Fprintf(&b, "%-7s %7d %8d | %10.2f %10.2f %10.2f %10.4f %6.1f%% | %7.0fx %7.0fx %7.0fx\n",
+			r.System, r.Atoms, r.BasisF, r.MPIGB, r.PrFGB, r.ShFGB, r.DistGB, r.ABFTPct,
 			r.RatioPr, r.RatioSh, r.RatioDist)
 	}
 	return b.String()
